@@ -1,0 +1,89 @@
+// E10 — End-to-end precision budget (ablation of the analog impairments).
+// Paper Section 2 motivates ">50 GHz" converters; this experiment answers
+// the question that pitch raises: how many effective bits does the full
+// electro-optic path keep, and which impairment binds?
+//
+// Series 1: per-impairment budget for the default configuration.
+// Series 2: ENOB vs laser power (shot-noise limit).
+// Series 3: ENOB vs converter resolution (quantization limit).
+// Series 4: analytic vs Monte-Carlo ENOB cross-check.
+#include "bench_util.hpp"
+#include "core/noise_analysis.hpp"
+
+namespace {
+
+using namespace aspen;
+
+core::MvmConfig base() {
+  core::MvmConfig cfg;
+  cfg.ports = 8;
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  bench::header("E10 end-to-end precision budget",
+                "Sec.2: high-bandwidth IO only pays off if the analog "
+                "precision budget closes");
+
+  {
+    const auto b = core::analytic_precision_budget(base());
+    lina::Table t("impairment budget (N=8, defaults: 8-bit DAC/ADC, 50 dB "
+                  "ER, 10 mW laser, thermo-optic weights)");
+    t.set_header({"source", "relative rms", "bits alone"});
+    for (const auto& c : b.contributions)
+      t.add_row({c.source, lina::Table::sci(c.relative_rms),
+                 lina::Table::num(c.bits_alone(), 1)});
+    t.add_row({"TOTAL (rss)", lina::Table::sci(b.total_relative_rms),
+               lina::Table::num(b.enob, 1)});
+    bench::show(t);
+    std::printf("dominant impairment: %s\n\n", b.dominant().source.c_str());
+  }
+
+  {
+    lina::Table t("ENOB vs laser power (shot-noise limit)");
+    t.set_header({"laser mW", "analytic ENOB", "empirical ENOB"});
+    for (double mw : {0.1, 1.0, 10.0, 100.0}) {
+      core::MvmConfig cfg = base();
+      cfg.laser.power_w = mw * 1e-3;
+      cfg.modulator.dac_bits = 12;  // expose the optical noise floor
+      cfg.adc.bits = 12;
+      t.add_row({lina::Table::num(mw, 1),
+                 lina::Table::num(core::analytic_precision_budget(cfg).enob, 2),
+                 lina::Table::num(core::empirical_enob(cfg), 2)});
+    }
+    bench::show(t);
+  }
+
+  {
+    lina::Table t("ENOB vs converter bits (DAC = ADC)");
+    t.set_header({"bits", "analytic ENOB", "empirical ENOB"});
+    for (int bits : {4, 6, 8, 10, 12}) {
+      core::MvmConfig cfg = base();
+      cfg.modulator.dac_bits = bits;
+      cfg.adc.bits = bits;
+      t.add_row({lina::Table::num(double(bits)),
+                 lina::Table::num(core::analytic_precision_budget(cfg).enob, 2),
+                 lina::Table::num(core::empirical_enob(cfg), 2)});
+    }
+    bench::show(t);
+  }
+
+  {
+    lina::Table t("weight-technology precision cost");
+    t.set_header({"weights", "analytic ENOB", "empirical ENOB"});
+    for (const bool pcm : {false, true}) {
+      core::MvmConfig cfg = base();
+      cfg.modulator.dac_bits = 12;
+      cfg.adc.bits = 12;
+      cfg.weights = pcm ? core::WeightTechnology::kPcm
+                        : core::WeightTechnology::kThermoOptic;
+      t.add_row({pcm ? "PCM (GeSe, 64 lvl)" : "thermo-optic",
+                 lina::Table::num(core::analytic_precision_budget(cfg).enob, 2),
+                 lina::Table::num(core::empirical_enob(cfg), 2)});
+    }
+    bench::show(t);
+  }
+  return 0;
+}

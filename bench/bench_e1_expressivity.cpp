@@ -1,0 +1,75 @@
+// E1 — Matrix expressivity / universality of the mesh architectures.
+// Paper Section 4: "multiport interferometers with a degree of matrix
+// expressivity (universality) determined by component arrangement".
+//
+// Series 1: Haar-ensemble infidelity on perfect hardware per architecture
+//           and mesh size (analytic decompositions should be exact to
+//           numerical precision; the optimization-programmed Fldzhyan
+//           design approaches but does not reach machine epsilon).
+// Series 2: universality crossover — best achievable fidelity of the
+//           Fldzhyan design vs number of phase layers; universality
+//           requires ~n+1 layers (n^2 + n parameters >= n^2 DOF).
+#include "bench_util.hpp"
+#include "lina/random.hpp"
+#include "mesh/analysis.hpp"
+
+int main() {
+  using namespace aspen;
+  using mesh::Architecture;
+
+  bench::header("E1  mesh expressivity (universality)",
+                "Sec.4 / Fig.2b: expressivity determined by arrangement");
+
+  {
+    lina::Table t("Haar-ensemble infidelity (perfect hardware, mean of 1-F)");
+    t.set_header({"N", "reck", "clements", "clements-sym", "redundant",
+                  "fldzhyan(opt)"});
+    const mesh::MeshErrorModel perfect{};  // losses only, no disorder
+    for (std::size_t n : {4, 6, 8, 12, 16}) {
+      std::vector<std::string> row{lina::Table::num(double(n))};
+      for (auto arch :
+           {Architecture::kReck, Architecture::kClements,
+            Architecture::kClementsSym, Architecture::kRedundant,
+            Architecture::kFldzhyan}) {
+        if (arch == Architecture::kFldzhyan && n > 8) {
+          row.push_back("-");  // optimizer cost grows steeply; see series 2
+          continue;
+        }
+        const int samples = arch == Architecture::kFldzhyan ? 3 : 5;
+        const auto r = mesh::haar_ensemble_fidelity(
+            arch, n, perfect, samples, /*recalibrate=*/false, /*seed=*/11);
+        row.push_back(lina::Table::sci(r.infidelity.mean()));
+      }
+      t.add_row(row);
+    }
+    bench::show(t);
+  }
+
+  {
+    lina::Table t(
+        "Fldzhyan universality crossover at N=6 (phase layers sweep; "
+        "universal design needs ~N+1 layers)");
+    t.set_header({"phase-layers", "params", "DOF(U(6))", "mean fidelity",
+                  "worst fidelity"});
+    lina::Rng rng(23);
+    for (std::size_t layers : {2u, 3u, 4u, 5u, 6u, 7u, 9u, 12u}) {
+      lina::Stats fid;
+      for (int s = 0; s < 3; ++s) {
+        const lina::CMat target = lina::haar_unitary(6, rng);
+        mesh::PhysicalMesh twin(mesh::fldzhyan_layout(6, layers),
+                                mesh::MeshErrorModel{});
+        mesh::CalibrationOptions opt;
+        opt.restarts = 3;
+        opt.seed = 1000 + s;
+        const auto rep = mesh::calibrate(twin, target, opt);
+        fid.add(rep.final_fidelity);
+      }
+      t.add_row({lina::Table::num(double(layers)),
+                 lina::Table::num(double(6 * layers)), "36",
+                 lina::Table::num(fid.mean(), 5),
+                 lina::Table::num(fid.min(), 5)});
+    }
+    bench::show(t);
+  }
+  return 0;
+}

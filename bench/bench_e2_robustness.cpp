@@ -1,0 +1,96 @@
+// E2 — Robustness of the mesh architectures to fabrication error.
+// Paper Section 6: "Various MZI mesh architectures are evaluated for the
+// MVM core, including their performance, matrix expressivity and
+// robustness." Fldzhyan et al. (ref [10]) is the error-tolerant design;
+// in-situ recalibration ("error-aware programming") is the second axis.
+//
+// Series 1: fidelity vs coupler-imbalance sigma (direct programming).
+// Series 2: fidelity vs coupler-imbalance sigma (with recalibration).
+// Series 3: fidelity vs phase-error sigma (direct), N = 8.
+#include "bench_util.hpp"
+#include "lina/random.hpp"
+#include "mesh/analysis.hpp"
+
+namespace {
+
+using namespace aspen;
+using mesh::Architecture;
+
+constexpr Architecture kArchs[] = {
+    Architecture::kReck, Architecture::kClements, Architecture::kClementsSym,
+    Architecture::kRedundant, Architecture::kFldzhyan};
+
+void sweep(const char* title, bool vary_coupler, bool recalibrate,
+           std::size_t n, int samples) {
+  lina::Table t(title);
+  t.set_header({"sigma", "reck", "clements", "clements-sym", "redundant",
+                "fldzhyan"});
+  for (double sigma : {0.0, 0.01, 0.02, 0.05, 0.10}) {
+    std::vector<std::string> row{lina::Table::num(sigma, 2)};
+    for (auto arch : kArchs) {
+      mesh::MeshErrorModel em;
+      if (vary_coupler)
+        em.coupler_sigma = sigma;
+      else
+        em.phase_sigma = sigma;
+      const auto r = mesh::haar_ensemble_fidelity(arch, n, em, samples,
+                                                  recalibrate, /*seed=*/31);
+      row.push_back(lina::Table::num(r.fidelity.mean(), 5));
+    }
+    t.add_row(row);
+  }
+  bench::show(t);
+}
+
+}  // namespace
+
+int main() {
+  bench::header("E2  robustness to fabrication error",
+                "Sec.6: architectures evaluated for robustness; [10] is the "
+                "error-tolerant design");
+  const std::size_t n = 6;
+  const int samples = 3;
+  sweep("fidelity vs coupler-imbalance sigma [rad] — direct programming",
+        /*vary_coupler=*/true, /*recalibrate=*/false, n, samples);
+  sweep("fidelity vs coupler-imbalance sigma [rad] — with in-situ "
+        "recalibration",
+        true, true, n, samples);
+  sweep("fidelity vs phase-error sigma [rad] — direct programming", false,
+        false, n, samples);
+  sweep("fidelity vs phase-error sigma [rad] — with in-situ recalibration",
+        false, true, n, samples);
+
+  // Ablation: thermal crosstalk between heaters only exists while
+  // *holding* phases thermo-optically; non-volatile PCM weights hold
+  // passively and are immune — a robustness benefit of Section 3's
+  // non-volatility argument beyond the energy one.
+  {
+    lina::Table t("fidelity vs thermal crosstalk (Clements N=6, direct "
+                  "programming): thermo-optic vs PCM hold");
+    t.set_header({"crosstalk", "thermo-optic", "PCM (GeSe 8-bit)"});
+    lina::Rng rng(77);
+    for (double xt : {0.0, 0.01, 0.02, 0.05, 0.10}) {
+      lina::Stats thermo, pcm;
+      for (int s = 0; s < samples; ++s) {
+        const lina::CMat target = lina::haar_unitary(n, rng);
+        const auto pm = mesh::clements_decompose(target);
+        mesh::MeshErrorModel em;
+        em.thermal_crosstalk = xt;
+        em.seed = 900 + static_cast<std::uint64_t>(s);
+        mesh::PhysicalMesh m1(pm.layout, em);
+        m1.program(pm.phases);
+        thermo.add(lina::CMat::fidelity(target, m1.transfer()));
+        mesh::PhysicalMesh m2(pm.layout, em);
+        m2.program(pm.phases);
+        auto cfg = aspen::phot::pcm_config_for_two_pi(aspen::phot::make_gese());
+        cfg.level_bits = 8;
+        m2.enable_pcm(cfg);
+        pcm.add(lina::CMat::fidelity(target, m2.transfer()));
+      }
+      t.add_row({lina::Table::num(xt, 2), lina::Table::num(thermo.mean(), 5),
+                 lina::Table::num(pcm.mean(), 5)});
+    }
+    bench::show(t);
+  }
+  return 0;
+}

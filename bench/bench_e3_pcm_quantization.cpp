@@ -1,0 +1,116 @@
+// E3 — Multilevel PCM weights: materials, level count, and drift.
+// Paper Section 3 / Fig. 2a: "low-loss, compact, and reconfigurable
+// multilevel PCM-based MZIs"; GSST & GeSe vs the GST baseline via
+// FOM = delta n / delta k.
+//
+// Series 1: material table (FOM, 2*pi patch length, crystalline loss,
+//           N=8 mesh programming fidelity at 64 levels).
+// Series 2: programming fidelity + digit accuracy vs PCM level count.
+// Series 3: drift of fidelity / accuracy over time since programming.
+#include "bench_util.hpp"
+#include "core/mvm_engine.hpp"
+#include "nn/dataset.hpp"
+#include "nn/mlp.hpp"
+#include "nn/photonic_backend.hpp"
+
+namespace {
+
+using namespace aspen;
+
+core::MvmConfig engine_config(const phot::PcmCellConfig& pcm) {
+  core::MvmConfig cfg;
+  cfg.ports = 8;
+  cfg.weights = core::WeightTechnology::kPcm;
+  cfg.pcm = pcm;
+  return cfg;
+}
+
+double mesh_fidelity(const phot::PcmCellConfig& pcm) {
+  core::MvmEngine engine(engine_config(pcm));
+  lina::Rng rng(5);
+  engine.set_matrix(lina::random_real(8, 8, rng));
+  return engine.programming_fidelity();
+}
+
+}  // namespace
+
+int main() {
+  bench::header("E3  multilevel PCM weights",
+                "Sec.3/Fig.2a: multilevel PCM MZIs; FOM = dn/dk selects "
+                "GSST/GeSe over GST");
+
+  // -- Series 1: materials ------------------------------------------------
+  {
+    lina::Table t("PCM material comparison (patch sized for 2*pi)");
+    t.set_header({"material", "FOM dn/dk", "patch um", "IL@cryst dB",
+                  "mesh fidelity (64 lvl)"});
+    for (const auto& m :
+         {phot::make_gst225(), phot::make_gsst(), phot::make_gese()}) {
+      const auto cfg = phot::pcm_config_for_two_pi(m);
+      const phot::PcmCell cell(cfg);
+      const double amp = cell.amplitude_of_fraction(1.0);
+      t.add_row({m.name, lina::Table::num(m.figure_of_merit(), 1),
+                 lina::Table::num(cfg.patch_length_m * 1e6, 1),
+                 lina::Table::num(-20.0 * std::log10(amp), 2),
+                 lina::Table::num(mesh_fidelity(cfg), 4)});
+    }
+    bench::show(t);
+  }
+
+  // Train one MLP shared by series 2 and 3.
+  lina::Rng rng(7);
+  const nn::Dataset data = nn::make_digits(25, rng, 0.08);
+  const nn::Split split = nn::split_dataset(data, 0.7, rng);
+  nn::Mlp mlp({64, 16, 10}, rng);
+  mlp.train(split.train, 80, 0.15, 25, rng);
+  const double digital_acc = mlp.accuracy(split.test);
+  std::printf("digital reference accuracy: %.3f (test n=%zu)\n\n",
+              digital_acc, split.test.size());
+
+  // -- Series 2: level count sweep (GeSe) ---------------------------------
+  {
+    lina::Table t("accuracy vs PCM level count (GeSe, N=8 tiles)");
+    t.set_header({"level bits", "levels", "mesh fidelity", "digits accuracy"});
+    for (int bits : {1, 2, 3, 4, 5, 6, 8}) {
+      auto pcm = phot::pcm_config_for_two_pi(phot::make_gese());
+      pcm.level_bits = bits;
+      nn::PhotonicBackendConfig bc;
+      bc.gemm.mvm = engine_config(pcm);
+      nn::PhotonicBackend backend(bc);
+      t.add_row({lina::Table::num(bits), lina::Table::num(double(1 << bits)),
+                 lina::Table::num(mesh_fidelity(pcm), 4),
+                 lina::Table::num(backend.accuracy(mlp, split.test), 3)});
+    }
+    bench::show(t);
+  }
+
+  // -- Series 3: drift ------------------------------------------------------
+  {
+    lina::Table t("drift since programming (GeSe, 6-bit levels, no "
+                  "recalibration)");
+    t.set_header({"time", "mesh fidelity", "digits accuracy"});
+    const auto pcm = phot::pcm_config_for_two_pi(phot::make_gese());
+    struct Point {
+      const char* label;
+      double seconds;
+    };
+    for (const auto& p :
+         {Point{"0 s", 0.0}, Point{"1 hour", 3600.0}, Point{"1 day", 86400.0},
+          Point{"30 days", 2.6e6}, Point{"1 year", 3.15e7},
+          Point{"10 years", 3.15e8}}) {
+      core::MvmEngine engine(engine_config(pcm));
+      lina::Rng wrng(5);
+      engine.set_matrix(lina::random_real(8, 8, wrng));
+      engine.set_pcm_drift_time(p.seconds);
+      nn::PhotonicBackendConfig bc;
+      bc.gemm.mvm = engine_config(pcm);
+      nn::PhotonicBackend backend(bc);
+      backend.set_pcm_drift_time(p.seconds);
+      t.add_row({p.label,
+                 lina::Table::num(engine.programming_fidelity(), 5),
+                 lina::Table::num(backend.accuracy(mlp, split.test), 3)});
+    }
+    bench::show(t);
+  }
+  return 0;
+}

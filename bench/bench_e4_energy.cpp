@@ -1,0 +1,59 @@
+// E4 — The non-volatility energy argument.
+// Paper Section 3: "Given that this phase-shift remains constant for a
+// set weight matrix (that is, during inference), a non-volatile approach
+// would be ideal to remove this constant energy consumption."
+//
+// Series 1: energy per inference vs weight reuse (inferences between
+//           reprogrammings): volatile thermo-optic heaters pay static
+//           holding power forever; PCM pays write energy once. The
+//           crossover is at ~1 inference: amortization makes PCM win
+//           everywhere the weights are reused.
+// Series 2: static power breakdown per technology and mesh size.
+#include "bench_util.hpp"
+#include "core/energy_model.hpp"
+
+int main() {
+  using namespace aspen;
+  bench::header("E4  non-volatile weight energy",
+                "Sec.3: non-volatility removes the constant hold power of "
+                "thermo-optic weights");
+
+  core::MvmConfig cfg;
+  cfg.ports = 8;
+
+  {
+    lina::Table t("energy per inference (8 MVMs each) vs weight reuse");
+    t.set_header({"reuse", "thermo uJ", "pcm uJ", "ratio thermo/pcm"});
+    for (double reuse : {1.0, 10.0, 100.0, 1e3, 1e4, 1e5, 1e6}) {
+      const auto p = core::weight_energy_at_reuse(cfg, reuse, 8.0);
+      t.add_row({lina::Table::sci(reuse, 0),
+                 lina::Table::num(p.thermo_energy_j * 1e6, 4),
+                 lina::Table::num(p.pcm_energy_j * 1e6, 4),
+                 lina::Table::num(p.thermo_energy_j / p.pcm_energy_j, 1)});
+    }
+    bench::show(t);
+  }
+
+  {
+    lina::Table t("static power and programming cost vs mesh size");
+    t.set_header({"N", "thermo hold W", "pcm hold W", "thermo prog us",
+                  "pcm prog us", "thermo prog uJ", "pcm prog uJ"});
+    for (std::size_t n : {8, 16, 32, 64}) {
+      core::MvmConfig c = cfg;
+      c.ports = n;
+      c.weights = core::WeightTechnology::kThermoOptic;
+      const auto thermo = core::evaluate_accelerator(c);
+      c.weights = core::WeightTechnology::kPcm;
+      const auto pcm = core::evaluate_accelerator(c);
+      t.add_row({lina::Table::num(double(n)),
+                 lina::Table::num(thermo.weight_holding_w, 3),
+                 lina::Table::num(pcm.weight_holding_w, 3),
+                 lina::Table::num(thermo.program_time_s * 1e6, 2),
+                 lina::Table::num(pcm.program_time_s * 1e6, 3),
+                 lina::Table::num(thermo.program_energy_j * 1e6, 3),
+                 lina::Table::num(pcm.program_energy_j * 1e6, 3)});
+    }
+    bench::show(t);
+  }
+  return 0;
+}

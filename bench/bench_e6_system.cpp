@@ -1,0 +1,131 @@
+// E6 — Full-system evaluation of the photonic DSA behind a RISC-V host.
+// Paper Section 5 / Fig. 3: gem5-based platform with MMRs, SPMs, DMA and
+// interrupts "so the host can utilize the provided interrupt signals for
+// synchronization without the need for constant polling".
+//
+// Series 1: cycles for software GEMM vs offload paths across input widths.
+// Series 2: weight-technology impact on offload latency (thermo ~10 us
+//           programming vs PCM ~110 ns).
+// Series 3: PE-cluster scaling — exposes that the workload is IO-bound on
+//           the shared bus (the data-movement bottleneck of Section 1).
+#include "bench_util.hpp"
+#include "lina/random.hpp"
+#include "sysim/system.hpp"
+#include "sysim/workloads.hpp"
+
+namespace {
+
+using namespace aspen;
+using namespace aspen::sys;
+
+std::vector<std::int16_t> random_fixed(std::size_t count, std::uint64_t seed) {
+  lina::Rng rng(seed);
+  std::vector<std::int16_t> v(count);
+  for (auto& x : v) x = PhotonicAccelerator::to_fixed(rng.uniform(-0.9, 0.9));
+  return v;
+}
+
+std::uint64_t run_cycles(const SystemConfig& sc, const GemmWorkload& wl,
+                         const std::vector<std::uint32_t>& program,
+                         const std::vector<std::int16_t>& a,
+                         const std::vector<std::int16_t>& x) {
+  System system(sc);
+  stage_gemm_data(system, wl, a, x);
+  system.load_program(program);
+  const auto r = system.run();
+  if (r.halt != rv::Halt::kEcallExit) return 0;
+  return r.cycles;
+}
+
+SystemConfig pcm_system() {
+  SystemConfig sc;
+  sc.accel.gemm.mvm.ports = 8;
+  sc.accel.gemm.mvm.weights = core::WeightTechnology::kPcm;
+  sc.accel.gemm.mvm.pcm.level_bits = 8;
+  sc.accel.max_cols = 128;
+  return sc;
+}
+
+}  // namespace
+
+int main() {
+  bench::header("E6  system-level offload (RISC-V host + photonic DSA)",
+                "Sec.5/Fig.3: CPU, MMRs, SPMs, DMA, interrupts");
+
+  {
+    lina::Table t("cycles vs input width (8x8 weights, 1 GHz, PCM weights)");
+    t.set_header({"M", "software", "MMR poll", "MMR irq", "DMA irq",
+                  "best speedup"});
+    for (std::size_t m : {8u, 32u, 128u}) {
+      const SystemConfig sc = pcm_system();
+      GemmWorkload wl;
+      wl.n = 8;
+      wl.m = m;
+      const auto a = random_fixed(wl.n * wl.n, 40 + m);
+      const auto x = random_fixed(wl.n * wl.m, 50 + m);
+      const auto sw = run_cycles(sc, wl, build_gemm_software(wl, sc), a, x);
+      const auto poll = run_cycles(
+          sc, wl, build_gemm_offload(wl, sc, OffloadPath::kMmrPolling), a, x);
+      const auto irq = run_cycles(
+          sc, wl, build_gemm_offload(wl, sc, OffloadPath::kMmrInterrupt), a,
+          x);
+      const auto dma = run_cycles(
+          sc, wl, build_gemm_offload(wl, sc, OffloadPath::kDmaInterrupt), a,
+          x);
+      t.add_row({lina::Table::num(double(m)), lina::Table::num(double(sw)),
+                 lina::Table::num(double(poll)), lina::Table::num(double(irq)),
+                 lina::Table::num(double(dma)),
+                 lina::Table::num(double(sw) / double(dma), 1) + "x"});
+    }
+    bench::show(t);
+  }
+
+  {
+    lina::Table t("weight technology impact on one offloaded GEMM (M=32, "
+                  "DMA path)");
+    t.set_header({"weights", "program time", "total cycles"});
+    GemmWorkload wl;
+    wl.n = 8;
+    wl.m = 32;
+    const auto a = random_fixed(wl.n * wl.n, 60);
+    const auto x = random_fixed(wl.n * wl.m, 61);
+    for (const bool pcm : {false, true}) {
+      SystemConfig sc = pcm_system();
+      sc.accel.gemm.mvm.weights = pcm ? core::WeightTechnology::kPcm
+                                      : core::WeightTechnology::kThermoOptic;
+      const auto cycles = run_cycles(
+          sc, wl, build_gemm_offload(wl, sc, OffloadPath::kDmaInterrupt), a,
+          x);
+      t.add_row({pcm ? "PCM (non-volatile)" : "thermo-optic",
+                 pcm ? "~110 ns" : "~10 us", lina::Table::num(double(cycles))});
+    }
+    bench::show(t);
+  }
+
+  {
+    lina::Table t("PE-cluster scaling (M=64 columns partitioned across PEs; "
+                  "shared bus + single DMA => IO-bound)");
+    t.set_header({"PEs", "cycles", "scaling vs 1 PE"});
+    GemmWorkload wl;
+    wl.n = 8;
+    wl.m = 64;
+    const auto a = random_fixed(wl.n * wl.n, 70);
+    const auto x = random_fixed(wl.n * wl.m, 71);
+    std::uint64_t first = 0;
+    for (std::size_t pes : {1u, 2u, 4u}) {
+      SystemConfig sc = pcm_system();
+      sc.num_pes = pes;
+      const auto cycles =
+          run_cycles(sc, wl, build_gemm_multi_pe(wl, sc), a, x);
+      if (first == 0) first = cycles;
+      t.add_row({lina::Table::num(double(pes)),
+                 lina::Table::num(double(cycles)),
+                 lina::Table::num(double(first) / double(cycles), 2) + "x"});
+    }
+    bench::show(t);
+    std::printf("note: photonic compute is ~ns per tile; the cluster is\n"
+                "bandwidth-limited by the shared bus/DMA — the data-movement\n"
+                "bottleneck the paper's introduction motivates.\n\n");
+  }
+  return 0;
+}

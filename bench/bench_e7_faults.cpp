@@ -1,0 +1,171 @@
+// E7 — Microarchitecture-level fault injection (the gem5-MARVEL feature).
+// Paper Section 5: "a fault injection framework that operates at the
+// microarchitecture level and supports transient and permanent fault
+// injections to all hardware structures".
+//
+// Campaigns over the offloaded-GEMM workload: outcome distributions
+// (Masked / SDC / DUE-trap / DUE-hang) per target structure and fault
+// model, plus a photonic-specific phase-upset severity sweep.
+#include <cstring>
+
+#include "bench_util.hpp"
+#include "lina/random.hpp"
+#include "sysim/fault.hpp"
+#include "sysim/workloads.hpp"
+
+namespace {
+
+using namespace aspen;
+using namespace aspen::sys;
+
+struct Bench {
+  SystemConfig sc;
+  GemmWorkload wl;
+  std::vector<std::int16_t> a, x;
+
+  Bench() {
+    sc.accel.gemm.mvm.ports = 8;
+    sc.accel.gemm.mvm.weights = core::WeightTechnology::kPcm;
+    sc.accel.gemm.mvm.pcm.level_bits = 8;
+    wl.n = 8;
+    wl.m = 8;
+    lina::Rng rng(99);
+    a.resize(wl.n * wl.n);
+    x.resize(wl.n * wl.m);
+    for (auto& v : a)
+      v = PhotonicAccelerator::to_fixed(rng.uniform(-0.9, 0.9));
+    for (auto& v : x)
+      v = PhotonicAccelerator::to_fixed(rng.uniform(-0.9, 0.9));
+  }
+
+  FaultCampaign campaign() const {
+    auto factory = [this]() {
+      auto system = std::make_unique<System>(sc);
+      stage_gemm_data(*system, wl, a, x);
+      system->load_program(
+          build_gemm_offload(wl, sc, OffloadPath::kMmrPolling));
+      return system;
+    };
+    auto reader = [wl = wl](System& s) {
+      const auto y = read_gemm_result(s, wl);
+      std::vector<std::uint8_t> bytes(y.size() * 2);
+      std::memcpy(bytes.data(), y.data(), bytes.size());
+      return bytes;
+    };
+    return FaultCampaign(factory, reader, /*max_cycles=*/400000);
+  }
+};
+
+}  // namespace
+
+int main() {
+  bench::header("E7  fault-injection campaigns",
+                "Sec.5: transient + permanent faults on all structures, "
+                "gem5-MARVEL style");
+
+  Bench b;
+  const int kTrials = 40;
+
+  {
+    lina::Table t("outcome distribution per target (transient bit flips, "
+                  "40 injections each)");
+    t.set_header({"target", "masked", "SDC", "DUE-trap", "DUE-hang"});
+    lina::Rng rng(1);
+    for (const auto target :
+         {FaultTarget::kCpuRegfile, FaultTarget::kDramData,
+          FaultTarget::kAccelSpmW, FaultTarget::kAccelSpmX,
+          FaultTarget::kAccelPhase}) {
+      auto campaign = b.campaign();
+      // Restrict DRAM faults to the workload data region so injections
+      // actually matter (a random bit in 4 MiB of idle DRAM is masked).
+      std::uint32_t lo = 0, hi = 0;
+      if (target == FaultTarget::kDramData) {
+        // Inject into the staged weight matrix A in DRAM: SDC when the
+        // flip lands before the copy to the accelerator, masked after.
+        lo = b.wl.a_offset;
+        hi = b.wl.a_offset + static_cast<std::uint32_t>(b.wl.n * b.wl.n * 2) - 1;
+      } else if (target == FaultTarget::kAccelSpmX) {
+        // Restrict to the bytes this workload actually stages (the SPM is
+        // sized for max_cols columns).
+        hi = static_cast<std::uint32_t>(b.wl.n * b.wl.m * 2) - 1;
+      }
+      const auto r = campaign.run_campaign(
+          target, FaultModel::kTransientFlip, kTrials, rng, lo, hi);
+      t.add_row({to_string(target),
+                 lina::Table::num(r.fraction(Outcome::kMasked), 2),
+                 lina::Table::num(r.fraction(Outcome::kSdc), 2),
+                 lina::Table::num(r.fraction(Outcome::kDueTrap), 2),
+                 lina::Table::num(r.fraction(Outcome::kDueHang), 2)});
+    }
+    bench::show(t);
+  }
+
+  {
+    lina::Table t("transient vs permanent faults (CPU register file)");
+    t.set_header({"model", "masked", "SDC", "DUE-trap", "DUE-hang"});
+    lina::Rng rng(2);
+    for (const auto model :
+         {FaultModel::kTransientFlip, FaultModel::kStuckAt0,
+          FaultModel::kStuckAt1}) {
+      auto campaign = b.campaign();
+      const auto r = campaign.run_campaign(FaultTarget::kCpuRegfile, model,
+                                           kTrials, rng);
+      t.add_row({to_string(model),
+                 lina::Table::num(r.fraction(Outcome::kMasked), 2),
+                 lina::Table::num(r.fraction(Outcome::kSdc), 2),
+                 lina::Table::num(r.fraction(Outcome::kDueTrap), 2),
+                 lina::Table::num(r.fraction(Outcome::kDueHang), 2)});
+    }
+    bench::show(t);
+  }
+
+  {
+    // Photonic configuration upsets: perturb one programmed phase in the
+    // window between weight loading and compute (the two-phase offload
+    // protocol exposes exactly this vulnerability window). Injection is
+    // triggered on the LOAD-done edge rather than a cycle count.
+    lina::Table t("photonic configuration upsets injected after weight "
+                  "programming (20 trials each)");
+    t.set_header({"delta phase rad", "masked", "SDC"});
+    lina::Rng rng(3);
+    auto golden_campaign = b.campaign();
+    const auto& golden = golden_campaign.golden();
+    for (const double delta : {0.01, 0.05, 0.1, 0.3, 1.0}) {
+      int masked = 0, sdc = 0;
+      for (int k = 0; k < 20; ++k) {
+        auto system = std::make_unique<System>(b.sc);
+        stage_gemm_data(*system, b.wl, b.a, b.x);
+        system->load_program(
+            build_gemm_offload(b.wl, b.sc, OffloadPath::kMmrPolling));
+        // Run until the first busy->idle edge: LOAD_WEIGHTS finished.
+        bool was_busy = false;
+        while (!system->cpu().halted()) {
+          const bool busy = system->pe(0).busy();
+          if (was_busy && !busy) break;
+          was_busy = busy;
+          system->tick();
+        }
+        const std::size_t nph = system->pe(0).phase_state_size();
+        const auto idx =
+            static_cast<std::size_t>(rng.uniform_int(0, nph - 1));
+        system->pe(0).inject_phase_fault(
+            idx, rng.chance(0.5) ? delta : -delta);
+        while (!system->cpu().halted() && system->now() < 400000)
+          system->tick();
+        const auto y = read_gemm_result(*system, b.wl);
+        std::vector<std::uint8_t> bytes(y.size() * 2);
+        std::memcpy(bytes.data(), y.data(), bytes.size());
+        if (bytes == golden)
+          ++masked;
+        else
+          ++sdc;
+      }
+      t.add_row({lina::Table::num(delta, 2),
+                 lina::Table::num(masked / 20.0, 2),
+                 lina::Table::num(sdc / 20.0, 2)});
+    }
+    bench::show(t);
+  }
+
+  return 0;
+}

@@ -1,0 +1,152 @@
+// E8 — Spiking sources and bio-inspired learning.
+// Paper Section 3: "Q-switched III-V on-chip lasers are explored as
+// chipscale excitable spiking sources ... By leveraging the ultrafast
+// response (sub-ns) and accumulation behavior of PCM-based devices ...
+// the viability of photonic spiking neural networks (SNN) and
+// bio-inspired learning rules such as spike-timing dependent plasticity
+// (STDP) will be investigated."
+//
+// Series 1: Yamada laser excitability — response peak vs perturbation
+//           strength (all-or-none threshold).
+// Series 2: interspike interval vs drive (refractory-limited rate).
+// Series 3: PCM accumulate-and-fire transfer (spikes out vs pulses in).
+// Series 4: STDP window realized on PCM synapses.
+// Series 5: unsupervised pattern-separation convergence.
+#include "bench_util.hpp"
+#include "photonics/laser.hpp"
+#include "snn/network.hpp"
+#include "snn/pcm_synapse.hpp"
+
+namespace {
+
+using namespace aspen;
+
+/// Peak intensity after a rectangular perturbation of given strength.
+double response_peak(double strength) {
+  phot::YamadaNeuron n;
+  for (int i = 0; i < 200; ++i) (void)n.step(strength);
+  double peak = 0.0;
+  for (int i = 0; i < 40000; ++i) peak = std::max(peak, n.step(0.0));
+  return peak;
+}
+
+}  // namespace
+
+int main() {
+  bench::header("E8  photonic spiking neurons + STDP",
+                "Sec.3: excitable Q-switched lasers, PCM accumulation, STDP");
+
+  {
+    lina::Table t("Yamada excitability: response peak vs perturbation "
+                  "(all-or-none)");
+    t.set_header({"injection", "peak intensity", "fires"});
+    for (double inj : {1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1}) {
+      const double peak = response_peak(inj);
+      t.add_row({lina::Table::sci(inj, 0), lina::Table::num(peak, 3),
+                 peak > 1.0 ? "yes" : "no"});
+    }
+    bench::show(t);
+  }
+
+  {
+    lina::Table t("pulse train under constant drive (refractory-limited)");
+    t.set_header({"drive", "spikes / 1200 units", "mean ISI (units)"});
+    for (double drive : {0.01, 0.02, 0.05, 0.1}) {
+      phot::YamadaNeuron n;
+      std::vector<double> times;
+      for (int i = 0; i < 120000; ++i) {
+        (void)n.step(drive);
+        if (n.spiked()) times.push_back(n.time());
+      }
+      double isi = 0.0;
+      for (std::size_t i = 1; i < times.size(); ++i)
+        isi += times[i] - times[i - 1];
+      if (times.size() > 1) isi /= static_cast<double>(times.size() - 1);
+      t.add_row({lina::Table::num(drive, 2),
+                 lina::Table::num(double(times.size())),
+                 lina::Table::num(isi, 1)});
+    }
+    bench::show(t);
+  }
+
+  {
+    lina::Table t("PCM accumulate-and-fire: output spikes vs input pulses "
+                  "(threshold 0.75, step 0.1)");
+    t.set_header({"input pulses", "output spikes", "pulses per spike"});
+    for (int pulses : {8, 16, 32, 64}) {
+      snn::PcmNeuronConfig cfg;
+      cfg.cell.accumulation_step = 0.1;
+      cfg.threshold_fraction = 0.75;
+      cfg.refractory_s = 0.0;
+      snn::PcmNeuron n(cfg);
+      int spikes = 0;
+      for (int k = 0; k < pulses; ++k)
+        if (n.inject(1.0, (k + 1) * 10e-9)) ++spikes;
+      t.add_row({lina::Table::num(double(pulses)),
+                 lina::Table::num(double(spikes)),
+                 spikes > 0 ? lina::Table::num(double(pulses) / spikes, 1)
+                            : "-"});
+    }
+    bench::show(t);
+  }
+
+  {
+    lina::Table t("STDP window realized on a PCM synapse (w0 = 0.5)");
+    t.set_header({"dt ns (post-pre)", "ideal dW", "realized dW (64 lvl)"});
+    snn::StdpConfig rule;
+    for (double dt_ns : {-80.0, -40.0, -10.0, -2.0, 2.0, 10.0, 40.0, 80.0}) {
+      const double ideal = snn::stdp_delta(rule, dt_ns * 1e-9);
+      snn::PcmSynapse syn(phot::PcmCellConfig{}, 0.5);
+      const double before = syn.weight();
+      syn.update(ideal);
+      t.add_row({lina::Table::num(dt_ns, 0), lina::Table::num(ideal, 4),
+                 lina::Table::num(syn.weight() - before, 4)});
+    }
+    bench::show(t);
+  }
+
+  {
+    lina::Table t("unsupervised pattern separation: selectivity vs "
+                  "presentations (2 patterns, 2 neurons, WTA + homeostasis)");
+    t.set_header({"presentations", "selectivity", "write energy nJ"});
+    for (int blocks : {10, 30, 60, 120, 240}) {
+      snn::NetworkConfig cfg;
+      cfg.inputs = 8;
+      cfg.outputs = 2;
+      cfg.lateral_inhibition = 0.4;
+      cfg.neuron.cell.accumulation_step = 0.6;
+      cfg.neuron.threshold_fraction = 0.5;
+      cfg.neuron.adaptation_delta = 0.25;
+      cfg.neuron.adaptation_tau_s = 600e-9;
+      cfg.stdp.a_plus = 0.10;
+      cfg.stdp.a_minus = 0.05;
+      cfg.stdp.tau_minus_s = 5e-9;
+      cfg.seed = 0x77;
+      snn::SpikingNetwork net(cfg);
+
+      snn::SpikeRaster in(8);
+      for (int block = 0; block < blocks; ++block) {
+        const bool a = block % 2 == 0;
+        for (int s = 0; s < 2; ++s) {
+          const double tt = (block * 4 + s) * cfg.slot_s + 1e-12;
+          for (std::size_t i = a ? 0 : 4; i < (a ? 4u : 8u); ++i)
+            in[i].push_back(tt);
+        }
+      }
+      (void)net.run(in, blocks * 4 * cfg.slot_s);
+      // Selectivity: |pattern preference difference| between the outputs.
+      const auto w = net.weights();
+      const auto pref = [&](std::size_t o) {
+        double wa = 0.0, wb = 0.0;
+        for (std::size_t i = 0; i < 4; ++i) wa += w[o][i];
+        for (std::size_t i = 4; i < 8; ++i) wb += w[o][i];
+        return wa - wb;
+      };
+      t.add_row({lina::Table::num(double(blocks)),
+                 lina::Table::num(std::abs(pref(0) - pref(1)), 3),
+                 lina::Table::num(net.total_write_energy_j() * 1e9, 1)});
+    }
+    bench::show(t);
+  }
+  return 0;
+}

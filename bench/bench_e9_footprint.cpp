@@ -1,0 +1,116 @@
+// E9 — Speed / energy / footprint of the accelerator configurations.
+// Paper abstract: "This simulation platform enables accurate system-level
+// accelerator modeling and benchmarking in terms of key metrics such as
+// speed, energy consumption, and footprint."
+//
+// Series 1: per-architecture metrics at N = 8 (Fig. 2b scale).
+// Series 2: scaling with mesh size for the Clements MVM core.
+// Series 3: WDM channel count vs throughput/area (GeMM mode).
+#include "bench_util.hpp"
+#include "core/energy_model.hpp"
+#include "photonics/link_budget.hpp"
+
+namespace {
+
+using namespace aspen;
+
+void add_report_row(lina::Table& t, const std::string& label,
+                    const core::AcceleratorReport& r) {
+  t.add_row({label, lina::Table::num(r.area_mm2, 3),
+             lina::Table::num(r.insertion_loss_db, 1),
+             lina::Table::num(r.static_power_w, 2),
+             lina::Table::num(r.energy_per_mvm_j * 1e12, 1),
+             lina::Table::num(r.throughput_ops_s / 1e9, 0),
+             lina::Table::num(r.tops_per_watt, 2)});
+}
+
+}  // namespace
+
+int main() {
+  bench::header("E9  speed / energy / footprint",
+                "abstract: key metrics — speed, energy consumption, "
+                "footprint");
+
+  {
+    lina::Table t("architecture comparison at N=8 (PCM weights, reuse 1e6)");
+    t.set_header({"architecture", "area mm2", "IL dB", "static W", "pJ/MVM",
+                  "GOPS", "TOPS/W"});
+    for (auto arch :
+         {mesh::Architecture::kReck, mesh::Architecture::kClements,
+          mesh::Architecture::kClementsSym, mesh::Architecture::kRedundant,
+          mesh::Architecture::kFldzhyan}) {
+      core::MvmConfig cfg;
+      cfg.ports = 8;
+      cfg.architecture = arch;
+      cfg.weights = core::WeightTechnology::kPcm;
+      add_report_row(t, mesh::to_string(arch),
+                     core::evaluate_accelerator(cfg));
+    }
+    bench::show(t);
+  }
+
+  {
+    lina::Table t("mesh-size scaling (Clements, PCM vs thermo)");
+    t.set_header({"N / weights", "area mm2", "IL dB", "static W", "pJ/MVM",
+                  "GOPS", "TOPS/W"});
+    for (std::size_t n : {8, 16, 32, 64}) {
+      for (const bool pcm : {true, false}) {
+        core::MvmConfig cfg;
+        cfg.ports = n;
+        cfg.weights = pcm ? core::WeightTechnology::kPcm
+                          : core::WeightTechnology::kThermoOptic;
+        add_report_row(t,
+                       std::to_string(n) + (pcm ? " pcm" : " thermo"),
+                       core::evaluate_accelerator(cfg));
+      }
+    }
+    bench::show(t);
+  }
+
+  {
+    // Section 3: PCM shifters must be "compact with minimized optical
+    // loss to enable deep arrangements of MZIs" — this table quantifies
+    // how deep: the largest Clements mesh whose output still meets an
+    // ENOB target at the detector, per launch power.
+    lina::Table t("maximum viable mesh size vs launch power (per-MZI "
+                  "column loss 0.22 dB, shot+thermal-limited detector)");
+    t.set_header({"launch dBm", "max N @ 4 bits", "max N @ 6 bits",
+                  "max N @ 8 bits"});
+    const aspen::phot::Photodetector det{aspen::phot::PhotodetectorConfig{}};
+    for (double dbm : {0.0, 10.0, 20.0}) {
+      std::vector<std::string> row{lina::Table::num(dbm, 0)};
+      for (double bits : {4.0, 6.0, 8.0}) {
+        std::size_t best = 0;
+        for (std::size_t n = 2; n <= 512; n *= 2) {
+          // Two meshes of depth n columns + IO; per-port launch power.
+          aspen::phot::LinkBudget lb(aspen::phot::dbm_to_watt(dbm) /
+                                     static_cast<double>(n));
+          lb.add("modulator", 3.0)
+              .add_repeated("mesh-column", 0.22,
+                            static_cast<int>(2 * n))
+              .add("attenuator", 0.2);
+          if (lb.enob(det) >= bits) best = n;
+        }
+        row.push_back(best > 0 ? lina::Table::num(double(best)) : "-");
+      }
+      t.add_row(row);
+    }
+    bench::show(t);
+  }
+
+  {
+    lina::Table t("DWDM scaling at N=8 (PCM weights; mesh shared, IO "
+                  "replicated)");
+    t.set_header({"channels", "area mm2", "IL dB", "static W", "pJ/MVM",
+                  "GOPS", "TOPS/W"});
+    for (int k : {1, 2, 4, 8, 16}) {
+      core::MvmConfig cfg;
+      cfg.ports = 8;
+      cfg.weights = core::WeightTechnology::kPcm;
+      add_report_row(t, std::to_string(k),
+                     core::evaluate_accelerator(cfg, 1e6, k));
+    }
+    bench::show(t);
+  }
+  return 0;
+}

@@ -1,0 +1,109 @@
+// E10 — Engineering micro-kernels (google-benchmark): the hot paths of
+// the simulator itself. Useful for regression-tracking the framework and
+// for sizing larger experiments.
+#include <benchmark/benchmark.h>
+
+#include "core/mvm_engine.hpp"
+#include "lina/random.hpp"
+#include "lina/svd.hpp"
+#include "mesh/calibrate.hpp"
+#include "mesh/decompose.hpp"
+#include "sysim/system.hpp"
+#include "sysim/workloads.hpp"
+
+namespace {
+
+using namespace aspen;
+
+void BM_HaarUnitary(benchmark::State& state) {
+  lina::Rng rng(1);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(lina::haar_unitary(n, rng));
+}
+BENCHMARK(BM_HaarUnitary)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_Svd(benchmark::State& state) {
+  lina::Rng rng(2);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const lina::CMat m = lina::ginibre(n, n, rng);
+  for (auto _ : state) benchmark::DoNotOptimize(lina::svd(m));
+}
+BENCHMARK(BM_Svd)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_ClementsDecompose(benchmark::State& state) {
+  lina::Rng rng(3);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const lina::CMat u = lina::haar_unitary(n, rng);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(mesh::clements_decompose(u));
+}
+BENCHMARK(BM_ClementsDecompose)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_MeshTransfer(benchmark::State& state) {
+  lina::Rng rng(4);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto pm = mesh::clements_decompose(lina::haar_unitary(n, rng));
+  mesh::PhysicalMesh mesh(pm.layout, mesh::MeshErrorModel{});
+  mesh.program(pm.phases);
+  for (auto _ : state) benchmark::DoNotOptimize(mesh.transfer());
+}
+BENCHMARK(BM_MeshTransfer)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_Calibrate(benchmark::State& state) {
+  lina::Rng rng(5);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const lina::CMat target = lina::haar_unitary(n, rng);
+  mesh::MeshErrorModel em;
+  em.coupler_sigma = 0.02;
+  for (auto _ : state) {
+    state.PauseTiming();
+    mesh::PhysicalMesh mesh(mesh::clements_layout(n), em);
+    const auto pm = mesh::clements_decompose(target);
+    mesh.program(pm.phases);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(mesh::calibrate(mesh, target));
+  }
+}
+BENCHMARK(BM_Calibrate)->Arg(6)->Unit(benchmark::kMillisecond);
+
+void BM_MvmMultiply(benchmark::State& state) {
+  core::MvmConfig cfg;
+  cfg.ports = static_cast<std::size_t>(state.range(0));
+  core::MvmEngine engine(cfg);
+  lina::Rng rng(6);
+  engine.set_matrix(lina::random_real(cfg.ports, cfg.ports, rng));
+  const lina::CVec x = lina::random_state(cfg.ports, rng);
+  for (auto _ : state) benchmark::DoNotOptimize(engine.multiply(x));
+}
+BENCHMARK(BM_MvmMultiply)->Arg(8)->Arg(16);
+
+void BM_IssInstructionRate(benchmark::State& state) {
+  // Tight arithmetic loop: measures simulated instructions per host
+  // second for the RV32IM interpreter.
+  sys::SystemConfig sc;
+  sys::rv::Assembler as(sc.dram_base);
+  as.li(sys::rv::t0, 0);
+  as.li(sys::rv::t1, 1000000);
+  as.label("loop");
+  as.addi(sys::rv::t0, sys::rv::t0, 1);
+  as.blt(sys::rv::t0, sys::rv::t1, "loop");
+  as.li(sys::rv::a7, 93);
+  as.li(sys::rv::a0, 0);
+  as.ecall();
+  const auto program = as.assemble();
+
+  for (auto _ : state) {
+    sys::System system(sc);
+    system.load_program(program);
+    const auto r = system.run();
+    state.counters["sim_instr"] = static_cast<double>(r.instret);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          2000002);
+}
+BENCHMARK(BM_IssInstructionRate)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,25 @@
+#pragma once
+/// Shared helpers for the experiment harness binaries (bench_e1 .. e9).
+/// Every binary is standalone: it runs its sweep and prints the rows that
+/// EXPERIMENTS.md records, on deterministic seeds.
+
+#include <cstdio>
+#include <iostream>
+
+#include "lina/table.hpp"
+
+namespace aspen::bench {
+
+inline void header(const char* experiment, const char* claim) {
+  std::printf("################################################################\n");
+  std::printf("# %s\n", experiment);
+  std::printf("# paper hook: %s\n", claim);
+  std::printf("################################################################\n\n");
+}
+
+inline void show(lina::Table& t) {
+  t.print(std::cout);
+  std::cout << "\n";
+}
+
+}  // namespace aspen::bench

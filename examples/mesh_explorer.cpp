@@ -1,0 +1,74 @@
+// Mesh design-space explorer: a small CLI over the architecture /
+// error-model / weight-technology axes, for interactive what-if studies
+// beyond the fixed sweeps in bench/.
+//
+//   ./examples/mesh_explorer [N] [coupler_sigma] [phase_sigma] [samples]
+//   e.g. ./examples/mesh_explorer 8 0.02 0.01 5
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "core/energy_model.hpp"
+#include "lina/table.hpp"
+#include "mesh/analysis.hpp"
+
+int main(int argc, char** argv) {
+  using namespace aspen;
+  const std::size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 8;
+  const double coupler_sigma = argc > 2 ? std::strtod(argv[2], nullptr) : 0.02;
+  const double phase_sigma = argc > 3 ? std::strtod(argv[3], nullptr) : 0.01;
+  const int samples = argc > 4 ? std::atoi(argv[4]) : 4;
+  if (n < 2 || n > 32) {
+    std::fprintf(stderr, "usage: %s [N 2..32] [coupler_sigma] [phase_sigma] "
+                         "[samples]\n", argv[0]);
+    return 1;
+  }
+
+  std::printf("design-space snapshot: N=%zu, coupler sigma=%.3f, phase "
+              "sigma=%.3f, %d Haar targets per point\n\n",
+              n, coupler_sigma, phase_sigma, samples);
+
+  mesh::MeshErrorModel em;
+  em.coupler_sigma = coupler_sigma;
+  em.phase_sigma = phase_sigma;
+
+  lina::Table t("architectures under this die model");
+  t.set_header({"architecture", "cells", "depth", "IL dB", "F direct",
+                "F recalibrated", "area mm2", "TOPS/W (pcm)"});
+  for (auto arch :
+       {mesh::Architecture::kReck, mesh::Architecture::kClements,
+        mesh::Architecture::kClementsSym, mesh::Architecture::kRedundant,
+        mesh::Architecture::kFldzhyan}) {
+    // Fldzhyan programming is optimizer-based; keep big-N runs tractable.
+    if (arch == mesh::Architecture::kFldzhyan && n > 10) {
+      t.add_row({mesh::to_string(arch), "-", "-", "-", "-", "-", "-", "-"});
+      continue;
+    }
+    const mesh::MeshLayout layout = mesh::make_layout(arch, n);
+    mesh::PhysicalMesh probe(layout, em);
+
+    const auto direct =
+        mesh::haar_ensemble_fidelity(arch, n, em, samples, false, 17);
+    const auto recal =
+        mesh::haar_ensemble_fidelity(arch, n, em, samples, true, 17);
+
+    core::MvmConfig cfg;
+    cfg.ports = n;
+    cfg.architecture = arch;
+    cfg.weights = core::WeightTechnology::kPcm;
+    const auto report = core::evaluate_accelerator(cfg);
+
+    t.add_row({mesh::to_string(arch),
+               lina::Table::num(double(layout.mzi_count())),
+               lina::Table::num(double(layout.depth())),
+               lina::Table::num(probe.nominal_insertion_loss_db(), 2),
+               lina::Table::num(direct.fidelity.mean(), 5),
+               lina::Table::num(recal.fidelity.mean(), 5),
+               lina::Table::num(report.area_mm2, 3),
+               lina::Table::num(report.tops_per_watt, 2)});
+  }
+  t.print(std::cout);
+  std::printf("\nhint: bench_e1/e2 sweep these axes systematically; this "
+              "tool is for spot checks.\n");
+  return 0;
+}

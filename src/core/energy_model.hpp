@@ -1,0 +1,67 @@
+#pragma once
+/// \file energy_model.hpp
+/// Analytical speed / energy / footprint model of the photonic
+/// accelerator — the "key metrics such as speed, energy consumption, and
+/// footprint" the paper's abstract promises from the simulation platform.
+/// Component counts come from the actual mesh layouts; device parameters
+/// from the photonics configs, so the model stays consistent with the
+/// simulated physics.
+
+#include <string>
+
+#include "core/mvm_engine.hpp"
+
+namespace aspen::core {
+
+/// Die-area figures for the standard building blocks (conservative
+/// foundry-scale values at 1550 nm).
+struct AreaParams {
+  double mzi_mm2 = 0.0050;        ///< full MZI cell incl. 2 couplers + 2 PS
+  double phase_shifter_mm2 = 0.0012;
+  double coupler_mm2 = 0.0004;
+  double modulator_mm2 = 0.0150;  ///< high-speed MZM
+  double photodetector_mm2 = 0.0020;
+  double attenuator_mm2 = 0.0050; ///< variable MZI splitter
+  double laser_mm2 = 0.0500;      ///< III-V on-SOI laser + isolator
+};
+
+/// The complete metrics row for one accelerator configuration.
+struct AcceleratorReport {
+  std::string architecture;
+  std::size_t ports = 0;
+  int wdm_channels = 1;
+
+  double area_mm2 = 0.0;
+  double insertion_loss_db = 0.0;
+  double static_power_w = 0.0;      ///< weight holding + laser wall-plug
+  double weight_holding_w = 0.0;    ///< heaters only (0 for PCM)
+  double program_energy_j = 0.0;    ///< one full reprogram
+  double program_time_s = 0.0;
+  double energy_per_mvm_j = 0.0;    ///< modulators + ADCs + laser/symbol
+  double latency_per_mvm_s = 0.0;
+  double macs_per_mvm = 0.0;
+  double throughput_ops_s = 0.0;    ///< 2*MAC/s at full rate
+  double tops_per_watt = 0.0;       ///< efficiency incl. static power
+};
+
+/// Evaluate the analytical model for a configuration.
+/// `weight_reuse` = number of MVMs executed per weight programming
+/// (amortizes the write energy; the non-volatility argument of Section 3
+/// is precisely about the weight_reuse -> infinity limit).
+[[nodiscard]] AcceleratorReport evaluate_accelerator(
+    const MvmConfig& cfg, double weight_reuse = 1e6, int wdm_channels = 1,
+    const AreaParams& area = {});
+
+/// Energy of one inference pass (row count `mvms` through the engine)
+/// under the two weight technologies, as a function of how many
+/// inferences share one weight programming — the E4 crossover series.
+struct WeightEnergyPoint {
+  double reuse;                 ///< inferences per reprogram
+  double thermo_energy_j;       ///< per inference
+  double pcm_energy_j;          ///< per inference
+};
+[[nodiscard]] WeightEnergyPoint weight_energy_at_reuse(const MvmConfig& cfg,
+                                                       double reuse,
+                                                       double mvms_per_inference);
+
+}  // namespace aspen::core

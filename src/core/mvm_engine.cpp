@@ -1,0 +1,275 @@
+#include "core/mvm_engine.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "photonics/units.hpp"
+
+namespace aspen::core {
+
+using lina::CMat;
+using lina::cplx;
+using lina::CVec;
+
+namespace {
+constexpr double kPi = 3.141592653589793238462643383280;
+
+phot::AdcConfig autoscale_adc(phot::AdcConfig adc, const phot::CwLaserConfig& laser,
+                              std::size_t ports) {
+  // Map ADC full scale to the per-port launch power: output fields are
+  // bounded by the total launch amplitude, and typical entries sit near
+  // the per-port level, so this uses the converter range efficiently.
+  adc.full_scale_w = laser.power_w / static_cast<double>(ports);
+  return adc;
+}
+}  // namespace
+
+MvmEngine::MvmEngine(MvmConfig cfg)
+    : cfg_(std::move(cfg)),
+      rng_(cfg_.noise_seed),
+      modulator_(cfg_.modulator),
+      receiver_(cfg_.detector, autoscale_adc(cfg_.adc, cfg_.laser, cfg_.ports)),
+      laser_(cfg_.laser) {
+  if (cfg_.ports < 2) throw std::invalid_argument("MvmEngine: ports < 2");
+  mesh::MeshErrorModel em_u = cfg_.errors;
+  mesh::MeshErrorModel em_v = cfg_.errors;
+  // Two distinct dies on the same wafer: decorrelate their imperfections.
+  em_v.seed = em_u.seed * 0x9e3779b97f4a7c15ULL + 1;
+  mesh_u_ = std::make_unique<mesh::PhysicalMesh>(
+      mesh::make_layout(cfg_.architecture, cfg_.ports), em_u);
+  mesh_v_ = std::make_unique<mesh::PhysicalMesh>(
+      mesh::make_layout(cfg_.architecture, cfg_.ports), em_v);
+  if (cfg_.weights == WeightTechnology::kPcm) {
+    mesh_u_->enable_pcm(cfg_.pcm);
+    mesh_v_->enable_pcm(cfg_.pcm);
+    mesh_u_->set_drift_time(cfg_.pcm_drift_time_s);
+    mesh_v_->set_drift_time(cfg_.pcm_drift_time_s);
+  }
+  attenuation_.assign(cfg_.ports, 1.0);
+  set_matrix(CMat::identity(cfg_.ports));
+}
+
+void MvmEngine::set_matrix(const CMat& w) {
+  if (w.rows() != cfg_.ports || w.cols() != cfg_.ports)
+    throw std::invalid_argument("MvmEngine::set_matrix: shape mismatch");
+  weight_ = w;
+  svd_ = lina::svd(w);
+  sigma_max_ = svd_.sigma_max();
+
+  for (std::size_t k = 0; k < cfg_.ports; ++k) {
+    double t = sigma_max_ > 0.0 ? svd_.sigma[k] / sigma_max_ : 0.0;
+    if (cfg_.weights == WeightTechnology::kPcm) {
+      // Attenuator settings are held in PCM too: quantize the amplitude
+      // to the same level grid.
+      const double levels = static_cast<double>((1 << cfg_.pcm.level_bits) - 1);
+      t = std::round(t * levels) / levels;
+    }
+    attenuation_[k] = t;
+  }
+
+  mesh::CalibrationOptions opt;
+  if (sigma_max_ > 0.0) {
+    (void)mesh::program_for_target(cfg_.architecture, *mesh_u_, svd_.u,
+                                   cfg_.recalibrate, opt);
+    (void)mesh::program_for_target(cfg_.architecture, *mesh_v_,
+                                   svd_.v.adjoint(), cfg_.recalibrate, opt);
+  }
+
+  // Programming cost accounting.
+  const std::size_t nph =
+      mesh_u_->phase_count() + mesh_v_->phase_count() + cfg_.ports;
+  if (cfg_.weights == WeightTechnology::kPcm) {
+    const auto& m = cfg_.pcm.material;
+    counters_.weight_write_energy_j +=
+        static_cast<double>(nph) * (m.reset_energy_j + 0.5 * m.set_energy_j);
+  } else {
+    counters_.weight_write_energy_j +=
+        static_cast<double>(nph) * (0.5 * cfg_.thermo.p_pi_w) *
+        cfg_.thermo.response_time_s;
+  }
+  ++counters_.program_ops;
+  refresh_transfer();
+}
+
+void MvmEngine::rebuild_physical_transfer() {
+  const CMat tu = mesh_u_->transfer();
+  const CMat tv = mesh_v_->transfer();
+  // Attenuator column: one variable MZI splitter per port (2 couplers +
+  // 2 phase sections of loss each), setting amplitude sigma_k/sigma_max.
+  const double att_loss_amp = phot::loss_db_to_amplitude(
+      2.0 * cfg_.errors.coupler_loss_db + 2.0 * cfg_.errors.ps_loss_db);
+  std::vector<cplx> diag(cfg_.ports);
+  for (std::size_t k = 0; k < cfg_.ports; ++k)
+    diag[k] = cplx{attenuation_[k] * att_loss_amp, 0.0};
+  t_phys_ = tu * CMat::diag(diag) * tv;
+}
+
+void MvmEngine::set_pcm_drift_time(double seconds) {
+  cfg_.pcm_drift_time_s = seconds;
+  if (cfg_.weights != WeightTechnology::kPcm) return;
+  mesh_u_->set_drift_time(seconds);
+  mesh_v_->set_drift_time(seconds);
+  rebuild_physical_transfer();  // gain_ deliberately kept from program time
+  fidelity_ = sigma_max_ > 0.0 ? CMat::fidelity(weight_, t_phys_) : 1.0;
+}
+
+lina::CMat MvmEngine::transfer_at_detuning(double nm) const {
+  mesh_u_->set_wavelength_detuning_nm(nm);
+  mesh_v_->set_wavelength_detuning_nm(nm);
+  const CMat tu = mesh_u_->transfer();
+  const CMat tv = mesh_v_->transfer();
+  mesh_u_->set_wavelength_detuning_nm(0.0);
+  mesh_v_->set_wavelength_detuning_nm(0.0);
+  const double att_loss_amp = phot::loss_db_to_amplitude(
+      2.0 * cfg_.errors.coupler_loss_db + 2.0 * cfg_.errors.ps_loss_db);
+  std::vector<cplx> diag(cfg_.ports);
+  for (std::size_t k = 0; k < cfg_.ports; ++k)
+    diag[k] = cplx{attenuation_[k] * att_loss_amp, 0.0};
+  return tu * CMat::diag(diag) * tv;
+}
+
+std::size_t MvmEngine::phase_state_size() const {
+  return mesh_v_->phase_count() + mesh_u_->phase_count();
+}
+
+void MvmEngine::perturb_phase(std::size_t index, double delta_rad) {
+  if (index >= phase_state_size())
+    throw std::out_of_range("MvmEngine::perturb_phase: index");
+  if (index < mesh_v_->phase_count()) {
+    mesh_v_->set_phase(index, mesh_v_->phase(index) + delta_rad);
+  } else {
+    const std::size_t k = index - mesh_v_->phase_count();
+    mesh_u_->set_phase(k, mesh_u_->phase(k) + delta_rad);
+  }
+  rebuild_physical_transfer();
+  fidelity_ = sigma_max_ > 0.0 ? CMat::fidelity(weight_, t_phys_) : 1.0;
+}
+
+void MvmEngine::refresh_transfer() {
+  rebuild_physical_transfer();
+
+  // One-time scalar calibration: T_phys ~= gain * (W / sigma_max).
+  if (sigma_max_ > 0.0) {
+    const CMat wn = weight_.scaled(cplx{1.0 / sigma_max_, 0.0});
+    cplx num{0.0, 0.0};
+    double den = 0.0;
+    for (std::size_t i = 0; i < wn.raw().size(); ++i) {
+      num += std::conj(wn.raw()[i]) * t_phys_.raw()[i];
+      den += std::norm(wn.raw()[i]);
+    }
+    gain_ = den > 0.0 ? num / den : cplx{1.0, 0.0};
+    fidelity_ = CMat::fidelity(weight_, t_phys_);
+  } else {
+    gain_ = cplx{1.0, 0.0};
+    fidelity_ = 1.0;
+  }
+}
+
+CVec MvmEngine::encode(const CVec& x) const {
+  if (x.size() != cfg_.ports)
+    throw std::invalid_argument("MvmEngine::encode: size mismatch");
+  const double launch =
+      std::sqrt(cfg_.laser.power_w / static_cast<double>(cfg_.ports));
+  CVec fields(cfg_.ports);
+  for (std::size_t i = 0; i < cfg_.ports; ++i) {
+    // IQ Mach-Zehnder modulator: each quadrature is DAC-quantized and
+    // carries the modulator insertion loss.
+    const cplx enc = modulator_.encode(x[i].real()) +
+                     cplx{0.0, 1.0} * modulator_.encode(x[i].imag());
+    fields[i] = launch * enc;
+  }
+  return fields;
+}
+
+CVec MvmEngine::propagate_fields(const CVec& fields) const {
+  return t_phys_ * fields;
+}
+
+CVec MvmEngine::detect(const CVec& fields) {
+  CVec out(fields.size());
+  for (std::size_t i = 0; i < fields.size(); ++i)
+    out[i] = receiver_.measure(fields[i], rng_);
+  return out;
+}
+
+CVec MvmEngine::rescale(const CVec& detected) const {
+  const double launch =
+      std::sqrt(cfg_.laser.power_w / static_cast<double>(cfg_.ports));
+  const cplx scale =
+      gain_ * launch * modulator_.amplitude_scale() / sigma_max_;
+  CVec out(detected.size());
+  for (std::size_t i = 0; i < detected.size(); ++i)
+    out[i] = detected[i] / scale;
+  return out;
+}
+
+CVec MvmEngine::multiply(const CVec& x) {
+  CVec fields = encode(x);
+  // Laser RIN: common-mode launch-power fluctuation per symbol.
+  const double p = laser_.sample_power(rng_);
+  const double rin_scale = std::sqrt(p / cfg_.laser.power_w);
+  fields.scale(cplx{rin_scale, 0.0});
+  const CVec out_fields = propagate_fields(fields);
+  const CVec detected = detect(out_fields);
+  ++counters_.mvm_ops;
+  counters_.busy_time_s += symbol_time_s();
+  return rescale(detected);
+}
+
+std::vector<double> MvmEngine::multiply_real(const std::vector<double>& x) {
+  CVec v(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) v[i] = cplx{x[i], 0.0};
+  const CVec y = multiply(v);
+  std::vector<double> out(y.size());
+  for (std::size_t i = 0; i < y.size(); ++i) out[i] = y[i].real();
+  return out;
+}
+
+CVec MvmEngine::multiply_noiseless(const CVec& x) const {
+  // Device (systematic) errors only: exact encoding, no RIN/shot/ADC.
+  const double launch =
+      std::sqrt(cfg_.laser.power_w / static_cast<double>(cfg_.ports));
+  CVec fields(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i)
+    fields[i] = launch * modulator_.amplitude_scale() * x[i];
+  const CVec out = t_phys_ * fields;
+  return rescale(out);
+}
+
+double MvmEngine::symbol_time_s() const {
+  return std::max(1.0 / cfg_.modulator.rate_hz, 1.0 / cfg_.adc.rate_hz);
+}
+
+double MvmEngine::holding_power_w() const {
+  if (cfg_.weights == WeightTechnology::kPcm) return 0.0;
+  double total = 0.0;
+  const auto add_mesh = [&](const mesh::PhysicalMesh& m) {
+    for (std::size_t k = 0; k < m.phase_count(); ++k) {
+      double ph = std::fmod(m.phase(k), 2.0 * kPi);
+      if (ph < 0.0) ph += 2.0 * kPi;
+      total += ph / kPi * cfg_.thermo.p_pi_w;
+    }
+  };
+  add_mesh(*mesh_u_);
+  add_mesh(*mesh_v_);
+  for (const double t : attenuation_) {
+    const double theta = 2.0 * std::asin(std::min(1.0, std::max(0.0, t)));
+    total += theta / kPi * cfg_.thermo.p_pi_w;
+  }
+  return total;
+}
+
+double MvmEngine::program_time_s() const {
+  if (cfg_.weights == WeightTechnology::kPcm)
+    return cfg_.pcm.material.reset_time_s + cfg_.pcm.material.set_time_s;
+  return cfg_.thermo.response_time_s;
+}
+
+double MvmEngine::insertion_loss_db() const {
+  const double att_il =
+      2.0 * cfg_.errors.coupler_loss_db + 2.0 * cfg_.errors.ps_loss_db;
+  return cfg_.modulator.insertion_loss_db + mesh_u_->nominal_insertion_loss_db() +
+         mesh_v_->nominal_insertion_loss_db() + att_il;
+}
+
+}  // namespace aspen::core

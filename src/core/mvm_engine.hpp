@@ -1,0 +1,165 @@
+#pragma once
+/// \file mvm_engine.hpp
+/// The photonic matrix-vector-multiplication engine — the paper's core
+/// computing architecture (Section 4): "input vectors are encoded into
+/// amplitude/phase of individual inputs ... and the multiplication
+/// (weighting) matrix is encoded in the state of the programmable PS
+/// blocks".
+///
+/// An arbitrary (non-unitary) N x N matrix W is realized as
+///     W = U . diag(sigma) . V^dagger,   sigma normalized by sigma_max,
+/// with V^dagger and U programmed onto two physical MZI meshes and the
+/// singular values onto a column of amplitude attenuators. The full
+/// electro-optic loop is modelled: input DAC + Mach-Zehnder modulators,
+/// CW laser power budget (with RIN), lossy/imperfect meshes (optionally
+/// PCM-quantized non-volatile weights), coherent receivers with shot and
+/// thermal noise, and output ADCs. A one-time scalar calibration (gain +
+/// reference phase) recovers W-units from the measured fields, exactly as
+/// a real system would calibrate against known test vectors.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "lina/complex_matrix.hpp"
+#include "lina/random.hpp"
+#include "lina/svd.hpp"
+#include "mesh/analysis.hpp"
+#include "photonics/laser.hpp"
+#include "photonics/modulator.hpp"
+#include "photonics/pcm_cell.hpp"
+#include "photonics/phase_shifter.hpp"
+#include "photonics/photodetector.hpp"
+
+namespace aspen::core {
+
+/// Weight-holding technology for the mesh phase shifters.
+enum class WeightTechnology {
+  kThermoOptic,  ///< volatile heaters: exact phases, static holding power
+  kPcm,          ///< non-volatile multilevel PCM: quantized, zero hold power
+};
+
+struct MvmConfig {
+  std::size_t ports = 8;
+  mesh::Architecture architecture = mesh::Architecture::kClements;
+  mesh::MeshErrorModel errors;  ///< fabrication die model (both meshes)
+  WeightTechnology weights = WeightTechnology::kThermoOptic;
+  phot::PcmCellConfig pcm = phot::pcm_config_for_two_pi(phot::make_gese());
+  /// Drift time applied to PCM weights (seconds since programming).
+  double pcm_drift_time_s = 0.0;
+  /// Error-aware in-situ recalibration after programming.
+  bool recalibrate = false;
+
+  phot::ModulatorConfig modulator;
+  phot::PhotodetectorConfig detector;
+  phot::AdcConfig adc;
+  phot::CwLaserConfig laser;
+  /// Thermo-optic heater parameters (for the energy model).
+  phot::ThermoOpticConfig thermo;
+
+  std::uint64_t noise_seed = 0x5eedULL;
+};
+
+/// Cumulative operation counters for energy/latency reporting.
+struct MvmCounters {
+  std::uint64_t mvm_ops = 0;       ///< vectors pushed through the mesh
+  std::uint64_t program_ops = 0;   ///< weight (re)programming events
+  double busy_time_s = 0.0;        ///< optical/electrical symbol time
+  double weight_write_energy_j = 0.0;
+};
+
+class MvmEngine {
+ public:
+  explicit MvmEngine(MvmConfig cfg);
+
+  /// Program an arbitrary N x N matrix (real matrices: zero imaginary
+  /// parts). Throws std::invalid_argument on shape mismatch.
+  void set_matrix(const lina::CMat& w);
+  [[nodiscard]] const lina::CMat& matrix() const { return weight_; }
+
+  /// End-to-end photonic multiply: encode -> propagate -> detect ->
+  /// rescale. Input entries must satisfy |x_i| <= 1 (the modulator range);
+  /// the engine does not rescale inputs implicitly.
+  [[nodiscard]] lina::CVec multiply(const lina::CVec& x);
+
+  /// Real-vector convenience wrapper (returns real parts).
+  [[nodiscard]] std::vector<double> multiply_real(
+      const std::vector<double>& x);
+
+  /// Deterministic device-error-only result (no shot/RIN/ADC noise):
+  /// isolates systematic from stochastic error in the analyses.
+  [[nodiscard]] lina::CVec multiply_noiseless(const lina::CVec& x) const;
+
+  // -- Lower-level stages (used by the WDM GeMM scheduler) --------------
+  /// DAC + modulator encoding into field amplitudes (per-port).
+  [[nodiscard]] lina::CVec encode(const lina::CVec& x) const;
+  /// Propagate encoded fields through the programmed optical path.
+  [[nodiscard]] lina::CVec propagate_fields(const lina::CVec& fields) const;
+  /// Coherent detection + ADC of output fields, in field units.
+  [[nodiscard]] lina::CVec detect(const lina::CVec& fields);
+  /// Undo the calibrated system gain: measured field -> W-units output.
+  [[nodiscard]] lina::CVec rescale(const lina::CVec& detected) const;
+
+  /// Physical (lossy, imperfect) transfer of the whole optical path in
+  /// field units, including the sqrt(P_laser / N) launch scale.
+  [[nodiscard]] const lina::CMat& physical_transfer() const { return t_phys_; }
+  /// Calibrated complex system gain c: T_phys ~= c * W.
+  [[nodiscard]] lina::cplx system_gain() const { return gain_; }
+
+  /// Advance the PCM drift clock (no-op for thermo-optic weights). The
+  /// system gain calibration is *not* redone: drift error accrues exactly
+  /// as it would on hardware between recalibrations.
+  void set_pcm_drift_time(double seconds);
+
+  /// Physical transfer seen by a carrier detuned `nm` from the design
+  /// wavelength (coupler dispersion). The engine's own state (and its
+  /// calibration) stays at the design wavelength — DWDM side channels are
+  /// the uncalibrated ones, exactly as on hardware.
+  [[nodiscard]] lina::CMat transfer_at_detuning(double nm) const;
+
+  /// Total programmable phases across both meshes (fault-injection
+  /// surface of the photonic configuration state).
+  [[nodiscard]] std::size_t phase_state_size() const;
+  /// Additively perturb one programmed phase (index over mesh V then
+  /// mesh U) and rebuild the transfer *without* recalibrating — models a
+  /// configuration upset in the field.
+  void perturb_phase(std::size_t index, double delta_rad);
+
+  /// Time to push one vector (symbol period limited by the slower of the
+  /// modulator and ADC; propagation latency is sub-symbol at these sizes).
+  [[nodiscard]] double symbol_time_s() const;
+  /// Static power drawn while holding the current weights [W].
+  [[nodiscard]] double holding_power_w() const;
+  /// Time to (re)program the weights once [s].
+  [[nodiscard]] double program_time_s() const;
+
+  [[nodiscard]] const MvmCounters& counters() const { return counters_; }
+  [[nodiscard]] const MvmConfig& config() const { return cfg_; }
+  /// Fidelity achieved by the last set_matrix (physical vs target shape).
+  [[nodiscard]] double programming_fidelity() const { return fidelity_; }
+  /// Worst-path optical insertion loss of the full path [dB].
+  [[nodiscard]] double insertion_loss_db() const;
+
+ private:
+  void refresh_transfer();
+  void rebuild_physical_transfer();
+
+  MvmConfig cfg_;
+  lina::Rng rng_;
+  lina::CMat weight_;
+  lina::SvdResult svd_;
+  std::unique_ptr<mesh::PhysicalMesh> mesh_u_;
+  std::unique_ptr<mesh::PhysicalMesh> mesh_v_;
+  std::vector<double> attenuation_;  ///< per-port sigma / sigma_max
+  double sigma_max_ = 1.0;
+  lina::CMat t_phys_;
+  lina::cplx gain_{1.0, 0.0};
+  double fidelity_ = 0.0;
+  phot::Modulator modulator_;
+  phot::CoherentReceiver receiver_;
+  phot::CwLaser laser_;
+  MvmCounters counters_;
+};
+
+}  // namespace aspen::core

@@ -1,0 +1,122 @@
+#include "core/noise_analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "lina/random.hpp"
+#include "photonics/units.hpp"
+
+namespace aspen::core {
+
+namespace {
+constexpr double kTwoSqrt3 = 3.4641016151377545870548926830117;
+}
+
+double rms_to_bits(double relative_rms) {
+  if (relative_rms <= 0.0) return 24.0;  // beyond any converter modelled here
+  // A b-bit quantizer over the signed range [-1, 1] (span 2) has
+  // rms = 2 / (2^b sqrt 12); inverting gives b = log2(1 / (rms sqrt 3)).
+  return std::log2(1.0 / (relative_rms * std::sqrt(3.0)));
+}
+
+double NoiseContribution::bits_alone() const { return rms_to_bits(relative_rms); }
+
+const NoiseContribution& PrecisionBudget::dominant() const {
+  if (contributions.empty())
+    throw std::logic_error("PrecisionBudget: empty budget");
+  const NoiseContribution* best = &contributions.front();
+  for (const auto& c : contributions)
+    if (c.relative_rms > best->relative_rms) best = &c;
+  return *best;
+}
+
+PrecisionBudget analytic_precision_budget(const MvmConfig& cfg) {
+  PrecisionBudget b;
+  const auto add = [&](std::string name, double rms) {
+    b.contributions.push_back({std::move(name), rms});
+  };
+
+  // Input DAC: uniform quantizer over [-1, 1].
+  {
+    const double step = 2.0 / static_cast<double>((1 << cfg.modulator.dac_bits) - 1);
+    add("input DAC", step / kTwoSqrt3);
+  }
+  // Modulator extinction floor: values |x| < f clamp to f. For uniform
+  // inputs the clamping error has rms f^{3/2} / sqrt(3).
+  {
+    const double f = std::pow(10.0, -cfg.modulator.extinction_ratio_db / 20.0);
+    add("modulator extinction", std::pow(f, 1.5) / std::sqrt(3.0));
+  }
+  // Laser RIN: common-mode multiplicative amplitude error.
+  {
+    const double rel_var =
+        std::pow(10.0, cfg.laser.rin_db_per_hz / 10.0) * cfg.laser.bandwidth_hz;
+    // Field scales with sqrt(power): amplitude rms is half the power rms.
+    add("laser RIN", 0.5 * std::sqrt(rel_var));
+  }
+  // Shot noise per quadrature at the coherent receiver, referenced to the
+  // per-port full-scale photocurrent.
+  {
+    const double p_fs = cfg.laser.power_w / static_cast<double>(cfg.ports);
+    const double i_fs = cfg.detector.responsivity_a_per_w * p_fs;
+    const double shot = std::sqrt(2.0 * phot::kElementaryCharge *
+                                  (0.5 * i_fs + cfg.detector.dark_current_a) *
+                                  cfg.detector.bandwidth_hz);
+    add("shot noise", i_fs > 0.0 ? shot / i_fs : 0.0);
+  }
+  // Receiver thermal (TIA) noise.
+  {
+    const double p_fs = cfg.laser.power_w / static_cast<double>(cfg.ports);
+    const double i_fs = cfg.detector.responsivity_a_per_w * p_fs;
+    const double th = cfg.detector.thermal_noise_a_per_sqrt_hz *
+                      std::sqrt(cfg.detector.bandwidth_hz);
+    add("thermal noise", i_fs > 0.0 ? th / i_fs : 0.0);
+  }
+  // Output ADC.
+  {
+    const double step = 2.0 / static_cast<double>((1 << cfg.adc.bits) - 1);
+    add("output ADC", step / kTwoSqrt3);
+  }
+  // Non-volatile weight impairments (first-order estimates): phase-level
+  // quantization and the state-dependent absorption swing exp(-2 pi /FOM).
+  if (cfg.weights == WeightTechnology::kPcm) {
+    const phot::PcmCell cell(cfg.pcm);
+    const double dphi =
+        cell.max_phase() / static_cast<double>(cell.levels() - 1);
+    add("PCM phase quantization", dphi / kTwoSqrt3);
+    const double swing = 1.0 - cell.amplitude_of_fraction(1.0);
+    add("PCM loss-phase coupling", swing / kTwoSqrt3);
+  }
+
+  double ss = 0.0;
+  for (const auto& c : b.contributions) ss += c.relative_rms * c.relative_rms;
+  b.total_relative_rms = std::sqrt(ss);
+  b.enob = rms_to_bits(b.total_relative_rms);
+  return b;
+}
+
+double empirical_enob(const MvmConfig& cfg, int trials, std::uint64_t seed) {
+  MvmEngine engine(cfg);
+  lina::Rng rng(seed);
+  engine.set_matrix(lina::haar_unitary(cfg.ports, rng));
+
+  double err_ss = 0.0;
+  std::size_t count = 0;
+  for (int t = 0; t < trials; ++t) {
+    const lina::CVec x = lina::random_state(cfg.ports, rng);
+    const lina::CVec exact = engine.matrix() * x;
+    const lina::CVec got = engine.multiply(x);
+    for (std::size_t i = 0; i < exact.size(); ++i) {
+      err_ss += std::norm(got[i] - exact[i]);
+      ++count;
+    }
+  }
+  if (count == 0) return 0.0;
+  // Reference the per-element error to the modulator full scale (1.0),
+  // matching the convention of the analytic budget.
+  const double rel_rms = std::sqrt(err_ss / static_cast<double>(count));
+  return rms_to_bits(rel_rms);
+}
+
+}  // namespace aspen::core

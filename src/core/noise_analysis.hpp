@@ -1,0 +1,51 @@
+#pragma once
+/// \file noise_analysis.hpp
+/// End-to-end precision budget of the photonic MVM engine: how many
+/// effective bits survive the analog path, and which impairment is the
+/// binding constraint. The paper's platform pitch (>50 GHz modulators and
+/// detectors, §2) only pays off if the precision budget closes — this
+/// module quantifies it, both analytically (per-impairment contributions)
+/// and empirically (Monte-Carlo ENOB of an engine configuration).
+
+#include <string>
+#include <vector>
+
+#include "core/mvm_engine.hpp"
+
+namespace aspen::core {
+
+/// One contribution to the output error budget, expressed as an RMS error
+/// relative to the full-scale output (so bits = -log2(2*sqrt(3)*rms)).
+struct NoiseContribution {
+  std::string source;
+  double relative_rms = 0.0;
+  /// Effective bits this impairment alone would allow.
+  [[nodiscard]] double bits_alone() const;
+};
+
+struct PrecisionBudget {
+  std::vector<NoiseContribution> contributions;
+  double total_relative_rms = 0.0;  ///< root-sum-square of contributions
+  double enob = 0.0;                ///< effective number of bits end-to-end
+
+  /// The single impairment with the largest contribution.
+  [[nodiscard]] const NoiseContribution& dominant() const;
+};
+
+/// Analytic budget for a configuration: DAC quantization, modulator
+/// extinction floor, laser RIN, shot noise, receiver thermal noise, ADC
+/// quantization, and (for PCM weights) weight quantization — each mapped
+/// to an equivalent relative-RMS output error for unit-scale operands.
+[[nodiscard]] PrecisionBudget analytic_precision_budget(const MvmConfig& cfg);
+
+/// Empirical ENOB: run `trials` random MVMs through a physical engine and
+/// compare with the exact product; returns effective bits from the
+/// measured relative RMS error.
+[[nodiscard]] double empirical_enob(const MvmConfig& cfg, int trials = 64,
+                                    std::uint64_t seed = 0xE0Bu);
+
+/// Convert a relative RMS error (vs full scale) into effective bits of a
+/// uniform quantizer with the same RMS: bits = log2(1 / (rms * 2 sqrt 3)).
+[[nodiscard]] double rms_to_bits(double relative_rms);
+
+}  // namespace aspen::core

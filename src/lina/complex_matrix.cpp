@@ -1,0 +1,234 @@
+#include "lina/complex_matrix.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace aspen::lina {
+
+double CVec::norm() const { return std::sqrt(power()); }
+
+double CVec::power() const {
+  double s = 0.0;
+  for (const auto& x : data_) s += std::norm(x);
+  return s;
+}
+
+CVec CVec::conj() const {
+  CVec out(size());
+  for (std::size_t i = 0; i < size(); ++i) out[i] = std::conj(data_[i]);
+  return out;
+}
+
+void CVec::scale(cplx s) {
+  for (auto& x : data_) x *= s;
+}
+
+cplx dot(const CVec& a, const CVec& b) {
+  if (a.size() != b.size()) throw std::invalid_argument("dot: size mismatch");
+  cplx s{0.0, 0.0};
+  for (std::size_t i = 0; i < a.size(); ++i) s += std::conj(a[i]) * b[i];
+  return s;
+}
+
+double max_abs_diff(const CVec& a, const CVec& b) {
+  if (a.size() != b.size())
+    throw std::invalid_argument("max_abs_diff: size mismatch");
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    m = std::max(m, std::abs(a[i] - b[i]));
+  return m;
+}
+
+CMat CMat::identity(std::size_t n) {
+  CMat m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = cplx{1.0, 0.0};
+  return m;
+}
+
+CMat CMat::diag(const std::vector<cplx>& d) {
+  CMat m(d.size(), d.size());
+  for (std::size_t i = 0; i < d.size(); ++i) m(i, i) = d[i];
+  return m;
+}
+
+CMat CMat::operator*(const CMat& rhs) const {
+  if (cols_ != rhs.rows_) throw std::invalid_argument("matmul: shape mismatch");
+  CMat out(rows_, rhs.cols_);
+  // ikj loop order keeps the inner loop contiguous in both operands.
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const cplx aik = (*this)(i, k);
+      if (aik == cplx{0.0, 0.0}) continue;
+      const cplx* rhs_row = &rhs.data_[k * rhs.cols_];
+      cplx* out_row = &out.data_[i * rhs.cols_];
+      for (std::size_t j = 0; j < rhs.cols_; ++j) out_row[j] += aik * rhs_row[j];
+    }
+  }
+  return out;
+}
+
+CVec CMat::operator*(const CVec& v) const {
+  if (cols_ != v.size()) throw std::invalid_argument("matvec: shape mismatch");
+  CVec out(rows_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    cplx s{0.0, 0.0};
+    const cplx* row = &data_[i * cols_];
+    for (std::size_t j = 0; j < cols_; ++j) s += row[j] * v[j];
+    out[i] = s;
+  }
+  return out;
+}
+
+CMat CMat::operator+(const CMat& rhs) const {
+  if (rows_ != rhs.rows_ || cols_ != rhs.cols_)
+    throw std::invalid_argument("add: shape mismatch");
+  CMat out(rows_, cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i)
+    out.data_[i] = data_[i] + rhs.data_[i];
+  return out;
+}
+
+CMat CMat::operator-(const CMat& rhs) const {
+  if (rows_ != rhs.rows_ || cols_ != rhs.cols_)
+    throw std::invalid_argument("sub: shape mismatch");
+  CMat out(rows_, cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i)
+    out.data_[i] = data_[i] - rhs.data_[i];
+  return out;
+}
+
+CMat CMat::scaled(cplx s) const {
+  CMat out(rows_, cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] = data_[i] * s;
+  return out;
+}
+
+CMat CMat::adjoint() const {
+  CMat out(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c)
+      out(c, r) = std::conj((*this)(r, c));
+  return out;
+}
+
+CMat CMat::transpose() const {
+  CMat out(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) out(c, r) = (*this)(r, c);
+  return out;
+}
+
+CMat CMat::conj() const {
+  CMat out(rows_, cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i)
+    out.data_[i] = std::conj(data_[i]);
+  return out;
+}
+
+double CMat::frobenius() const {
+  double s = 0.0;
+  for (const auto& x : data_) s += std::norm(x);
+  return std::sqrt(s);
+}
+
+cplx CMat::trace() const {
+  cplx s{0.0, 0.0};
+  const std::size_t n = std::min(rows_, cols_);
+  for (std::size_t i = 0; i < n; ++i) s += (*this)(i, i);
+  return s;
+}
+
+double CMat::max_abs() const {
+  double m = 0.0;
+  for (const auto& x : data_) m = std::max(m, std::abs(x));
+  return m;
+}
+
+double CMat::max_abs_diff(const CMat& rhs) const {
+  if (rows_ != rhs.rows_ || cols_ != rhs.cols_)
+    throw std::invalid_argument("max_abs_diff: shape mismatch");
+  double m = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i)
+    m = std::max(m, std::abs(data_[i] - rhs.data_[i]));
+  return m;
+}
+
+bool CMat::is_unitary(double tol) const {
+  if (rows_ != cols_) return false;
+  const CMat p = (*this) * adjoint();
+  return p.max_abs_diff(identity(rows_)) < tol;
+}
+
+double CMat::fidelity(const CMat& a, const CMat& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols())
+    throw std::invalid_argument("fidelity: shape mismatch");
+  const cplx t = (a.adjoint() * b).trace();
+  const double na = a.frobenius();
+  const double nb = b.frobenius();
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return std::abs(t) / (na * nb);
+}
+
+double CMat::rel_error(const CMat& a, const CMat& b) {
+  const double na = a.frobenius();
+  if (na == 0.0) return (a.max_abs_diff(b) == 0.0) ? 0.0 : 1.0;
+  return (a - b).frobenius() / na;
+}
+
+CVec CMat::col(std::size_t c) const {
+  CVec v(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) v[r] = (*this)(r, c);
+  return v;
+}
+
+CVec CMat::row(std::size_t r) const {
+  CVec v(cols_);
+  for (std::size_t c = 0; c < cols_; ++c) v[c] = (*this)(r, c);
+  return v;
+}
+
+void CMat::set_col(std::size_t c, const CVec& v) {
+  assert(v.size() == rows_);
+  for (std::size_t r = 0; r < rows_; ++r) (*this)(r, c) = v[r];
+}
+
+std::string CMat::to_string(int precision) const {
+  std::ostringstream os;
+  os.precision(precision);
+  os << std::fixed;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    os << "[ ";
+    for (std::size_t c = 0; c < cols_; ++c) {
+      const cplx& x = (*this)(r, c);
+      os << x.real() << (x.imag() >= 0 ? "+" : "") << x.imag() << "i ";
+    }
+    os << "]\n";
+  }
+  return os.str();
+}
+
+void apply_two_mode_left(CMat& m, std::size_t i, std::size_t j, cplx a,
+                         cplx b, cplx c, cplx d) {
+  assert(i < m.rows() && j < m.rows() && i != j);
+  for (std::size_t col = 0; col < m.cols(); ++col) {
+    const cplx mi = m(i, col);
+    const cplx mj = m(j, col);
+    m(i, col) = a * mi + b * mj;
+    m(j, col) = c * mi + d * mj;
+  }
+}
+
+void apply_two_mode_right(CMat& m, std::size_t i, std::size_t j, cplx a,
+                          cplx b, cplx c, cplx d) {
+  assert(i < m.cols() && j < m.cols() && i != j);
+  for (std::size_t row = 0; row < m.rows(); ++row) {
+    const cplx mi = m(row, i);
+    const cplx mj = m(row, j);
+    m(row, i) = mi * a + mj * c;
+    m(row, j) = mi * b + mj * d;
+  }
+}
+
+}  // namespace aspen::lina

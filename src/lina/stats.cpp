@@ -1,0 +1,65 @@
+#include "lina/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace aspen::lina {
+
+void Stats::add(double x) {
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  if (n_ == 1) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  samples_.push_back(x);
+}
+
+double Stats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double Stats::stddev() const { return std::sqrt(variance()); }
+
+double Stats::percentile(double p) const {
+  if (samples_.empty()) return 0.0;
+  if (p < 0.0 || p > 100.0)
+    throw std::invalid_argument("percentile: p outside [0, 100]");
+  std::vector<double> s = samples_;
+  std::sort(s.begin(), s.end());
+  const double idx = (p / 100.0) * static_cast<double>(s.size() - 1);
+  const auto lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, s.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return s[lo] * (1.0 - frac) + s[hi] * frac;
+}
+
+LinearFit linear_fit(const std::vector<double>& x,
+                     const std::vector<double>& y) {
+  if (x.size() != y.size() || x.size() < 2)
+    throw std::invalid_argument("linear_fit: need >= 2 paired samples");
+  const auto n = static_cast<double>(x.size());
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  if (std::abs(denom) < 1e-300)
+    throw std::invalid_argument("linear_fit: degenerate x");
+  LinearFit f;
+  f.slope = (n * sxy - sx * sy) / denom;
+  f.intercept = (sy - f.slope * sx) / n;
+  return f;
+}
+
+}  // namespace aspen::lina

@@ -1,0 +1,47 @@
+#pragma once
+/// \file stats.hpp
+/// Streaming statistics used by every experiment harness: Welford
+/// mean/variance, min/max, and retained-sample percentiles.
+
+#include <cstddef>
+#include <vector>
+
+namespace aspen::lina {
+
+/// Streaming accumulator. `add` is O(1); percentiles retain samples.
+class Stats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+  /// Linear-interpolated percentile, p in [0, 100]. Sorts retained samples.
+  [[nodiscard]] double percentile(double p) const;
+  [[nodiscard]] double median() const { return percentile(50.0); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+  std::vector<double> samples_;
+};
+
+/// Ordinary least squares fit y = a + b x. Returns {a, b}.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+};
+[[nodiscard]] LinearFit linear_fit(const std::vector<double>& x,
+                                   const std::vector<double>& y);
+
+}  // namespace aspen::lina

@@ -1,0 +1,146 @@
+#include "lina/svd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace aspen::lina {
+
+CMat SvdResult::reconstruct() const {
+  CMat s = CMat::diag(std::vector<cplx>(sigma.size()));
+  for (std::size_t i = 0; i < sigma.size(); ++i) s(i, i) = cplx{sigma[i], 0.0};
+  return u * s * v.adjoint();
+}
+
+double SvdResult::sigma_max() const {
+  return sigma.empty() ? 0.0 : sigma.front();
+}
+
+namespace {
+
+/// One-sided Jacobi for m x n with m >= n: orthogonalizes the columns of a
+/// working copy of M by right-multiplying complex plane rotations, which
+/// accumulate into V; at convergence column norms are the singular values
+/// and normalized columns form U.
+SvdResult svd_tall(const CMat& m_in, double tol) {
+  const std::size_t rows = m_in.rows();
+  const std::size_t n = m_in.cols();
+  CMat a = m_in;
+  CMat v = CMat::identity(n);
+
+  const double fro = a.frobenius();
+  const double off_tol = tol * std::max(fro, 1e-300);
+  constexpr int kMaxSweeps = 64;
+
+  for (int sweep = 0; sweep < kMaxSweeps; ++sweep) {
+    bool converged = true;
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        // Gram entries for the (p, q) column pair.
+        double alpha = 0.0;
+        double beta = 0.0;
+        cplx gamma{0.0, 0.0};
+        for (std::size_t r = 0; r < rows; ++r) {
+          const cplx ap = a(r, p);
+          const cplx aq = a(r, q);
+          alpha += std::norm(ap);
+          beta += std::norm(aq);
+          gamma += std::conj(ap) * aq;
+        }
+        const double g = std::abs(gamma);
+        if (g <= off_tol * 1e-4 || g <= tol * std::sqrt(alpha * beta)) continue;
+        converged = false;
+
+        // Phase-align column q so the effective Gram off-diagonal is real
+        // positive, then apply a classical real Jacobi rotation.
+        const cplx phase = gamma / g;  // e^{i psi}
+        const double zeta = (beta - alpha) / (2.0 * g);
+        const double t =
+            (zeta >= 0.0 ? 1.0 : -1.0) /
+            (std::abs(zeta) + std::sqrt(1.0 + zeta * zeta));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = c * t;
+
+        // Columns: [ap', aq'] = [ap, aq] * G,
+        // G = [[c, s*phase], [-s*conj(phase), c]].
+        for (std::size_t r = 0; r < rows; ++r) {
+          const cplx ap = a(r, p);
+          const cplx aq = a(r, q);
+          a(r, p) = c * ap - s * std::conj(phase) * aq;
+          a(r, q) = s * phase * ap + c * aq;
+        }
+        for (std::size_t r = 0; r < n; ++r) {
+          const cplx vp = v(r, p);
+          const cplx vq = v(r, q);
+          v(r, p) = c * vp - s * std::conj(phase) * vq;
+          v(r, q) = s * phase * vp + c * vq;
+        }
+      }
+    }
+    if (converged) break;
+  }
+
+  // Column norms -> singular values; sort descending.
+  std::vector<double> sig(n);
+  for (std::size_t c = 0; c < n; ++c) sig[c] = a.col(c).norm();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t x, std::size_t y) { return sig[x] > sig[y]; });
+
+  SvdResult out;
+  out.sigma.resize(n);
+  out.u = CMat(rows, n);
+  out.v = CMat(n, n);
+  const double rank_tol = 1e-13 * std::max(1.0, fro);
+  std::vector<CVec> ucols;
+  ucols.reserve(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t src = order[k];
+    out.sigma[k] = sig[src];
+    out.v.set_col(k, v.col(src));
+    CVec uc = a.col(src);
+    if (sig[src] > rank_tol) {
+      for (std::size_t r = 0; r < rows; ++r) uc[r] /= sig[src];
+    } else {
+      // Null column: complete an orthonormal basis so U keeps orthonormal
+      // columns even for rank-deficient input.
+      out.sigma[k] = 0.0;
+      for (std::size_t seed = 0; seed < rows; ++seed) {
+        CVec cand(rows);
+        cand[seed] = cplx{1.0, 0.0};
+        for (const CVec& prev : ucols) {
+          const cplx proj = dot(prev, cand);
+          for (std::size_t r = 0; r < rows; ++r) cand[r] -= proj * prev[r];
+        }
+        if (cand.norm() > 0.5) {
+          const double nv = cand.norm();
+          for (std::size_t r = 0; r < rows; ++r) cand[r] /= nv;
+          uc = cand;
+          break;
+        }
+      }
+    }
+    ucols.push_back(uc);
+    out.u.set_col(k, uc);
+  }
+  return out;
+}
+
+}  // namespace
+
+SvdResult svd(const CMat& m, double tol) {
+  if (m.rows() == 0 || m.cols() == 0)
+    throw std::invalid_argument("svd: empty matrix");
+  if (m.rows() >= m.cols()) return svd_tall(m, tol);
+  // Wide matrix: M = U S V^dagger  <=>  M^dagger = V S U^dagger.
+  SvdResult t = svd_tall(m.adjoint(), tol);
+  SvdResult out;
+  out.u = t.v;
+  out.v = t.u;
+  out.sigma = std::move(t.sigma);
+  return out;
+}
+
+}  // namespace aspen::lina

@@ -1,0 +1,36 @@
+#pragma once
+/// \file svd.hpp
+/// Complex singular value decomposition via one-sided Jacobi.
+///
+/// The photonic MVM engine programs an arbitrary matrix M onto hardware as
+/// M = U . diag(sigma) . V^dagger — V^dagger and U map onto two unitary MZI
+/// meshes and sigma onto a column of MZI attenuators (Section 4 of the
+/// paper; standard since Miller, Photon. Res. 1, 1 (2013)). One-sided
+/// Jacobi is chosen because it is simple to verify, unconditionally stable
+/// for the small dense matrices used here, and delivers singular vectors
+/// orthonormal to machine precision.
+
+#include "lina/complex_matrix.hpp"
+
+namespace aspen::lina {
+
+/// Result of `svd(M)`: M = u * diag(sigma) * v.adjoint().
+/// For an m x n input with m >= n: u is m x n with orthonormal columns,
+/// v is n x n unitary, sigma is length n, non-negative, descending.
+/// For m < n the roles are derived from the decomposition of M^dagger.
+struct SvdResult {
+  CMat u;
+  std::vector<double> sigma;
+  CMat v;
+
+  /// Reassemble u * diag(sigma) * v^dagger (for tests / diagnostics).
+  [[nodiscard]] CMat reconstruct() const;
+  /// Largest singular value (0 for empty sigma).
+  [[nodiscard]] double sigma_max() const;
+};
+
+/// One-sided Jacobi SVD. Throws std::invalid_argument on empty input.
+/// `tol` bounds the relative off-diagonal residual at convergence.
+[[nodiscard]] SvdResult svd(const CMat& m, double tol = 1e-12);
+
+}  // namespace aspen::lina

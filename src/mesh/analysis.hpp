@@ -1,0 +1,60 @@
+#pragma once
+/// \file analysis.hpp
+/// Architecture-level evaluation helpers shared by the experiment
+/// harness (E1 expressivity, E2 robustness) and the tests: program an
+/// architecture for a target (analytically where a decomposition exists,
+/// by in-situ optimization otherwise), and sweep fidelity statistics over
+/// Haar-random target ensembles.
+
+#include <string>
+
+#include "lina/stats.hpp"
+#include "mesh/calibrate.hpp"
+#include "mesh/decompose.hpp"
+#include "mesh/physical_mesh.hpp"
+
+namespace aspen::mesh {
+
+/// The mesh architectures evaluated in the paper (Section 4).
+enum class Architecture {
+  kReck,         ///< triangular, depth 2N-3
+  kClements,     ///< rectangular, depth N (Fig. 2b)
+  kClementsSym,  ///< Clements with Bell-Walmsley compacted (symmetric) cells
+  kFldzhyan,     ///< parallel-PS error-tolerant design (optimization-programmed)
+  kRedundant,    ///< Clements + 2 extra columns (calibration headroom)
+};
+
+[[nodiscard]] std::string to_string(Architecture a);
+
+/// Construct the layout of an architecture at size n.
+[[nodiscard]] MeshLayout make_layout(Architecture a, std::size_t n,
+                                     std::size_t extra_columns = 2);
+
+/// True when the architecture has a closed-form decomposition.
+[[nodiscard]] bool has_analytic_decomposition(Architecture a);
+
+/// Program `mesh` to realize unitary `target`:
+///  - analytic architectures: run the decomposition, then fold any
+///    diagonal residue into the output phase screen;
+///  - Fldzhyan: calibrate an ideal twin first (universality programming),
+///    then copy the phases onto the physical die.
+/// If `recalibrate` is set, afterwards run in-situ calibration on the
+/// physical die itself (error-aware programming).
+/// Returns the fidelity between target and the physical transfer.
+double program_for_target(Architecture a, PhysicalMesh& mesh,
+                          const lina::CMat& target, bool recalibrate,
+                          const CalibrationOptions& opt = {});
+
+/// Fidelity statistics of an (architecture, size, error-model) point over
+/// `samples` Haar targets.
+struct EnsembleResult {
+  lina::Stats fidelity;
+  lina::Stats infidelity;  ///< 1 - F, the usual expressivity metric
+};
+EnsembleResult haar_ensemble_fidelity(Architecture a, std::size_t n,
+                                      const MeshErrorModel& errors,
+                                      int samples, bool recalibrate,
+                                      std::uint64_t seed = 7,
+                                      const CalibrationOptions& opt = {});
+
+}  // namespace aspen::mesh

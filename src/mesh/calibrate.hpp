@@ -1,0 +1,46 @@
+#pragma once
+/// \file calibrate.hpp
+/// In-situ programming of an imperfect physical mesh against a target
+/// matrix ("self-configuration"). Exploits the fact that any single
+/// programmable phase phi enters the chip's transfer *affinely* in
+/// e^{i phi}, so the complex overlap tr(T^dagger M) = c0 + c1 e^{i phi}
+/// can be identified from two evaluations and maximized in closed form —
+/// the simulation-domain analogue of sinusoidal heater dithering used to
+/// configure real meshes.
+///
+/// Powers the "with recalibration" series of experiment E2 and the only
+/// programming path for the Fldzhyan architecture (which has no analytic
+/// decomposition).
+
+#include "lina/complex_matrix.hpp"
+#include "lina/random.hpp"
+#include "mesh/physical_mesh.hpp"
+
+namespace aspen::mesh {
+
+struct CalibrationOptions {
+  int max_sweeps = 40;
+  /// Stop when a full sweep improves fidelity by less than this.
+  double tol = 1e-10;
+  /// Number of random restarts (best kept); > 1 helps non-convex
+  /// architectures (Fldzhyan) escape poor basins.
+  int restarts = 1;
+  std::uint64_t seed = 0xca11b8ULL;
+};
+
+struct CalibrationReport {
+  double initial_fidelity = 0.0;
+  double final_fidelity = 0.0;
+  int sweeps_used = 0;
+  int restarts_used = 0;
+};
+
+/// Coordinate-ascent calibration of `mesh` toward `target` (N x N).
+/// Maximizes lina::CMat::fidelity(target, mesh.transfer()). If the mesh
+/// has PCM quantization enabled it is calibrated in the continuous domain
+/// and requantized on exit (program-then-quantize). The mesh is left
+/// programmed with the best phases found.
+CalibrationReport calibrate(PhysicalMesh& mesh, const lina::CMat& target,
+                            const CalibrationOptions& opt = {});
+
+}  // namespace aspen::mesh

@@ -1,0 +1,41 @@
+#pragma once
+/// \file decompose.hpp
+/// Analytic unitary-to-phases decompositions for MZI meshes:
+///  - Reck et al. (PRL 73, 58 (1994)): triangular mesh, depth 2N-3.
+///  - Clements et al. (Optica 3, 1460 (2016)): rectangular mesh, depth N —
+///    the architecture of paper Fig. 2b.
+///
+/// Both return a `ProgrammedMesh`: a MeshLayout (geometry) plus the flat
+/// phase vector that programs it. `ideal_transfer` of a PhysicalMesh with
+/// a zero error model rebuilds the target to ~1e-10.
+
+#include <vector>
+
+#include "lina/complex_matrix.hpp"
+#include "mesh/layout.hpp"
+
+namespace aspen::mesh {
+
+/// A mesh geometry together with phase values for every programmable
+/// phase (ordering: columns in order; within an MziColumn cells by top
+/// port, theta then phi; PhaseColumns by port index).
+struct ProgrammedMesh {
+  MeshLayout layout;
+  std::vector<double> phases;
+};
+
+/// Clements rectangular decomposition of a unitary `u` (throws
+/// std::invalid_argument if `u` is not square or not unitary to 1e-8).
+/// The returned layout equals `clements_layout(n, style)`.
+[[nodiscard]] ProgrammedMesh clements_decompose(
+    const lina::CMat& u, phot::MziStyle style = phot::MziStyle::kStandard);
+
+/// Reck triangular decomposition; layout equals `reck_layout(n, style)`.
+[[nodiscard]] ProgrammedMesh reck_decompose(
+    const lina::CMat& u, phot::MziStyle style = phot::MziStyle::kStandard);
+
+/// Ideal (error-free, lossless) transfer matrix realized by a programmed
+/// mesh — the mathematical reference for fidelity metrics.
+[[nodiscard]] lina::CMat ideal_transfer(const ProgrammedMesh& pm);
+
+}  // namespace aspen::mesh

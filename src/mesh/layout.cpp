@@ -1,0 +1,168 @@
+#include "mesh/layout.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace aspen::mesh {
+
+std::size_t MeshLayout::phase_count() const {
+  std::size_t n = 0;
+  for (const auto& col : columns) {
+    if (std::holds_alternative<MziColumn>(col))
+      n += 2 * std::get<MziColumn>(col).top_ports.size();
+    else if (std::holds_alternative<PhaseColumn>(col))
+      n += ports;
+  }
+  return n;
+}
+
+std::size_t MeshLayout::mzi_count() const {
+  std::size_t n = 0;
+  for (const auto& col : columns)
+    if (std::holds_alternative<MziColumn>(col))
+      n += std::get<MziColumn>(col).top_ports.size();
+  return n;
+}
+
+std::size_t MeshLayout::coupler_count() const {
+  std::size_t n = 0;
+  for (const auto& col : columns) {
+    if (std::holds_alternative<MziColumn>(col))
+      n += 2 * std::get<MziColumn>(col).top_ports.size();
+    else if (std::holds_alternative<CouplerColumn>(col))
+      n += std::get<CouplerColumn>(col).top_ports.size();
+  }
+  return n;
+}
+
+namespace {
+void check_ports(const std::vector<int>& tops, std::size_t ports,
+                 const char* what) {
+  int prev = -2;
+  for (int t : tops) {
+    if (t < 0 || static_cast<std::size_t>(t) + 1 >= ports)
+      throw std::invalid_argument(std::string(what) + ": port out of range");
+    if (t - prev < 2)
+      throw std::invalid_argument(std::string(what) +
+                                  ": overlapping or unsorted cells");
+    prev = t;
+  }
+}
+}  // namespace
+
+void MeshLayout::validate() const {
+  if (ports < 2) throw std::invalid_argument("MeshLayout: ports < 2");
+  for (const auto& col : columns) {
+    if (std::holds_alternative<MziColumn>(col))
+      check_ports(std::get<MziColumn>(col).top_ports, ports, "MziColumn");
+    else if (std::holds_alternative<CouplerColumn>(col))
+      check_ports(std::get<CouplerColumn>(col).top_ports, ports,
+                  "CouplerColumn");
+  }
+}
+
+std::size_t ColumnPacker::add_cell(int top_port, std::size_t ports) {
+  if (top_port < 0 || static_cast<std::size_t>(top_port) + 1 >= ports)
+    throw std::invalid_argument("ColumnPacker: top_port out of range");
+  if (port_busy_until_.size() < ports) port_busy_until_.resize(ports, 0);
+  const auto p = static_cast<std::size_t>(top_port);
+  const std::size_t col =
+      std::max(port_busy_until_[p], port_busy_until_[p + 1]);
+  if (cols_.size() <= col) cols_.resize(col + 1);
+  cols_[col].push_back(top_port);
+  port_busy_until_[p] = col + 1;
+  port_busy_until_[p + 1] = col + 1;
+  cell_columns_.push_back(col);
+  return col;
+}
+
+std::vector<MziColumn> ColumnPacker::columns() const {
+  std::vector<MziColumn> out;
+  out.reserve(cols_.size());
+  for (const auto& c : cols_) {
+    MziColumn mc;
+    mc.top_ports = c;
+    std::sort(mc.top_ports.begin(), mc.top_ports.end());
+    out.push_back(std::move(mc));
+  }
+  return out;
+}
+
+MeshLayout clements_layout(std::size_t n, phot::MziStyle style) {
+  if (n < 2) throw std::invalid_argument("clements_layout: n < 2");
+  MeshLayout m;
+  m.ports = n;
+  m.style = style;
+  m.name = "clements-" + std::to_string(n) +
+           (style == phot::MziStyle::kSymmetric ? "-sym" : "");
+  for (std::size_t c = 0; c < n; ++c) {
+    MziColumn col;
+    for (std::size_t t = (c % 2 == 0) ? 0 : 1; t + 1 < n; t += 2)
+      col.top_ports.push_back(static_cast<int>(t));
+    if (!col.top_ports.empty()) m.columns.emplace_back(std::move(col));
+  }
+  m.columns.emplace_back(PhaseColumn{});
+  m.validate();
+  return m;
+}
+
+MeshLayout reck_layout(std::size_t n, phot::MziStyle style) {
+  if (n < 2) throw std::invalid_argument("reck_layout: n < 2");
+  MeshLayout m;
+  m.ports = n;
+  m.style = style;
+  m.name = "reck-" + std::to_string(n) +
+           (style == phot::MziStyle::kSymmetric ? "-sym" : "");
+  // Encounter order of the Reck nulling scheme: rows from the bottom up;
+  // within a row, pairs (0,1), (1,2), ... The packer shapes the triangle.
+  ColumnPacker packer;
+  for (std::size_t row = n - 1; row >= 1; --row) {
+    for (std::size_t j = 0; j < row; ++j)
+      packer.add_cell(static_cast<int>(j), n);
+    if (row == 1) break;
+  }
+  for (auto& col : packer.columns()) m.columns.emplace_back(std::move(col));
+  m.columns.emplace_back(PhaseColumn{});
+  m.validate();
+  return m;
+}
+
+MeshLayout fldzhyan_layout(std::size_t n, std::size_t phase_layers) {
+  if (n < 2) throw std::invalid_argument("fldzhyan_layout: n < 2");
+  if (phase_layers == 0) phase_layers = n + 1;
+  MeshLayout m;
+  m.ports = n;
+  m.style = phot::MziStyle::kSymmetric;  // parallel-PS flavour
+  m.name = "fldzhyan-" + std::to_string(n) + "x" +
+           std::to_string(phase_layers);
+  for (std::size_t k = 0; k < phase_layers; ++k) {
+    m.columns.emplace_back(PhaseColumn{});
+    if (k + 1 == phase_layers) break;
+    CouplerColumn cc;
+    for (std::size_t t = (k % 2 == 0) ? 0 : 1; t + 1 < n; t += 2)
+      cc.top_ports.push_back(static_cast<int>(t));
+    m.columns.emplace_back(std::move(cc));
+  }
+  m.validate();
+  return m;
+}
+
+MeshLayout redundant_layout(std::size_t n, std::size_t extra_columns,
+                            phot::MziStyle style) {
+  MeshLayout m = clements_layout(n, style);
+  m.name = "redundant-" + std::to_string(n) + "+" +
+           std::to_string(extra_columns);
+  // Insert extra alternating-offset MZI columns before the output phases.
+  std::vector<Column> extras;
+  for (std::size_t c = 0; c < extra_columns; ++c) {
+    MziColumn col;
+    for (std::size_t t = (c % 2 == 0) ? 0 : 1; t + 1 < n; t += 2)
+      col.top_ports.push_back(static_cast<int>(t));
+    if (!col.top_ports.empty()) extras.emplace_back(std::move(col));
+  }
+  m.columns.insert(m.columns.end() - 1, extras.begin(), extras.end());
+  m.validate();
+  return m;
+}
+
+}  // namespace aspen::mesh

@@ -1,0 +1,115 @@
+#pragma once
+/// \file layout.hpp
+/// Structural description of multiport-interferometer architectures
+/// (paper Section 4). A mesh is an ordered list of *columns*; each column
+/// is one of:
+///   - MziColumn:     programmable MZI cells (2 phases each) at given rows,
+///   - PhaseColumn:   one programmable phase shifter on every waveguide,
+///   - CouplerColumn: fixed 50:50 couplers (no phases) at given rows.
+///
+/// This IR expresses every architecture the paper names:
+///   - Reck triangle and Clements rectangle       (MziColumns + output PhaseColumn)
+///   - Bell & Walmsley compacted cells            (MziStyle::kSymmetric)
+///   - Fldzhyan parallel-PS / error-tolerant mesh (PhaseColumns interleaved
+///     with fixed CouplerColumns; programmed by optimization)
+///   - redundant rectangles (extra columns)       (the "newly proposed
+///     architectures" extension hook)
+
+#include <cstddef>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "photonics/mzi.hpp"
+
+namespace aspen::mesh {
+
+/// Programmable MZI cells; `top_ports` lists the upper row of each cell,
+/// strictly increasing, with gaps >= 2 (cells must not overlap).
+struct MziColumn {
+  std::vector<int> top_ports;
+};
+
+/// A full column of per-waveguide phase shifters (N phases).
+struct PhaseColumn {};
+
+/// Fixed 50:50 couplers (no programmable phase) at the given rows.
+struct CouplerColumn {
+  std::vector<int> top_ports;
+};
+
+using Column = std::variant<MziColumn, PhaseColumn, CouplerColumn>;
+
+/// A mesh architecture: geometry only, no phase values.
+struct MeshLayout {
+  std::size_t ports = 0;
+  phot::MziStyle style = phot::MziStyle::kStandard;
+  std::string name;
+  std::vector<Column> columns;
+
+  /// Total number of programmable phases (2 per MZI cell, `ports` per
+  /// phase column). This is the length of a phase vector for this layout.
+  [[nodiscard]] std::size_t phase_count() const;
+  /// Number of MZI cells across all MZI columns.
+  [[nodiscard]] std::size_t mzi_count() const;
+  /// Number of fixed directional couplers (2 per MZI + coupler columns).
+  [[nodiscard]] std::size_t coupler_count() const;
+  /// Optical depth in columns.
+  [[nodiscard]] std::size_t depth() const { return columns.size(); }
+
+  /// Validate structural invariants (port ranges, non-overlap);
+  /// throws std::invalid_argument on violation.
+  void validate() const;
+};
+
+/// Greedy column packer: turns an ordered list of two-mode cell positions
+/// (encounter order — the order the optical signal meets them) into the
+/// minimal column arrangement that preserves ordering constraints between
+/// cells sharing a waveguide. Used by the analytic decompositions to
+/// build Reck triangles / Clements rectangles, and exposed for custom
+/// architectures.
+class ColumnPacker {
+ public:
+  /// Add a cell with the given top port; returns (column, slot-in-order).
+  std::size_t add_cell(int top_port, std::size_t ports);
+  /// Final columns (top ports sorted within each column).
+  [[nodiscard]] std::vector<MziColumn> columns() const;
+  /// For each added cell (in add order): its column index.
+  [[nodiscard]] const std::vector<std::size_t>& cell_columns() const {
+    return cell_columns_;
+  }
+
+ private:
+  std::vector<std::vector<int>> cols_;
+  std::vector<std::size_t> port_busy_until_;  ///< next free column per port
+  std::vector<std::size_t> cell_columns_;
+};
+
+/// Clements rectangle for `n` ports: n MZI columns on alternating offsets
+/// plus a trailing output PhaseColumn; n(n-1)/2 cells, depth n+1 columns.
+[[nodiscard]] MeshLayout clements_layout(std::size_t n,
+                                         phot::MziStyle style =
+                                             phot::MziStyle::kStandard);
+
+/// Reck triangle for `n` ports (depth 2n-3 MZI columns + output phases).
+[[nodiscard]] MeshLayout reck_layout(std::size_t n,
+                                     phot::MziStyle style =
+                                         phot::MziStyle::kStandard);
+
+/// Fldzhyan-style error-tolerant mesh: `phase_layers` full PhaseColumns
+/// interleaved with fixed alternating-offset CouplerColumns. The published
+/// universal design uses phase_layers = n + 1 (default when 0 is passed).
+/// No analytic decomposition exists; program it with mesh::calibrate.
+[[nodiscard]] MeshLayout fldzhyan_layout(std::size_t n,
+                                         std::size_t phase_layers = 0);
+
+/// Clements rectangle with `extra_columns` additional MZI columns —
+/// redundancy that in-situ calibration can exploit under fabrication
+/// error (the paper's "newly proposed multiport interferometer
+/// architectures" hook).
+[[nodiscard]] MeshLayout redundant_layout(std::size_t n,
+                                          std::size_t extra_columns,
+                                          phot::MziStyle style =
+                                              phot::MziStyle::kStandard);
+
+}  // namespace aspen::mesh

@@ -1,0 +1,200 @@
+#include "mesh/physical_mesh.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "photonics/mzi.hpp"
+#include "photonics/units.hpp"
+
+namespace aspen::mesh {
+
+using lina::CMat;
+using lina::CVec;
+using lina::cplx;
+
+PhysicalMesh::PhysicalMesh(MeshLayout layout, MeshErrorModel errors)
+    : layout_(std::move(layout)), errors_(errors) {
+  layout_.validate();
+  phases_.assign(layout_.phase_count(), 0.0);
+  phase_offset_.assign(layout_.phase_count(), 0.0);
+  coupler_delta_.assign(layout_.coupler_count(), 0.0);
+  lina::Rng rng(errors_.seed);
+  if (errors_.phase_sigma > 0.0)
+    for (auto& o : phase_offset_) o = rng.gaussian(0.0, errors_.phase_sigma);
+  if (errors_.coupler_sigma > 0.0)
+    for (auto& d : coupler_delta_) d = rng.gaussian(0.0, errors_.coupler_sigma);
+}
+
+void PhysicalMesh::program(const std::vector<double>& phases) {
+  if (phases.size() != phases_.size())
+    throw std::invalid_argument("PhysicalMesh::program: phase count mismatch");
+  phases_ = phases;
+}
+
+void PhysicalMesh::enable_pcm(const phot::PcmCellConfig& cfg) {
+  pcm_.emplace(cfg);
+  pcm_cfg_ = cfg;
+}
+
+void PhysicalMesh::disable_pcm() {
+  pcm_.reset();
+  pcm_cfg_.reset();
+}
+
+CMat PhysicalMesh::evaluate(bool with_errors) const {
+  const std::size_t n = layout_.ports;
+  CMat m = CMat::identity(n);
+  const bool use_pcm = with_errors && pcm_.has_value();
+  const bool use_xtalk =
+      with_errors && !use_pcm && errors_.thermal_crosstalk > 0.0;
+
+  const double routing_amp =
+      with_errors
+          ? phot::loss_db_to_amplitude(errors_.routing_loss_db_per_column)
+          : 1.0;
+  // DWDM carrier detuning rotates every coupler systematically.
+  const double disp_delta =
+      with_errors ? detuning_nm_ * errors_.coupler_dispersion_rad_per_nm : 0.0;
+
+  // Matched-dummy attenuation for ports a column does not cover.
+  const auto apply_uncovered = [&](CMat& mat, const std::vector<int>& tops,
+                                   double amp) {
+    if (amp == 1.0) return;
+    std::vector<bool> covered(n, false);
+    for (const int t : tops) {
+      covered[static_cast<std::size_t>(t)] = true;
+      covered[static_cast<std::size_t>(t) + 1] = true;
+    }
+    for (std::size_t p = 0; p < n; ++p) {
+      if (covered[p]) continue;
+      for (std::size_t col = 0; col < n; ++col) mat(p, col) *= amp;
+    }
+  };
+
+  std::size_t phase_i = 0;
+  std::size_t coup_i = 0;
+  for (const auto& column : layout_.columns) {
+    if (std::holds_alternative<MziColumn>(column)) {
+      const auto& tops = std::get<MziColumn>(column).top_ports;
+      const std::size_t ncells = tops.size();
+      // Programmed phases of this column (for thermal crosstalk).
+      std::vector<double> th(ncells), ph(ncells);
+      for (std::size_t c = 0; c < ncells; ++c) {
+        th[c] = phases_[phase_i + 2 * c];
+        ph[c] = phases_[phase_i + 2 * c + 1];
+      }
+      for (std::size_t c = 0; c < ncells; ++c) {
+        double theta = th[c];
+        double phi = ph[c];
+        if (use_xtalk) {
+          // Heaters leak into vertically adjacent cells of the column.
+          const double xt = errors_.thermal_crosstalk;
+          if (c > 0) {
+            theta += xt * th[c - 1];
+            phi += xt * ph[c - 1];
+          }
+          if (c + 1 < ncells) {
+            theta += xt * th[c + 1];
+            phi += xt * ph[c + 1];
+          }
+        }
+        phot::MziImperfections imp;
+        if (with_errors) {
+          imp.coupler1_delta_eta = coupler_delta_[coup_i + 2 * c] + disp_delta;
+          imp.coupler2_delta_eta =
+              coupler_delta_[coup_i + 2 * c + 1] + disp_delta;
+          imp.theta_error = phase_offset_[phase_i + 2 * c];
+          imp.phi_error = phase_offset_[phase_i + 2 * c + 1];
+          imp.coupler_loss_db = errors_.coupler_loss_db;
+          imp.ps_loss_db = errors_.ps_loss_db;
+        } else {
+          imp.coupler_loss_db = 0.0;
+          imp.ps_loss_db = 0.0;
+        }
+        if (use_pcm) {
+          const auto qt = pcm_->quantize(theta, drift_time_s_);
+          const auto qp = pcm_->quantize(phi, drift_time_s_);
+          theta = qt.phase;
+          phi = qp.phase;
+          imp.theta_arm_amplitude = qt.amplitude;
+          imp.phi_arm_amplitude = qp.amplitude;
+        }
+        const phot::Transfer2 t =
+            phot::mzi_physical(theta, phi, imp, layout_.style);
+        const auto port = static_cast<std::size_t>(tops[c]);
+        lina::apply_two_mode_left(m, port, port + 1, t.a, t.b, t.c, t.d);
+      }
+      if (with_errors && errors_.balanced_dummies) {
+        const double dummy_amp = phot::loss_db_to_amplitude(
+            2.0 * errors_.coupler_loss_db + 2.0 * errors_.ps_loss_db);
+        apply_uncovered(m, tops, dummy_amp);
+      }
+      phase_i += 2 * ncells;
+      coup_i += 2 * ncells;
+    } else if (std::holds_alternative<PhaseColumn>(column)) {
+      const double ps_amp =
+          with_errors ? phot::loss_db_to_amplitude(errors_.ps_loss_db) : 1.0;
+      for (std::size_t p = 0; p < n; ++p) {
+        double phi = phases_[phase_i];
+        double amp = ps_amp;
+        if (use_pcm) {
+          const auto q = pcm_->quantize(phi, drift_time_s_);
+          phi = q.phase;
+          amp *= q.amplitude;
+        }
+        if (with_errors) phi += phase_offset_[phase_i];
+        const cplx f = std::polar(amp, phi);
+        for (std::size_t col = 0; col < n; ++col) m(p, col) *= f;
+        ++phase_i;
+      }
+    } else {
+      const auto& tops = std::get<CouplerColumn>(column).top_ports;
+      for (const int t : tops) {
+        phot::DirectionalCoupler dc;
+        dc.delta_eta =
+            with_errors ? coupler_delta_[coup_i] + disp_delta : 0.0;
+        dc.insertion_loss_db = with_errors ? errors_.coupler_loss_db : 0.0;
+        const phot::Transfer2 tr = dc.transfer();
+        const auto port = static_cast<std::size_t>(t);
+        lina::apply_two_mode_left(m, port, port + 1, tr.a, tr.b, tr.c, tr.d);
+        ++coup_i;
+      }
+      if (with_errors && errors_.balanced_dummies) {
+        apply_uncovered(m, tops,
+                        phot::loss_db_to_amplitude(errors_.coupler_loss_db));
+      }
+    }
+    if (routing_amp != 1.0) {
+      for (auto& x : m.raw()) x *= routing_amp;
+    }
+  }
+  return m;
+}
+
+CMat PhysicalMesh::transfer() const { return evaluate(true); }
+CMat PhysicalMesh::ideal_transfer() const { return evaluate(false); }
+
+CVec PhysicalMesh::propagate(const CVec& in) const { return transfer() * in; }
+
+double PhysicalMesh::nominal_insertion_loss_db() const {
+  double total = 0.0;
+  for (const auto& column : layout_.columns) {
+    total += errors_.routing_loss_db_per_column;
+    if (std::holds_alternative<MziColumn>(column))
+      total += 2.0 * errors_.coupler_loss_db + 2.0 * errors_.ps_loss_db;
+    else if (std::holds_alternative<PhaseColumn>(column))
+      total += errors_.ps_loss_db;
+    else
+      total += errors_.coupler_loss_db;
+  }
+  return total;
+}
+
+CMat PhysicalMesh::ideal_of(const MeshLayout& layout,
+                            const std::vector<double>& phases) {
+  PhysicalMesh mesh(layout, MeshErrorModel{});
+  mesh.program(phases);
+  return mesh.ideal_transfer();
+}
+
+}  // namespace aspen::mesh

@@ -1,0 +1,117 @@
+#pragma once
+/// \file physical_mesh.hpp
+/// Physical simulation of a programmable interferometer mesh: composes
+/// per-device transfer matrices (couplers, MZIs, phase shifters) with
+/// fabrication errors, loss, thermal crosstalk and optional PCM phase
+/// quantization + drift into the N x N complex transfer of the chip.
+///
+/// Fabrication imperfections are sampled once at construction (a "die");
+/// reprogramming the phases models the heaters / PCM writes on that die.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "lina/complex_matrix.hpp"
+#include "lina/random.hpp"
+#include "mesh/layout.hpp"
+#include "photonics/pcm_cell.hpp"
+
+namespace aspen::mesh {
+
+/// Stochastic + deterministic imperfection parameters of a fabricated die.
+struct MeshErrorModel {
+  /// Std-dev of the directional-coupler coupling-angle error [rad].
+  /// (0.05 rad ~= 2.5 % power-splitting imbalance.)
+  double coupler_sigma = 0.0;
+  /// Std-dev of static per-phase-shifter fabrication phase offsets [rad].
+  double phase_sigma = 0.0;
+  /// Deterministic per-component losses.
+  double coupler_loss_db = 0.05;
+  double ps_loss_db = 0.05;
+  double routing_loss_db_per_column = 0.02;
+  /// Fraction of a thermo-optic heater's phase leaking into each
+  /// vertically adjacent cell in the same column (0 disables). Not
+  /// applied when PCM phases are enabled: holding a PCM state draws no
+  /// heater power, which is precisely the paper's argument for
+  /// non-volatile weights.
+  double thermal_crosstalk = 0.0;
+  /// Real meshes place matched dummy devices on waveguides a column does
+  /// not cover, so every path sees the same nominal loss; without them
+  /// edge ports attenuate less and the transfer shape is distorted.
+  bool balanced_dummies = true;
+  /// Directional-coupler dispersion: systematic coupling-angle shift per
+  /// nm of wavelength detuning from the design wavelength. Meshes are
+  /// designed at one wavelength; DWDM channels ride detuned carriers and
+  /// see a uniformly rotated splitting ratio (~0.006 rad/nm for typical
+  /// SOI couplers). Activated via set_wavelength_detuning_nm().
+  double coupler_dispersion_rad_per_nm = 0.006;
+  /// Die seed for the sampled imperfections.
+  std::uint64_t seed = 0xd1e5eedULL;
+};
+
+class PhysicalMesh {
+ public:
+  PhysicalMesh(MeshLayout layout, MeshErrorModel errors = {});
+
+  /// Program all phases (length must equal layout().phase_count()).
+  void program(const std::vector<double>& phases);
+  [[nodiscard]] std::size_t phase_count() const { return phases_.size(); }
+  [[nodiscard]] double phase(std::size_t i) const { return phases_.at(i); }
+  void set_phase(std::size_t i, double v) { phases_.at(i) = v; }
+  [[nodiscard]] const std::vector<double>& phases() const { return phases_; }
+
+  /// Route all programmable phases through a PCM phase map (multilevel
+  /// quantization + level-dependent absorption) instead of ideal
+  /// thermo-optic holding.
+  void enable_pcm(const phot::PcmCellConfig& cfg);
+  void disable_pcm();
+  [[nodiscard]] bool pcm_enabled() const { return pcm_.has_value(); }
+  /// Config of the enabled PCM map (std::nullopt when disabled).
+  [[nodiscard]] const std::optional<phot::PcmCellConfig>& pcm_config() const {
+    return pcm_cfg_;
+  }
+  /// Time since the PCM weights were written (drift model input).
+  void set_drift_time(double seconds) { drift_time_s_ = seconds; }
+
+  /// Carrier detuning from the design wavelength (DWDM channels); shifts
+  /// every coupler by dispersion * detuning.
+  void set_wavelength_detuning_nm(double nm) { detuning_nm_ = nm; }
+  [[nodiscard]] double wavelength_detuning_nm() const { return detuning_nm_; }
+
+  /// Full N x N transfer with all imperfections.
+  [[nodiscard]] lina::CMat transfer() const;
+  /// Transfer of the same phases on a perfect, lossless die.
+  [[nodiscard]] lina::CMat ideal_transfer() const;
+  /// Propagate one input field vector.
+  [[nodiscard]] lina::CVec propagate(const lina::CVec& in) const;
+
+  /// Worst-path nominal insertion loss from the deterministic per-device
+  /// losses (excludes PCM state-dependent absorption).
+  [[nodiscard]] double nominal_insertion_loss_db() const;
+
+  [[nodiscard]] const MeshLayout& layout() const { return layout_; }
+  [[nodiscard]] const MeshErrorModel& errors() const { return errors_; }
+
+  /// Evaluate a layout + phases on a perfect die (static convenience used
+  /// by the decomposition tests).
+  [[nodiscard]] static lina::CMat ideal_of(const MeshLayout& layout,
+                                           const std::vector<double>& phases);
+
+ private:
+  [[nodiscard]] lina::CMat evaluate(bool with_errors) const;
+
+  MeshLayout layout_;
+  MeshErrorModel errors_;
+  std::vector<double> phases_;
+
+  // Sampled die imperfections, indexed per phase slot / coupler instance.
+  std::vector<double> phase_offset_;     ///< per programmable phase
+  std::vector<double> coupler_delta_;    ///< per coupler instance
+  std::optional<phot::PcmPhaseMap> pcm_;
+  std::optional<phot::PcmCellConfig> pcm_cfg_;
+  double drift_time_s_ = 0.0;
+  double detuning_nm_ = 0.0;
+};
+
+}  // namespace aspen::mesh

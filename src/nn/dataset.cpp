@@ -1,0 +1,209 @@
+#include "nn/dataset.hpp"
+
+#include <algorithm>
+#include <array>
+#include <numeric>
+#include <stdexcept>
+#include <string_view>
+
+namespace aspen::nn {
+
+namespace {
+
+// 8x8 glyph templates, '#' = ink. Hand-drawn to be mutually
+// distinguishable under noise and jitter.
+constexpr std::array<std::string_view, 10> kGlyphs = {
+    // 0
+    "..####.."
+    ".#....#."
+    ".#....#."
+    ".#....#."
+    ".#....#."
+    ".#....#."
+    ".#....#."
+    "..####..",
+    // 1
+    "...##..."
+    "..###..."
+    "...##..."
+    "...##..."
+    "...##..."
+    "...##..."
+    "...##..."
+    ".######.",
+    // 2
+    "..####.."
+    ".#....#."
+    "......#."
+    ".....#.."
+    "....#..."
+    "...#...."
+    "..#....."
+    ".######.",
+    // 3
+    ".#####.."
+    "......#."
+    "......#."
+    "..####.."
+    "......#."
+    "......#."
+    "......#."
+    ".#####..",
+    // 4
+    "....##.."
+    "...#.#.."
+    "..#..#.."
+    ".#...#.."
+    ".######."
+    ".....#.."
+    ".....#.."
+    ".....#..",
+    // 5
+    ".######."
+    ".#......"
+    ".#......"
+    ".#####.."
+    "......#."
+    "......#."
+    ".#....#."
+    "..####..",
+    // 6
+    "..####.."
+    ".#......"
+    ".#......"
+    ".#####.."
+    ".#....#."
+    ".#....#."
+    ".#....#."
+    "..####..",
+    // 7
+    ".######."
+    "......#."
+    ".....#.."
+    "....#..."
+    "....#..."
+    "...#...."
+    "...#...."
+    "...#....",
+    // 8
+    "..####.."
+    ".#....#."
+    ".#....#."
+    "..####.."
+    ".#....#."
+    ".#....#."
+    ".#....#."
+    "..####..",
+    // 9
+    "..####.."
+    ".#....#."
+    ".#....#."
+    "..#####."
+    "......#."
+    "......#."
+    "......#."
+    "..####..",
+};
+
+double glyph_pixel(int digit, int row, int col) {
+  if (row < 0 || row >= 8 || col < 0 || col >= 8) return 0.0;
+  return kGlyphs[static_cast<std::size_t>(digit)]
+                [static_cast<std::size_t>(row * 8 + col)] == '#'
+             ? 1.0
+             : 0.0;
+}
+
+}  // namespace
+
+Dataset make_digits(int per_class, lina::Rng& rng, double noise_sigma,
+                    bool jitter) {
+  if (per_class <= 0) throw std::invalid_argument("make_digits: per_class");
+  Dataset d;
+  d.classes = 10;
+  const int total = 10 * per_class;
+  d.inputs = Matrix(64, static_cast<std::size_t>(total));
+  d.labels.resize(static_cast<std::size_t>(total));
+  int s = 0;
+  for (int digit = 0; digit < 10; ++digit) {
+    for (int k = 0; k < per_class; ++k, ++s) {
+      const int dr =
+          jitter ? static_cast<int>(rng.uniform_int(0, 2)) - 1 : 0;
+      const int dc =
+          jitter ? static_cast<int>(rng.uniform_int(0, 2)) - 1 : 0;
+      for (int r = 0; r < 8; ++r) {
+        for (int c = 0; c < 8; ++c) {
+          double v = glyph_pixel(digit, r - dr, c - dc);
+          v += rng.gaussian(0.0, noise_sigma);
+          d.inputs(static_cast<std::size_t>(r * 8 + c),
+                   static_cast<std::size_t>(s)) = std::clamp(v, 0.0, 1.0);
+        }
+      }
+      d.labels[static_cast<std::size_t>(s)] = digit;
+    }
+  }
+  return d;
+}
+
+Dataset make_blobs(int classes, int dims, int per_class, lina::Rng& rng,
+                   double spread) {
+  if (classes < 2 || dims < 1 || per_class < 1)
+    throw std::invalid_argument("make_blobs: bad shape");
+  Dataset d;
+  d.classes = classes;
+  const int total = classes * per_class;
+  d.inputs = Matrix(static_cast<std::size_t>(dims),
+                    static_cast<std::size_t>(total));
+  d.labels.resize(static_cast<std::size_t>(total));
+  // Deterministic cluster centers in [0.2, 0.8]^dims.
+  std::vector<std::vector<double>> centers(static_cast<std::size_t>(classes));
+  lina::Rng center_rng(20240623);  // fixed: centers independent of `rng`
+  for (auto& c : centers) {
+    c.resize(static_cast<std::size_t>(dims));
+    for (auto& x : c) x = center_rng.uniform(0.2, 0.8);
+  }
+  int s = 0;
+  for (int k = 0; k < classes; ++k) {
+    for (int i = 0; i < per_class; ++i, ++s) {
+      for (int f = 0; f < dims; ++f) {
+        const double v = centers[static_cast<std::size_t>(k)]
+                                [static_cast<std::size_t>(f)] +
+                         rng.gaussian(0.0, spread);
+        d.inputs(static_cast<std::size_t>(f), static_cast<std::size_t>(s)) =
+            std::clamp(v, 0.0, 1.0);
+      }
+      d.labels[static_cast<std::size_t>(s)] = k;
+    }
+  }
+  return d;
+}
+
+Split split_dataset(const Dataset& d, double train_fraction, lina::Rng& rng) {
+  if (train_fraction <= 0.0 || train_fraction >= 1.0)
+    throw std::invalid_argument("split_dataset: fraction out of (0,1)");
+  std::vector<std::size_t> idx(d.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  std::shuffle(idx.begin(), idx.end(), rng.engine());
+  const auto n_train =
+      static_cast<std::size_t>(train_fraction * static_cast<double>(d.size()));
+
+  const auto take = [&](std::size_t from, std::size_t count) {
+    Dataset out;
+    out.classes = d.classes;
+    out.inputs = Matrix(d.features(), count);
+    out.labels.resize(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::size_t src = idx[from + i];
+      for (std::size_t f = 0; f < d.features(); ++f)
+        out.inputs(f, i) = d.inputs(f, src);
+      out.labels[i] = d.labels[src];
+    }
+    return out;
+  };
+
+  Split s;
+  s.train = take(0, n_train);
+  s.test = take(n_train, d.size() - n_train);
+  return s;
+}
+
+}  // namespace aspen::nn

@@ -1,0 +1,49 @@
+#pragma once
+/// \file dataset.hpp
+/// Deterministic synthetic datasets for the edge-inference experiments.
+/// The paper's workloads are edge-AI classification tasks; the repository
+/// stays hermetic (no downloads) by generating them procedurally:
+///
+///  - `digits`: 8x8 glyph bitmaps of '0'..'9' with per-pixel Gaussian
+///    noise and +-1 pixel jitter — a stand-in with the same shape as
+///    sklearn's classic digits task (64-dim input, 10 classes).
+///  - `blobs`: K Gaussian clusters in D dimensions — a linearly separable
+///    sanity workload.
+
+#include <cstdint>
+#include <vector>
+
+#include "lina/random.hpp"
+#include "nn/tensor.hpp"
+
+namespace aspen::nn {
+
+struct Dataset {
+  Matrix inputs;            ///< (features x samples), values in [0, 1]
+  std::vector<int> labels;  ///< size = samples
+  int classes = 0;
+
+  [[nodiscard]] std::size_t size() const { return labels.size(); }
+  [[nodiscard]] std::size_t features() const { return inputs.rows(); }
+};
+
+/// Synthetic 8x8 digits: `per_class` samples per digit class.
+/// `noise_sigma` is the per-pixel Gaussian noise; `jitter` enables +-1
+/// pixel random shifts.
+[[nodiscard]] Dataset make_digits(int per_class, lina::Rng& rng,
+                                  double noise_sigma = 0.15,
+                                  bool jitter = true);
+
+/// Gaussian blobs: `classes` isotropic clusters in `dims` dimensions.
+[[nodiscard]] Dataset make_blobs(int classes, int dims, int per_class,
+                                 lina::Rng& rng, double spread = 0.15);
+
+/// Deterministic train/test split (shuffles with the provided RNG).
+struct Split {
+  Dataset train;
+  Dataset test;
+};
+[[nodiscard]] Split split_dataset(const Dataset& d, double train_fraction,
+                                  lina::Rng& rng);
+
+}  // namespace aspen::nn

@@ -1,0 +1,133 @@
+#include "nn/mlp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace aspen::nn {
+
+Mlp::Mlp(const std::vector<std::size_t>& sizes, lina::Rng& rng) {
+  if (sizes.size() < 2) throw std::invalid_argument("Mlp: need >= 2 sizes");
+  for (std::size_t l = 0; l + 1 < sizes.size(); ++l) {
+    DenseLayer layer;
+    layer.weights = Matrix(sizes[l + 1], sizes[l]);
+    layer.bias.assign(sizes[l + 1], 0.0);
+    const double he = std::sqrt(2.0 / static_cast<double>(sizes[l]));
+    for (auto& w : layer.weights.raw()) w = rng.gaussian(0.0, he);
+    layers_.push_back(std::move(layer));
+  }
+}
+
+Matrix Mlp::forward(const Matrix& x) const {
+  Matrix act = x;
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    Matrix z = layers_[l].weights * act;
+    for (std::size_t r = 0; r < z.rows(); ++r)
+      for (std::size_t c = 0; c < z.cols(); ++c) z(r, c) += layers_[l].bias[r];
+    act = (l + 1 < layers_.size()) ? relu(z) : z;
+  }
+  return act;
+}
+
+std::vector<int> Mlp::predict(const Matrix& x) const {
+  const Matrix logits = forward(x);
+  std::vector<int> out(logits.cols());
+  for (std::size_t c = 0; c < logits.cols(); ++c) {
+    std::size_t best = 0;
+    for (std::size_t r = 1; r < logits.rows(); ++r)
+      if (logits(r, c) > logits(best, c)) best = r;
+    out[c] = static_cast<int>(best);
+  }
+  return out;
+}
+
+double Mlp::accuracy(const Dataset& d) const {
+  const std::vector<int> pred = predict(d.inputs);
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < pred.size(); ++i)
+    if (pred[i] == d.labels[i]) ++hits;
+  return d.size() ? static_cast<double>(hits) / static_cast<double>(d.size())
+                  : 0.0;
+}
+
+double Mlp::train_epoch(const Dataset& d, double learning_rate,
+                        int batch_size, lina::Rng& rng) {
+  std::vector<std::size_t> order(d.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::shuffle(order.begin(), order.end(), rng.engine());
+
+  double loss_sum = 0.0;
+  std::size_t batches = 0;
+  for (std::size_t start = 0; start < d.size();
+       start += static_cast<std::size_t>(batch_size)) {
+    const std::size_t count =
+        std::min(static_cast<std::size_t>(batch_size), d.size() - start);
+    Matrix x(d.features(), count);
+    std::vector<int> y(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::size_t src = order[start + i];
+      for (std::size_t f = 0; f < d.features(); ++f)
+        x(f, i) = d.inputs(f, src);
+      y[i] = d.labels[src];
+    }
+
+    // Forward pass, caching activations and pre-activations.
+    std::vector<Matrix> acts{x};
+    std::vector<Matrix> pres;
+    for (std::size_t l = 0; l < layers_.size(); ++l) {
+      Matrix z = layers_[l].weights * acts.back();
+      for (std::size_t r = 0; r < z.rows(); ++r)
+        for (std::size_t c = 0; c < z.cols(); ++c)
+          z(r, c) += layers_[l].bias[r];
+      pres.push_back(z);
+      acts.push_back(l + 1 < layers_.size() ? relu(z) : z);
+    }
+
+    // Softmax cross-entropy gradient at the output.
+    Matrix probs = softmax_columns(acts.back());
+    double loss = 0.0;
+    for (std::size_t c = 0; c < count; ++c)
+      loss -= std::log(
+          std::max(probs(static_cast<std::size_t>(y[c]), c), 1e-12));
+    loss_sum += loss / static_cast<double>(count);
+    ++batches;
+
+    Matrix delta = probs;  // dL/dz for the final layer
+    for (std::size_t c = 0; c < count; ++c)
+      delta(static_cast<std::size_t>(y[c]), c) -= 1.0;
+    delta = delta.scaled(1.0 / static_cast<double>(count));
+
+    // Backward pass.
+    for (std::size_t l = layers_.size(); l-- > 0;) {
+      const Matrix grad_w = delta * acts[l].transpose();
+      std::vector<double> grad_b(layers_[l].bias.size(), 0.0);
+      for (std::size_t r = 0; r < delta.rows(); ++r)
+        for (std::size_t c = 0; c < delta.cols(); ++c)
+          grad_b[r] += delta(r, c);
+
+      if (l > 0) {
+        Matrix next = layers_[l].weights.transpose() * delta;
+        const Matrix mask = relu_grad(pres[l - 1]);
+        for (std::size_t i = 0; i < next.raw().size(); ++i)
+          next.raw()[i] *= mask.raw()[i];
+        delta = std::move(next);
+      }
+
+      for (std::size_t i = 0; i < grad_w.raw().size(); ++i)
+        layers_[l].weights.raw()[i] -= learning_rate * grad_w.raw()[i];
+      for (std::size_t r = 0; r < grad_b.size(); ++r)
+        layers_[l].bias[r] -= learning_rate * grad_b[r];
+    }
+  }
+  return batches ? loss_sum / static_cast<double>(batches) : 0.0;
+}
+
+double Mlp::train(const Dataset& d, int epochs, double learning_rate,
+                  int batch_size, lina::Rng& rng) {
+  for (int e = 0; e < epochs; ++e)
+    (void)train_epoch(d, learning_rate, batch_size, rng);
+  return accuracy(d);
+}
+
+}  // namespace aspen::nn

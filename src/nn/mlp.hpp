@@ -1,0 +1,50 @@
+#pragma once
+/// \file mlp.hpp
+/// A small multilayer perceptron with softmax cross-entropy SGD training.
+/// This is the workload generator for the accelerator experiments: train
+/// digitally, then map the trained dense layers onto the photonic MVM
+/// core (nn/photonic_backend.hpp) and measure accuracy under device
+/// physics (PCM levels, drift, noise — experiment E3).
+
+#include <vector>
+
+#include "lina/random.hpp"
+#include "nn/dataset.hpp"
+#include "nn/tensor.hpp"
+
+namespace aspen::nn {
+
+struct DenseLayer {
+  Matrix weights;             ///< (out x in)
+  std::vector<double> bias;   ///< size out
+};
+
+class Mlp {
+ public:
+  /// Layer sizes, e.g. {64, 32, 10}. Weights are He-initialized.
+  Mlp(const std::vector<std::size_t>& sizes, lina::Rng& rng);
+
+  /// Logits for a batch (features x samples).
+  [[nodiscard]] Matrix forward(const Matrix& x) const;
+  /// Class predictions for a batch.
+  [[nodiscard]] std::vector<int> predict(const Matrix& x) const;
+  /// Fraction of correctly classified samples.
+  [[nodiscard]] double accuracy(const Dataset& d) const;
+
+  /// One SGD epoch over the dataset; returns mean cross-entropy loss.
+  double train_epoch(const Dataset& d, double learning_rate, int batch_size,
+                     lina::Rng& rng);
+  /// Full training loop; returns final training accuracy.
+  double train(const Dataset& d, int epochs, double learning_rate,
+               int batch_size, lina::Rng& rng);
+
+  [[nodiscard]] const std::vector<DenseLayer>& layers() const {
+    return layers_;
+  }
+  [[nodiscard]] std::vector<DenseLayer>& layers() { return layers_; }
+
+ private:
+  std::vector<DenseLayer> layers_;
+};
+
+}  // namespace aspen::nn

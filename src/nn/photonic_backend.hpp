@@ -1,0 +1,57 @@
+#pragma once
+/// \file photonic_backend.hpp
+/// Executes trained MLP inference on the photonic accelerator: each dense
+/// layer's weight matrix is tiled into N x N blocks mapped onto the MVM
+/// core; partial products are accumulated digitally (the standard
+/// analog-tile + digital-reduction arrangement). This is the bridge that
+/// turns accelerator physics (PCM levels, drift, shot noise, crosstalk)
+/// into end-task accuracy numbers for experiment E3.
+
+#include <memory>
+
+#include "core/gemm_core.hpp"
+#include "nn/mlp.hpp"
+
+namespace aspen::nn {
+
+struct PhotonicBackendConfig {
+  core::GemmConfig gemm;  ///< engine config; gemm.mvm.ports = tile size
+};
+
+/// Aggregated cost of everything executed on the backend so far.
+struct BackendTotals {
+  std::uint64_t tiles_programmed = 0;
+  std::uint64_t macs = 0;
+  double optical_time_s = 0.0;
+  double energy_j = 0.0;
+};
+
+class PhotonicBackend {
+ public:
+  explicit PhotonicBackend(PhotonicBackendConfig cfg);
+
+  /// C = W (out x in) * X (in x batch) via photonic tiles. Inputs are
+  /// normalized to the modulator range internally and rescaled back.
+  [[nodiscard]] Matrix matmul(const Matrix& w, const Matrix& x);
+
+  /// Full MLP forward pass with all dense products on the accelerator
+  /// (bias add and ReLU are digital, as in a host-attached deployment).
+  [[nodiscard]] Matrix forward(const Mlp& mlp, const Matrix& x);
+
+  /// Classification accuracy of the photonic-executed model.
+  [[nodiscard]] double accuracy(const Mlp& mlp, const Dataset& d);
+
+  /// Age all PCM weights by `seconds` (drift study hook).
+  void set_pcm_drift_time(double seconds);
+
+  [[nodiscard]] const BackendTotals& totals() const { return totals_; }
+  [[nodiscard]] core::GemmCore& core() { return gemm_; }
+
+ private:
+  PhotonicBackendConfig cfg_;
+  core::GemmCore gemm_;
+  BackendTotals totals_;
+  double drift_time_s_ = 0.0;
+};
+
+}  // namespace aspen::nn

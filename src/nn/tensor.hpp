@@ -1,0 +1,55 @@
+#pragma once
+/// \file tensor.hpp
+/// Minimal real dense matrix for the NN workload substrate. Row-major,
+/// shaped (rows x cols); biases and activations are handled explicitly by
+/// the layers to keep this type small and obvious.
+
+#include <cstddef>
+#include <vector>
+
+namespace aspen::nn {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+
+  [[nodiscard]] double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] const double& operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  [[nodiscard]] Matrix operator*(const Matrix& rhs) const;
+  [[nodiscard]] Matrix operator+(const Matrix& rhs) const;
+  [[nodiscard]] Matrix operator-(const Matrix& rhs) const;
+  [[nodiscard]] Matrix transpose() const;
+  [[nodiscard]] Matrix scaled(double s) const;
+  [[nodiscard]] double max_abs() const;
+
+  /// Column view / assignment helpers.
+  [[nodiscard]] std::vector<double> col(std::size_t c) const;
+  void set_col(std::size_t c, const std::vector<double>& v);
+
+  [[nodiscard]] std::vector<double>& raw() { return data_; }
+  [[nodiscard]] const std::vector<double>& raw() const { return data_; }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Element-wise ReLU (in place variant returns reference semantics copy).
+[[nodiscard]] Matrix relu(const Matrix& m);
+/// Derivative mask of ReLU at pre-activation values.
+[[nodiscard]] Matrix relu_grad(const Matrix& pre);
+/// Column-wise softmax (columns are samples).
+[[nodiscard]] Matrix softmax_columns(const Matrix& logits);
+
+}  // namespace aspen::nn

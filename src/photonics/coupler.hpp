@@ -1,0 +1,46 @@
+#pragma once
+/// \file coupler.hpp
+/// 2x2 optical elements as transfer matrices: the directional coupler and
+/// the `Transfer2` type every mesh cell is composed from.
+
+#include <complex>
+
+#include "photonics/units.hpp"
+
+namespace aspen::phot {
+
+using cplx = std::complex<double>;
+
+/// A 2x2 complex transfer matrix [[a, b], [c, d]] acting on a pair of
+/// waveguide modes. Lightweight value type for hot mesh loops.
+struct Transfer2 {
+  cplx a{1.0, 0.0}, b{0.0, 0.0}, c{0.0, 0.0}, d{1.0, 0.0};
+
+  [[nodiscard]] static Transfer2 identity() { return {}; }
+  /// Phase screen diag(e^{i top}, e^{i bottom}).
+  [[nodiscard]] static Transfer2 phases(double top, double bottom);
+
+  /// Matrix product: (*this) * rhs (rhs acts first on the signal).
+  [[nodiscard]] Transfer2 operator*(const Transfer2& rhs) const;
+  /// Scale all entries by a (loss) factor.
+  [[nodiscard]] Transfer2 scaled(cplx s) const;
+  /// Max entry-wise |difference|.
+  [[nodiscard]] double max_abs_diff(const Transfer2& rhs) const;
+  /// True when T T^dagger ~= I within tol.
+  [[nodiscard]] bool is_unitary(double tol = 1e-9) const;
+};
+
+/// Directional coupler with power cross-coupling kappa = sin^2(eta).
+/// The ideal 50:50 coupler (eta = pi/4) realizes (1/sqrt 2)[[1, i],[i, 1]].
+/// Fabrication imbalance enters as a deviation `delta_eta` of the coupling
+/// angle; insertion loss as a scalar amplitude.
+struct DirectionalCoupler {
+  double delta_eta = 0.0;        ///< Coupling-angle error [rad].
+  double insertion_loss_db = 0.05;
+
+  [[nodiscard]] Transfer2 transfer() const;
+  /// Power cross-coupling ratio in [0, 1] (0.5 when ideal).
+  [[nodiscard]] double cross_coupling() const;
+};
+
+}  // namespace aspen::phot

@@ -1,0 +1,49 @@
+#include "photonics/link_budget.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "photonics/units.hpp"
+
+namespace aspen::phot {
+
+LinkBudget::LinkBudget(double input_power_w) : input_power_w_(input_power_w) {
+  if (input_power_w <= 0.0)
+    throw std::invalid_argument("LinkBudget: input power <= 0");
+}
+
+LinkBudget& LinkBudget::add(std::string name, double loss_db) {
+  if (loss_db < 0.0) throw std::invalid_argument("LinkBudget: negative loss");
+  stages_.push_back({std::move(name), loss_db});
+  return *this;
+}
+
+LinkBudget& LinkBudget::add_repeated(std::string name, double loss_db,
+                                     int count) {
+  for (int i = 0; i < count; ++i)
+    add(name + "[" + std::to_string(i) + "]", loss_db);
+  return *this;
+}
+
+double LinkBudget::total_loss_db() const {
+  double sum = 0.0;
+  for (const auto& s : stages_) sum += s.loss_db;
+  return sum;
+}
+
+double LinkBudget::output_power_w() const {
+  return input_power_w_ * db_to_power_ratio(-total_loss_db());
+}
+
+double LinkBudget::snr(const Photodetector& det) const {
+  return det.snr(output_power_w());
+}
+
+double LinkBudget::enob(const Photodetector& det) const {
+  const double s = snr(det);
+  if (s <= 0.0) return 0.0;
+  const double snr_db = 10.0 * std::log10(s);
+  return (snr_db - 1.76) / 6.02;
+}
+
+}  // namespace aspen::phot

@@ -1,0 +1,47 @@
+#pragma once
+/// \file link_budget.hpp
+/// Optical power budget through a cascade of lossy stages, and the
+/// resulting detection SNR / effective number of bits — the analysis that
+/// bounds how deep an MZI mesh can be before read-out precision collapses
+/// (paper Section 3: "compact with minimized optical loss to enable deep
+/// arrangements of MZIs").
+
+#include <string>
+#include <vector>
+
+#include "photonics/photodetector.hpp"
+
+namespace aspen::phot {
+
+/// One lossy stage in the optical path.
+struct LinkStage {
+  std::string name;
+  double loss_db = 0.0;
+};
+
+class LinkBudget {
+ public:
+  explicit LinkBudget(double input_power_w);
+
+  /// Append a stage; returns *this for chaining.
+  LinkBudget& add(std::string name, double loss_db);
+  /// Append `count` copies of a stage (e.g. mesh columns).
+  LinkBudget& add_repeated(std::string name, double loss_db, int count);
+
+  [[nodiscard]] double total_loss_db() const;
+  [[nodiscard]] double output_power_w() const;
+
+  /// SNR (power ratio) at a detector placed at the link output.
+  [[nodiscard]] double snr(const Photodetector& det) const;
+  /// Effective number of bits from the detection SNR:
+  /// ENOB = (SNR_dB - 1.76) / 6.02.
+  [[nodiscard]] double enob(const Photodetector& det) const;
+
+  [[nodiscard]] const std::vector<LinkStage>& stages() const { return stages_; }
+
+ private:
+  double input_power_w_;
+  std::vector<LinkStage> stages_;
+};
+
+}  // namespace aspen::phot

@@ -1,0 +1,83 @@
+#include "photonics/material.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <stdexcept>
+
+namespace aspen::phot {
+
+std::complex<double> OpticalConstants::permittivity() const {
+  const std::complex<double> m = as_complex();
+  return m * m;
+}
+
+double PcmMaterial::delta_n() const { return crystalline.n - amorphous.n; }
+double PcmMaterial::delta_k() const { return crystalline.k - amorphous.k; }
+
+double PcmMaterial::figure_of_merit() const {
+  const double dk = std::abs(delta_k());
+  if (dk < 1e-12) return 1e12;  // effectively lossless switching
+  return std::abs(delta_n()) / dk;
+}
+
+OpticalConstants PcmMaterial::at_fraction(double x) const {
+  const double f = std::clamp(x, 0.0, 1.0);
+  // Lorentz-Lorenz (Clausius-Mossotti) effective-medium mixing:
+  //   L(eps_eff) = x L(eps_cr) + (1-x) L(eps_am),  L(e) = (e-1)/(e+2).
+  const auto ll = [](std::complex<double> e) { return (e - 1.0) / (e + 2.0); };
+  const std::complex<double> mix =
+      f * ll(crystalline.permittivity()) + (1.0 - f) * ll(amorphous.permittivity());
+  // Invert L: eps = (1 + 2 mix) / (1 - mix).
+  const std::complex<double> eps = (1.0 + 2.0 * mix) / (1.0 - mix);
+  const std::complex<double> nk = std::sqrt(eps);
+  OpticalConstants out;
+  out.n = nk.real();
+  out.k = std::abs(nk.imag());
+  return out;
+}
+
+PcmMaterial make_gst225() {
+  PcmMaterial m;
+  m.name = "GST-225";
+  m.amorphous = {3.94, 0.045};
+  m.crystalline = {6.11, 0.83};
+  m.set_energy_j = 120e-12;
+  m.reset_energy_j = 600e-12;
+  m.drift_nu = 0.006;
+  return m;
+}
+
+PcmMaterial make_gsst() {
+  PcmMaterial m;
+  m.name = "GSST";
+  m.amorphous = {3.325, 0.0002};
+  m.crystalline = {5.083, 0.350};
+  m.set_energy_j = 100e-12;
+  m.reset_energy_j = 500e-12;
+  m.drift_nu = 0.004;
+  return m;
+}
+
+PcmMaterial make_gese() {
+  PcmMaterial m;
+  m.name = "GeSe";
+  m.amorphous = {2.45, 0.0001};
+  m.crystalline = {2.85, 0.0050};
+  m.set_energy_j = 90e-12;
+  m.reset_energy_j = 450e-12;
+  m.drift_nu = 0.003;
+  return m;
+}
+
+PcmMaterial pcm_by_name(const std::string& name) {
+  std::string low = name;
+  std::transform(low.begin(), low.end(), low.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (low == "gst" || low == "gst225" || low == "gst-225") return make_gst225();
+  if (low == "gsst") return make_gsst();
+  if (low == "gese") return make_gese();
+  throw std::invalid_argument("pcm_by_name: unknown material '" + name + "'");
+}
+
+}  // namespace aspen::phot

@@ -1,0 +1,69 @@
+#pragma once
+/// \file material.hpp
+/// Optical material models for the augmented SOI platform (paper Section 2
+/// and 3): phase-change materials (PCMs) with distinct amorphous and
+/// crystalline complex refractive indices at 1550 nm, and the figure of
+/// merit FOM = delta_n / delta_k the paper uses to compare candidates
+/// (GSST, GeSe vs. the GST baseline).
+///
+/// Values are literature-representative compact-model endpoints; every
+/// number is a plain struct field a user can refit to measured data.
+
+#include <complex>
+#include <string>
+
+namespace aspen::phot {
+
+/// Complex refractive index n + i*k at a fixed wavelength.
+struct OpticalConstants {
+  double n = 1.0;  ///< Real refractive index.
+  double k = 0.0;  ///< Extinction coefficient (>= 0).
+
+  [[nodiscard]] std::complex<double> as_complex() const { return {n, k}; }
+  /// Complex relative permittivity epsilon = (n + ik)^2.
+  [[nodiscard]] std::complex<double> permittivity() const;
+};
+
+/// A phase-change material characterized by its two stable phases.
+struct PcmMaterial {
+  std::string name;
+  OpticalConstants amorphous;
+  OpticalConstants crystalline;
+  /// Specific heat / kinetics are abstracted into energy-per-transition
+  /// figures used by the energy model (Section 3 "heaters above PCM").
+  double set_energy_j = 100e-12;    ///< Full crystallization (SET) energy.
+  double reset_energy_j = 500e-12;  ///< Melt-quench (RESET) energy.
+  double set_time_s = 100e-9;       ///< SET pulse duration (slow, low power).
+  double reset_time_s = 10e-9;      ///< RESET pulse duration (fast, high power).
+  /// Amorphous-phase structural-relaxation (drift) coefficient; the
+  /// effective index of the amorphous fraction drifts as
+  /// nu * ln(1 + t / t0). Optical drift is weak compared to electrical
+  /// resistance drift.
+  double drift_nu = 0.004;
+  double drift_t0_s = 1.0;
+
+  /// delta n = n_cr - n_am (index contrast used for phase shifting).
+  [[nodiscard]] double delta_n() const;
+  /// delta k = k_cr - k_am (loss contrast paid for switching).
+  [[nodiscard]] double delta_k() const;
+  /// Paper Section 3: FOM = delta_n / delta_k, larger is better.
+  [[nodiscard]] double figure_of_merit() const;
+
+  /// Effective optical constants at crystalline fraction x in [0, 1],
+  /// via Lorentz-Lorenz effective-medium mixing of the permittivities.
+  [[nodiscard]] OpticalConstants at_fraction(double x) const;
+};
+
+/// Literature-representative PCM database (1550 nm endpoints).
+/// GST-225: large contrast, lossy crystalline phase (baseline).
+[[nodiscard]] PcmMaterial make_gst225();
+/// GSST (Ge2Sb2Se4Te1): near-transparent amorphous phase, FOM ~ 5.
+[[nodiscard]] PcmMaterial make_gsst();
+/// GeSe: small contrast but extremely low loss, FOM >> 10 (Soref 2015,
+/// Dory 2020 — the chalcogenides the paper names).
+[[nodiscard]] PcmMaterial make_gese();
+/// Lookup by case-insensitive name ("gst", "gsst", "gese");
+/// throws std::invalid_argument for unknown names.
+[[nodiscard]] PcmMaterial pcm_by_name(const std::string& name);
+
+}  // namespace aspen::phot

@@ -1,0 +1,65 @@
+#pragma once
+/// \file mzi.hpp
+/// The Mach-Zehnder interferometer cell (paper Fig. 2a): two directional
+/// couplers around an internal phase shifter, preceded by an external
+/// phase shifter. Supports the two cell styles the paper discusses:
+///
+///  - `kStandard`  — single-arm phase shifters (theta on the top internal
+///    arm, phi on the top input): the classic Reck/Clements cell.
+///  - `kSymmetric` — *parallel* phase-shifter blocks driving both arms
+///    differentially (+x/2, -x/2): the compacted cell of Bell & Walmsley
+///    (APL Photonics 2021) / the parallel-PS blocks of the Fldzhyan
+///    design, which halves the per-cell optical path imbalance.
+///
+/// Ideal transfer in the standard convention (B = 50:50 coupler):
+///   T(theta, phi) = B diag(e^{i theta}, 1) B diag(e^{i phi}, 1)
+///                 = i e^{i theta/2} [[ e^{i phi} sin(theta/2),  cos(theta/2)],
+///                                    [ e^{i phi} cos(theta/2), -sin(theta/2)]]
+
+#include "photonics/coupler.hpp"
+
+namespace aspen::phot {
+
+enum class MziStyle {
+  kStandard,   ///< theta / phi on single arms.
+  kSymmetric,  ///< differential +-x/2 drive on both arms (parallel PS).
+};
+
+/// Imperfection and loss parameters of one physical MZI cell.
+struct MziImperfections {
+  double coupler1_delta_eta = 0.0;  ///< Input coupler imbalance [rad].
+  double coupler2_delta_eta = 0.0;  ///< Output coupler imbalance [rad].
+  double theta_error = 0.0;         ///< Additive internal phase error [rad].
+  double phi_error = 0.0;           ///< Additive external phase error [rad].
+  double coupler_loss_db = 0.05;    ///< Per-coupler insertion loss.
+  double ps_loss_db = 0.05;         ///< Per-phase-shifter-section loss.
+  /// Extra *state-dependent* amplitude on the arm carrying the phase
+  /// shift (PCM absorption asymmetry); 1.0 = lossless.
+  double theta_arm_amplitude = 1.0;
+  double phi_arm_amplitude = 1.0;
+};
+
+/// Ideal MZI transfer matrix for the given style. Unitary by construction.
+[[nodiscard]] Transfer2 mzi_ideal(double theta, double phi,
+                                  MziStyle style = MziStyle::kStandard);
+
+/// Physical MZI transfer with imperfections applied. For the symmetric
+/// style the phase errors are applied differentially as well (each of the
+/// parallel PS blocks errs independently is modelled by the caller
+/// splitting its sigma across theta_error / phi_error).
+[[nodiscard]] Transfer2 mzi_physical(double theta, double phi,
+                                     const MziImperfections& imp,
+                                     MziStyle style = MziStyle::kStandard);
+
+/// Analytic nulling used by the Reck/Clements decompositions: given field
+/// amplitudes (u, v) on the two modes *entering* the cell, returns
+/// (theta, phi) such that the cell output on the chosen port vanishes.
+/// For port = 1 (bottom), T(theta, phi) [u, v]^T has zero second entry;
+/// for port = 0 (top), zero first entry.
+struct NullingSolution {
+  double theta;
+  double phi;
+};
+[[nodiscard]] NullingSolution null_port(cplx u, cplx v, int port);
+
+}  // namespace aspen::phot

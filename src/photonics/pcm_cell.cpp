@@ -1,0 +1,185 @@
+#include "photonics/pcm_cell.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace aspen::phot {
+
+namespace {
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+}
+
+PcmCell::PcmCell(PcmCellConfig cfg) : cfg_(std::move(cfg)) {
+  if (cfg_.level_bits < 1 || cfg_.level_bits > 16)
+    throw std::invalid_argument("PcmCell: level_bits must be in [1, 16]");
+  if (cfg_.patch_length_m <= 0.0 || cfg_.confinement <= 0.0)
+    throw std::invalid_argument("PcmCell: non-positive geometry");
+}
+
+double PcmCell::phase_of_fraction(double x) const {
+  const OpticalConstants base = cfg_.material.at_fraction(0.0);
+  const OpticalConstants eff = cfg_.material.at_fraction(x);
+  return kTwoPi / cfg_.wavelength_m * cfg_.confinement *
+         (eff.n - base.n) * cfg_.patch_length_m;
+}
+
+double PcmCell::amplitude_of_fraction(double x) const {
+  const OpticalConstants eff = cfg_.material.at_fraction(x);
+  // Field attenuation through the patch: exp(-2*pi*k_eff*Gamma*L/lambda).
+  const double alpha =
+      kTwoPi * eff.k * cfg_.confinement * cfg_.patch_length_m / cfg_.wavelength_m;
+  return std::exp(-alpha);
+}
+
+double PcmCell::fraction_for_phase(double phase_rad) const {
+  const double target = std::clamp(phase_rad, 0.0, max_phase());
+  // phase_of_fraction is monotone increasing in x (delta_n > 0 for all
+  // modelled PCMs); bisection to 1e-12 fraction resolution.
+  double lo = 0.0, hi = 1.0;
+  for (int it = 0; it < 60; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    if (phase_of_fraction(mid) < target)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  return 0.5 * (lo + hi);
+}
+
+double PcmCell::quantize_fraction(double x) const {
+  const int n = levels();
+  const double step = 1.0 / static_cast<double>(n - 1);
+  const double q = std::round(std::clamp(x, 0.0, 1.0) / step) * step;
+  return std::clamp(q, 0.0, 1.0);
+}
+
+void PcmCell::program_fraction(double x, lina::Rng* rng) {
+  double target = quantize_fraction(x);
+  if (rng != nullptr && cfg_.write_noise_sigma > 0.0)
+    target = std::clamp(target + rng->gaussian(0.0, cfg_.write_noise_sigma),
+                        0.0, 1.0);
+  // Programming = RESET to amorphous, then partial SET to the target
+  // fraction (the standard iterative multilevel scheme); energy scales
+  // with the crystallized volume fraction.
+  energy_spent_j_ +=
+      cfg_.material.reset_energy_j + target * cfg_.material.set_energy_j;
+  fraction_ = target;
+  time_since_write_s_ = 0.0;
+  ++write_count_;
+}
+
+void PcmCell::program_level(int level, lina::Rng* rng) {
+  const int n = levels();
+  if (level < 0 || level >= n)
+    throw std::invalid_argument("PcmCell: level out of range");
+  program_fraction(static_cast<double>(level) / static_cast<double>(n - 1),
+                   rng);
+}
+
+void PcmCell::program_phase(double phase_rad, lina::Rng* rng) {
+  program_fraction(fraction_for_phase(phase_rad), rng);
+}
+
+void PcmCell::accumulate(double strength) {
+  if (strength <= 0.0) return;
+  fraction_ = std::min(1.0, fraction_ + cfg_.accumulation_step * strength);
+  // A sub-switching pulse costs energy proportional to the fraction moved.
+  energy_spent_j_ +=
+      cfg_.material.set_energy_j * cfg_.accumulation_step * strength;
+  ++write_count_;
+}
+
+void PcmCell::reset() {
+  fraction_ = 0.0;
+  time_since_write_s_ = 0.0;
+  energy_spent_j_ += cfg_.material.reset_energy_j;
+  ++write_count_;
+}
+
+void PcmCell::advance_time(double dt_s) {
+  if (dt_s < 0.0) throw std::invalid_argument("PcmCell: negative dt");
+  time_since_write_s_ += dt_s;
+}
+
+double PcmCell::drift_factor() const {
+  // Structural relaxation of the *amorphous* fraction perturbs the net
+  // index contrast: no drift when fully amorphous (phase is zero anyway)
+  // or fully crystalline; worst at intermediate levels — matching the
+  // multilevel-retention behaviour reported for PCM photonics.
+  const double amorphous = 1.0 - fraction_;
+  const double lt =
+      std::log1p(time_since_write_s_ / cfg_.material.drift_t0_s);
+  return 1.0 - cfg_.material.drift_nu * amorphous * lt;
+}
+
+double PcmCell::phase() const {
+  return phase_of_fraction(fraction_) * drift_factor();
+}
+
+double PcmCell::amplitude() const { return amplitude_of_fraction(fraction_); }
+
+PcmCellConfig pcm_config_for_two_pi(const PcmMaterial& material,
+                                    double confinement, double margin,
+                                    int level_bits) {
+  if (material.delta_n() <= 0.0)
+    throw std::invalid_argument("pcm_config_for_two_pi: delta_n <= 0");
+  PcmCellConfig cfg;
+  cfg.material = material;
+  cfg.confinement = confinement;
+  cfg.level_bits = level_bits;
+  // phase(x=1) = 2 pi / lambda * Gamma * delta_n_eff * L. The effective-
+  // medium contrast at x = 1 equals the raw material contrast, so sizing
+  // against delta_n is exact at the endpoint.
+  cfg.patch_length_m =
+      margin * cfg.wavelength_m / (confinement * material.delta_n());
+  return cfg;
+}
+
+PcmPhaseMap::PcmPhaseMap(const PcmCellConfig& cfg) : cfg_(cfg) {
+  const PcmCell probe(cfg);
+  const int n = probe.levels();
+  phase_.resize(n);
+  amplitude_.resize(n);
+  fraction_.resize(n);
+  for (int i = 0; i < n; ++i) {
+    const double x = static_cast<double>(i) / static_cast<double>(n - 1);
+    fraction_[i] = x;
+    phase_[i] = probe.phase_of_fraction(x);
+    amplitude_[i] = probe.amplitude_of_fraction(x);
+  }
+  covers_two_pi_ = phase_.back() >= kTwoPi;
+}
+
+PcmPhaseMap::Quantized PcmPhaseMap::quantize(double phase_rad,
+                                             double drift_time_s) const {
+  double target = std::fmod(phase_rad, kTwoPi);
+  if (target < 0.0) target += kTwoPi;
+  // Nearest achievable level. Levels are monotone in phase, so a binary
+  // search would do; linear scan is fine for <= 2^16 levels at
+  // construction-time call rates, but quantize is hot in mesh programming,
+  // so use lower_bound.
+  const auto it = std::lower_bound(phase_.begin(), phase_.end(), target);
+  std::size_t idx;
+  if (it == phase_.begin()) {
+    idx = 0;
+  } else if (it == phase_.end()) {
+    idx = phase_.size() - 1;
+  } else {
+    const std::size_t hi = static_cast<std::size_t>(it - phase_.begin());
+    const std::size_t lo = hi - 1;
+    idx = (target - phase_[lo] <= phase_[hi] - target) ? lo : hi;
+  }
+  Quantized q;
+  q.amplitude = amplitude_[idx];
+  double drift = 1.0;
+  if (drift_time_s > 0.0) {
+    const double amorphous = 1.0 - fraction_[idx];
+    drift = 1.0 - cfg_.material.drift_nu * amorphous *
+                      std::log1p(drift_time_s / cfg_.material.drift_t0_s);
+  }
+  q.phase = phase_[idx] * drift;
+  return q;
+}
+
+}  // namespace aspen::phot

@@ -1,0 +1,129 @@
+#pragma once
+/// \file pcm_cell.hpp
+/// Multilevel non-volatile PCM cell on a waveguide (paper Fig. 2a: PCM
+/// patch under a heater, providing a programmable non-volatile optical
+/// phase shift). The cell models:
+///  - crystalline fraction state x in [0, 1],
+///  - multilevel programming (2^bits levels) with write noise,
+///  - pulse *accumulation* behaviour (partial SET per pulse — the
+///    integrate-and-fire mechanism of Section 3's photonic SNN),
+///  - amorphous-phase drift over time,
+///  - the phase / loss tradeoff set by the material's delta_n / delta_k.
+
+#include <cstdint>
+
+#include "lina/random.hpp"
+#include "photonics/material.hpp"
+#include "photonics/units.hpp"
+
+namespace aspen::phot {
+
+/// Geometry + programming parameters of one PCM patch.
+struct PcmCellConfig {
+  PcmMaterial material = make_gsst();
+  double patch_length_m = 12e-6;  ///< PCM patch length along the waveguide.
+  double confinement = 0.10;      ///< Modal overlap Gamma with the PCM film.
+  double wavelength_m = kTelecomWavelength;
+  int level_bits = 6;             ///< Programmable levels = 2^level_bits.
+  double write_noise_sigma = 0.0; ///< Std-dev of achieved fraction per write.
+  double accumulation_step = 0.10;///< Delta-x per sub-switching SET pulse.
+};
+
+/// One programmable PCM patch. All phase values are radians *relative to
+/// the fully amorphous state* (the natural zero of the device).
+class PcmCell {
+ public:
+  explicit PcmCell(PcmCellConfig cfg = {});
+
+  /// Phase shift contributed by crystalline fraction x (no drift).
+  [[nodiscard]] double phase_of_fraction(double x) const;
+  /// Field-amplitude transmission at fraction x (absorption from k_eff).
+  [[nodiscard]] double amplitude_of_fraction(double x) const;
+  /// Largest reachable phase shift (x = 1).
+  [[nodiscard]] double max_phase() const { return phase_of_fraction(1.0); }
+
+  /// Invert phase_of_fraction (monotone in x); clamps to [0, max_phase].
+  [[nodiscard]] double fraction_for_phase(double phase_rad) const;
+
+  /// Program to the quantized level nearest the requested fraction.
+  /// Adds write noise when `rng` is provided. Costs write energy, resets
+  /// the drift clock.
+  void program_fraction(double x, lina::Rng* rng = nullptr);
+  /// Program the level index directly (0 .. levels()-1).
+  void program_level(int level, lina::Rng* rng = nullptr);
+  /// Program the quantized fraction that best realizes `phase_rad`.
+  void program_phase(double phase_rad, lina::Rng* rng = nullptr);
+
+  /// Partial crystallization by one sub-switching pulse scaled by
+  /// `strength` (the SNN accumulation primitive). Saturates at x = 1.
+  void accumulate(double strength = 1.0);
+  /// Melt-quench back to fully amorphous (x = 0).
+  void reset();
+
+  /// Advance the drift clock.
+  void advance_time(double dt_s);
+
+  /// Current *effective* phase shift including drift.
+  [[nodiscard]] double phase() const;
+  /// Current field-amplitude transmission.
+  [[nodiscard]] double amplitude() const;
+  /// Raw state.
+  [[nodiscard]] double fraction() const { return fraction_; }
+  [[nodiscard]] int levels() const { return 1 << cfg_.level_bits; }
+  [[nodiscard]] std::uint64_t write_count() const { return write_count_; }
+  [[nodiscard]] double energy_spent_j() const { return energy_spent_j_; }
+  [[nodiscard]] double time_since_write_s() const { return time_since_write_s_; }
+  [[nodiscard]] const PcmCellConfig& config() const { return cfg_; }
+
+ private:
+  [[nodiscard]] double quantize_fraction(double x) const;
+  [[nodiscard]] double drift_factor() const;
+
+  PcmCellConfig cfg_;
+  double fraction_ = 0.0;
+  double time_since_write_s_ = 0.0;
+  std::uint64_t write_count_ = 0;
+  double energy_spent_j_ = 0.0;
+};
+
+/// Size the PCM patch so the fully crystalline state reaches `margin`
+/// times 2*pi of phase shift at the given confinement — the geometry a
+/// designer would pick for a full-range phase shifter in this material.
+/// Low-FOM materials (GST) pay for the range with absorption; high-FOM
+/// materials (GeSe) need a longer patch but stay transparent, which is
+/// exactly the trade Section 3 of the paper discusses.
+[[nodiscard]] PcmCellConfig pcm_config_for_two_pi(const PcmMaterial& material,
+                                                  double confinement = 0.10,
+                                                  double margin = 1.10,
+                                                  int level_bits = 6);
+
+/// Stateless precomputed map from target phase to the (achieved phase,
+/// amplitude) of the nearest PCM level — used by the mesh simulator to
+/// apply PCM quantization to thousands of phase shifters cheaply.
+class PcmPhaseMap {
+ public:
+  explicit PcmPhaseMap(const PcmCellConfig& cfg);
+
+  /// Quantize a requested phase (any real; wrapped into [0, 2pi)) to the
+  /// nearest achievable level. Returns achieved phase and amplitude after
+  /// `drift_time_s` of drift.
+  struct Quantized {
+    double phase;
+    double amplitude;
+  };
+  [[nodiscard]] Quantized quantize(double phase_rad,
+                                   double drift_time_s = 0.0) const;
+
+  [[nodiscard]] int levels() const { return static_cast<int>(phase_.size()); }
+  /// True when the device can reach a full 2*pi of phase.
+  [[nodiscard]] bool covers_two_pi() const { return covers_two_pi_; }
+
+ private:
+  PcmCellConfig cfg_;
+  std::vector<double> phase_;      ///< Per-level phase (no drift).
+  std::vector<double> amplitude_;  ///< Per-level amplitude.
+  std::vector<double> fraction_;   ///< Per-level crystalline fraction.
+  bool covers_two_pi_ = false;
+};
+
+}  // namespace aspen::phot

@@ -1,0 +1,61 @@
+#include "photonics/phase_shifter.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "photonics/units.hpp"
+
+namespace aspen::phot {
+
+namespace {
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+constexpr double kPi = 3.141592653589793238462643383280;
+
+double wrap_two_pi(double phase) {
+  double p = std::fmod(phase, kTwoPi);
+  if (p < 0.0) p += kTwoPi;
+  return p;
+}
+}  // namespace
+
+ThermoOpticPhaseShifter::ThermoOpticPhaseShifter(ThermoOpticConfig cfg)
+    : cfg_(cfg) {
+  if (cfg_.p_pi_w <= 0.0)
+    throw std::invalid_argument("ThermoOpticPhaseShifter: p_pi_w <= 0");
+}
+
+void ThermoOpticPhaseShifter::set_phase(double phase_rad) {
+  phase_ = wrap_two_pi(phase_rad);
+  // Transient energy of the program step: ramping the heater dissipates
+  // roughly the new holding power over one response time.
+  write_energy_j_ += static_power_w() * cfg_.response_time_s;
+}
+
+double ThermoOpticPhaseShifter::amplitude() const {
+  return loss_db_to_amplitude(cfg_.insertion_loss_db);
+}
+
+double ThermoOpticPhaseShifter::static_power_w() const {
+  return (phase_ / kPi) * cfg_.p_pi_w;
+}
+
+void ThermoOpticPhaseShifter::advance_time(double dt_s) {
+  if (dt_s < 0.0)
+    throw std::invalid_argument("ThermoOpticPhaseShifter: negative dt");
+  hold_energy_j_ += static_power_w() * dt_s;
+}
+
+PcmPhaseShifter::PcmPhaseShifter(PcmCellConfig cfg, lina::Rng* rng)
+    : cell_(std::move(cfg)), rng_(rng) {}
+
+void PcmPhaseShifter::set_phase(double phase_rad) {
+  cell_.program_phase(wrap_two_pi(phase_rad), rng_);
+}
+
+double PcmPhaseShifter::settle_time_s() const {
+  const auto& m = cell_.config().material;
+  // One RESET followed by one (partial) SET pulse.
+  return m.reset_time_s + m.set_time_s;
+}
+
+}  // namespace aspen::phot

@@ -1,0 +1,99 @@
+#pragma once
+/// \file phase_shifter.hpp
+/// Programmable optical phase shifters: the volatile thermo-optic heater
+/// (SOI baseline — burns static power to *hold* a phase, Section 3) and
+/// the non-volatile PCM shifter (holds for free, pays write energy).
+/// The energy-crossover experiment E4 compares exactly these two.
+
+#include <memory>
+
+#include "lina/random.hpp"
+#include "photonics/pcm_cell.hpp"
+
+namespace aspen::phot {
+
+/// Common interface for programmable phase shifters.
+class PhaseShifter {
+ public:
+  virtual ~PhaseShifter() = default;
+
+  /// Program the target phase [rad]; implementations may quantize.
+  virtual void set_phase(double phase_rad) = 0;
+  /// Achieved phase right now (quantization, drift included).
+  [[nodiscard]] virtual double phase() const = 0;
+  /// Field-amplitude transmission of the shifter section.
+  [[nodiscard]] virtual double amplitude() const = 0;
+  /// Power drawn *while holding* the current phase [W].
+  [[nodiscard]] virtual double static_power_w() const = 0;
+  /// Cumulative energy spent on (re)programming [J].
+  [[nodiscard]] virtual double write_energy_j() const = 0;
+  /// Time needed to settle after a program operation [s].
+  [[nodiscard]] virtual double settle_time_s() const = 0;
+  /// Advance wall-clock time (drift, etc.).
+  virtual void advance_time(double dt_s) = 0;
+};
+
+/// Thermo-optic heater parameters (typical SOI metal heater).
+struct ThermoOpticConfig {
+  double p_pi_w = 20e-3;        ///< Electrical power for a pi shift.
+  double response_time_s = 10e-6;
+  double insertion_loss_db = 0.05;
+  /// Fraction of a heater's phase that leaks into each nearest neighbour
+  /// (thermal crosstalk; consumed by the mesh error model).
+  double crosstalk = 0.01;
+};
+
+/// Volatile heater: phase is linear in electrical power, so holding phi
+/// costs (phi / pi) * P_pi continuously.
+class ThermoOpticPhaseShifter final : public PhaseShifter {
+ public:
+  explicit ThermoOpticPhaseShifter(ThermoOpticConfig cfg = {});
+
+  void set_phase(double phase_rad) override;
+  [[nodiscard]] double phase() const override { return phase_; }
+  [[nodiscard]] double amplitude() const override;
+  [[nodiscard]] double static_power_w() const override;
+  [[nodiscard]] double write_energy_j() const override { return write_energy_j_; }
+  [[nodiscard]] double settle_time_s() const override {
+    return cfg_.response_time_s;
+  }
+  void advance_time(double dt_s) override;
+
+  /// Energy integrated so far including holding power.
+  [[nodiscard]] double total_energy_j() const {
+    return write_energy_j_ + hold_energy_j_;
+  }
+  [[nodiscard]] const ThermoOpticConfig& config() const { return cfg_; }
+
+ private:
+  ThermoOpticConfig cfg_;
+  double phase_ = 0.0;
+  double write_energy_j_ = 0.0;
+  double hold_energy_j_ = 0.0;
+};
+
+/// Non-volatile PCM shifter: quantized multilevel phase, zero holding
+/// power, per-write energy, drift over time.
+class PcmPhaseShifter final : public PhaseShifter {
+ public:
+  explicit PcmPhaseShifter(PcmCellConfig cfg = {}, lina::Rng* rng = nullptr);
+
+  void set_phase(double phase_rad) override;
+  [[nodiscard]] double phase() const override { return cell_.phase(); }
+  [[nodiscard]] double amplitude() const override { return cell_.amplitude(); }
+  [[nodiscard]] double static_power_w() const override { return 0.0; }
+  [[nodiscard]] double write_energy_j() const override {
+    return cell_.energy_spent_j();
+  }
+  [[nodiscard]] double settle_time_s() const override;
+  void advance_time(double dt_s) override { cell_.advance_time(dt_s); }
+
+  [[nodiscard]] PcmCell& cell() { return cell_; }
+  [[nodiscard]] const PcmCell& cell() const { return cell_; }
+
+ private:
+  PcmCell cell_;
+  lina::Rng* rng_;  ///< Optional write-noise source (not owned).
+};
+
+}  // namespace aspen::phot

@@ -1,0 +1,146 @@
+#include "snn/network.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace aspen::snn {
+
+SpikingNetwork::SpikingNetwork(NetworkConfig cfg) : cfg_(std::move(cfg)) {
+  if (cfg_.inputs == 0 || cfg_.outputs == 0)
+    throw std::invalid_argument("SpikingNetwork: empty shape");
+  lina::Rng rng(cfg_.seed);
+  neurons_.reserve(cfg_.outputs);
+  synapses_.resize(cfg_.outputs);
+  for (std::size_t o = 0; o < cfg_.outputs; ++o) {
+    neurons_.emplace_back(cfg_.neuron);
+    synapses_[o].reserve(cfg_.inputs);
+    for (std::size_t i = 0; i < cfg_.inputs; ++i)
+      synapses_[o].emplace_back(
+          cfg_.synapse_cell,
+          rng.uniform(cfg_.init_weight_lo, cfg_.init_weight_hi));
+  }
+  last_pre_s_.assign(cfg_.inputs, -1e300);
+  last_post_s_.assign(cfg_.outputs, -1e300);
+}
+
+SpikeRaster SpikingNetwork::run(const SpikeRaster& input, double duration_s) {
+  if (input.size() != cfg_.inputs)
+    throw std::invalid_argument("SpikingNetwork::run: raster shape");
+  SpikeRaster output(cfg_.outputs);
+
+  const auto slots =
+      static_cast<std::size_t>(std::ceil(duration_s / cfg_.slot_s));
+  // Per-input spike cursors. Input times are relative to this call; the
+  // persistent clock offsets them to absolute time.
+  const double base = elapsed_s_;
+  std::vector<std::size_t> cursor(cfg_.inputs, 0);
+
+  for (std::size_t slot = 0; slot < slots; ++slot) {
+    const double t0 = static_cast<double>(slot) * cfg_.slot_s;
+    const double t1 = t0 + cfg_.slot_s;
+    const double now = base + t1;
+
+    // Which inputs pulsed in this slot?
+    std::vector<bool> pre(cfg_.inputs, false);
+    for (std::size_t i = 0; i < cfg_.inputs; ++i) {
+      while (cursor[i] < input[i].size() && input[i][cursor[i]] < t1) {
+        if (input[i][cursor[i]] >= t0) {
+          pre[i] = true;
+          const double pre_abs = base + input[i][cursor[i]];
+          last_pre_s_[i] = pre_abs;
+          // Anti-causal LTD: a pre spike arriving after a recent post
+          // spike depresses the synapse.
+          if (cfg_.learning) {
+            for (std::size_t o = 0; o < cfg_.outputs; ++o) {
+              const double dt = last_post_s_[o] - pre_abs;
+              if (dt > -1e290 && dt < 0.0)
+                synapses_[o][i].update(stdp_delta(cfg_.stdp, dt));
+            }
+          }
+        }
+        ++cursor[i];
+      }
+    }
+
+    // Integrate with winner-take-all arbitration: the neuron with the
+    // strongest predicted drive fires first; its inhibition pulse lands
+    // on competitors *within* the slot, so simultaneous crossings do not
+    // all fire (the optical WTA of self-learning SNN hardware).
+    std::vector<double> sums(cfg_.outputs, 0.0);
+    for (std::size_t o = 0; o < cfg_.outputs; ++o) {
+      for (std::size_t i = 0; i < cfg_.inputs; ++i)
+        if (pre[i]) sums[o] += synapses_[o][i].weight();
+      sums[o] /= static_cast<double>(cfg_.inputs);  // fan-in normalization
+    }
+    std::size_t winner = cfg_.outputs;
+    double best = -1.0;
+    for (std::size_t o = 0; o < cfg_.outputs; ++o) {
+      if (!neurons_[o].would_fire(sums[o], now)) continue;
+      const double m = neurons_[o].predicted_membrane(sums[o]);
+      if (m > best) {
+        best = m;
+        winner = o;
+      }
+    }
+    std::vector<bool> fired(cfg_.outputs, false);
+    if (winner < cfg_.outputs && neurons_[winner].inject(sums[winner], now)) {
+      fired[winner] = true;
+      output[winner].push_back(t1);  // relative to this call
+      last_post_s_[winner] = now;
+      if (cfg_.lateral_inhibition > 0.0)
+        for (std::size_t p = 0; p < cfg_.outputs; ++p)
+          if (p != winner) neurons_[p].inhibit(cfg_.lateral_inhibition);
+    }
+    for (std::size_t o = 0; o < cfg_.outputs; ++o) {
+      if (o == winner) continue;
+      if (neurons_[o].inject(sums[o], now)) {
+        fired[o] = true;
+        output[o].push_back(t1);
+        last_post_s_[o] = now;
+      }
+    }
+
+    // Plasticity on firing neurons.
+    for (std::size_t o = 0; o < cfg_.outputs; ++o) {
+      if (!fired[o]) continue;
+      if (cfg_.learning) {
+        for (std::size_t i = 0; i < cfg_.inputs; ++i) {
+          const double dt = now - last_pre_s_[i];
+          if (dt >= 0.0 && dt < cfg_.hetero_window_s) {
+            // Causal LTP for recently active inputs.
+            synapses_[o][i].update(stdp_delta(cfg_.stdp, dt));
+          } else if (cfg_.heterosynaptic_depression > 0.0) {
+            // Competition: silent inputs lose weight when the neuron
+            // fires, preventing blanket saturation.
+            synapses_[o][i].update(-cfg_.heterosynaptic_depression);
+          }
+        }
+      }
+    }
+  }
+  elapsed_s_ += static_cast<double>(slots) * cfg_.slot_s;
+  return output;
+}
+
+std::vector<std::vector<double>> SpikingNetwork::weights() const {
+  std::vector<std::vector<double>> w(cfg_.outputs,
+                                     std::vector<double>(cfg_.inputs, 0.0));
+  for (std::size_t o = 0; o < cfg_.outputs; ++o)
+    for (std::size_t i = 0; i < cfg_.inputs; ++i)
+      w[o][i] = synapses_[o][i].weight();
+  return w;
+}
+
+void SpikingNetwork::set_weight(std::size_t out, std::size_t in, double w) {
+  synapses_.at(out).at(in).set_weight(w);
+}
+
+double SpikingNetwork::total_write_energy_j() const {
+  double e = 0.0;
+  for (const auto& row : synapses_)
+    for (const auto& s : row) e += s.cell().energy_spent_j();
+  for (const auto& n : neurons_) e += n.energy_j();
+  return e;
+}
+
+}  // namespace aspen::snn

@@ -1,0 +1,83 @@
+#pragma once
+/// \file network.hpp
+/// A single-layer photonic spiking network: input waveguides fan out
+/// through a crossbar of PCM synapses onto PCM accumulate-and-fire
+/// neurons, with optional winner-take-all lateral inhibition and online
+/// STDP — the architecture of the paper's Section 3 SNN programme
+/// (mirroring Feldmann 2019's self-learning network).
+///
+/// Simulation is slotted in time: input spikes are binned into pulse
+/// slots of `slot_s`; within a slot each neuron integrates its weighted
+/// input sum, may fire, and STDP updates run on the resulting pre/post
+/// pairs.
+
+#include <vector>
+
+#include "snn/neuron.hpp"
+#include "snn/pcm_synapse.hpp"
+#include "snn/spike.hpp"
+#include "snn/stdp.hpp"
+
+namespace aspen::snn {
+
+struct NetworkConfig {
+  std::size_t inputs = 8;
+  std::size_t outputs = 2;
+  double slot_s = 10e-9;  ///< pulse slot duration
+  PcmNeuronConfig neuron;
+  phot::PcmCellConfig synapse_cell;
+  StdpConfig stdp;
+  bool learning = true;
+  /// Winner-take-all: when a neuron fires, other membranes are pulled
+  /// down by this fraction (0 disables).
+  double lateral_inhibition = 0.3;
+  /// Heterosynaptic depression: when a neuron fires, synapses from inputs
+  /// that were *silent* in the recent window are depressed by this amount
+  /// — the competition mechanism that keeps pair-STDP from saturating
+  /// every weight (0 disables).
+  double heterosynaptic_depression = 0.04;
+  /// "Recent" window for heterosynaptic depression.
+  double hetero_window_s = 30e-9;
+  /// Initial synapse weights are uniform in [lo, hi].
+  double init_weight_lo = 0.3;
+  double init_weight_hi = 0.7;
+  std::uint64_t seed = 0x55aaULL;
+};
+
+class SpikingNetwork {
+ public:
+  explicit SpikingNetwork(NetworkConfig cfg);
+
+  /// Present an input raster over [0, duration) *relative to this call*;
+  /// returns the output raster in the same relative time base. The
+  /// network keeps a persistent internal clock across calls (membranes,
+  /// refractory state and STDP traces carry over), so repeated
+  /// presentations model one continuous hardware session.
+  SpikeRaster run(const SpikeRaster& input, double duration_s);
+
+  /// Total simulated time across all run() calls.
+  [[nodiscard]] double elapsed_s() const { return elapsed_s_; }
+
+  /// Current weight matrix snapshot (outputs x inputs).
+  [[nodiscard]] std::vector<std::vector<double>> weights() const;
+  void set_weight(std::size_t out, std::size_t in, double w);
+
+  [[nodiscard]] const NetworkConfig& config() const { return cfg_; }
+  [[nodiscard]] const std::vector<PcmNeuron>& neurons() const {
+    return neurons_;
+  }
+  /// Total PCM write energy across synapses and neurons so far.
+  [[nodiscard]] double total_write_energy_j() const;
+
+  void set_learning(bool on) { cfg_.learning = on; }
+
+ private:
+  NetworkConfig cfg_;
+  std::vector<PcmNeuron> neurons_;                  ///< size outputs
+  std::vector<std::vector<PcmSynapse>> synapses_;   ///< [out][in]
+  std::vector<double> last_pre_s_;                  ///< per input (absolute)
+  std::vector<double> last_post_s_;                 ///< per output (absolute)
+  double elapsed_s_ = 0.0;                          ///< persistent clock
+};
+
+}  // namespace aspen::snn

@@ -1,0 +1,51 @@
+#include "snn/pcm_synapse.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace aspen::snn {
+
+PcmSynapse::PcmSynapse(phot::PcmCellConfig cfg, double initial_weight)
+    : cfg_(std::move(cfg)), cell_(cfg_) {
+  const double amp_min = cell_.amplitude_of_fraction(1.0);
+  t_min_ = amp_min * amp_min;
+  // The amorphous state is not perfectly transparent either (k_am > 0):
+  // normalize against the actually reachable transmission window.
+  const double amp_max = cell_.amplitude_of_fraction(0.0);
+  t_max_ = amp_max * amp_max;
+  set_weight(initial_weight);
+}
+
+double PcmSynapse::weight() const {
+  const double amp = cell_.amplitude();
+  const double t = amp * amp;  // power transmission
+  // Normalize [t_min, t_max] -> [0, 1].
+  return std::clamp((t - t_min_) / (t_max_ - t_min_), 0.0, 1.0);
+}
+
+double PcmSynapse::fraction_for_weight(double w) const {
+  const double target_t =
+      t_min_ + std::clamp(w, 0.0, 1.0) * (t_max_ - t_min_);
+  // amplitude^2 monotone decreasing in fraction: bisect.
+  double lo = 0.0, hi = 1.0;
+  for (int it = 0; it < 60; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    const double amp = cell_.amplitude_of_fraction(mid);
+    if (amp * amp > target_t)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  return 0.5 * (lo + hi);
+}
+
+void PcmSynapse::set_weight(double w) {
+  cell_.program_fraction(fraction_for_weight(w));
+}
+
+void PcmSynapse::update(double delta_w) {
+  if (delta_w == 0.0) return;
+  set_weight(weight() + delta_w);
+}
+
+}  // namespace aspen::snn

@@ -1,0 +1,43 @@
+#pragma once
+/// \file pcm_synapse.hpp
+/// Non-volatile photonic synapse: the transmission of a PCM patch on the
+/// signal waveguide sets the weight (cf. Feldmann et al., Nature 2019 —
+/// reference [9] of the paper). More crystalline = more absorptive, so
+/// weight w in [0, 1] maps to transmitted *power*; potentiation is a
+/// partial RESET (amorphize -> more transparent), depression a partial
+/// SET. Write energies and counts are tracked by the underlying cell.
+
+#include "photonics/pcm_cell.hpp"
+
+namespace aspen::snn {
+
+class PcmSynapse {
+ public:
+  explicit PcmSynapse(phot::PcmCellConfig cfg = phot::PcmCellConfig{},
+                      double initial_weight = 0.5);
+
+  /// Current weight = normalized optical power transmission in [0, 1]
+  /// (1 at fully amorphous, 0 at fully crystalline).
+  [[nodiscard]] double weight() const;
+
+  /// Apply a weight change (positive = potentiate). The change is
+  /// realized by reprogramming the crystalline fraction; quantization of
+  /// the underlying cell applies.
+  void update(double delta_w);
+  /// Set the weight directly (clamped to [0, 1]).
+  void set_weight(double w);
+
+  [[nodiscard]] const phot::PcmCell& cell() const { return cell_; }
+  [[nodiscard]] phot::PcmCell& cell() { return cell_; }
+
+ private:
+  /// Invert the weight -> fraction map.
+  [[nodiscard]] double fraction_for_weight(double w) const;
+
+  phot::PcmCellConfig cfg_;
+  phot::PcmCell cell_;
+  double t_min_;  ///< power transmission at fully crystalline
+  double t_max_;  ///< power transmission at fully amorphous
+};
+
+}  // namespace aspen::snn

@@ -1,0 +1,64 @@
+#include "snn/spike.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace aspen::snn {
+
+std::vector<double> poisson_train(double rate_hz, double duration_s,
+                                  lina::Rng& rng) {
+  std::vector<double> out;
+  if (rate_hz <= 0.0 || duration_s <= 0.0) return out;
+  double t = rng.exponential(rate_hz);
+  while (t < duration_s) {
+    out.push_back(t);
+    t += rng.exponential(rate_hz);
+  }
+  return out;
+}
+
+SpikeRaster latency_encode(const std::vector<double>& values,
+                           double window_s) {
+  if (window_s <= 0.0)
+    throw std::invalid_argument("latency_encode: window <= 0");
+  SpikeRaster r(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const double v = values[i];
+    if (v <= 0.0) continue;
+    const double clipped = std::min(v, 1.0);
+    r[i].push_back((1.0 - clipped) * window_s);
+  }
+  return r;
+}
+
+SpikeRaster rate_encode(const std::vector<double>& values, double max_rate_hz,
+                        double duration_s, lina::Rng& rng) {
+  SpikeRaster r(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const double v = std::clamp(values[i], 0.0, 1.0);
+    r[i] = poisson_train(v * max_rate_hz, duration_s, rng);
+  }
+  return r;
+}
+
+std::vector<SpikeEvent> raster_to_events(const SpikeRaster& r) {
+  std::vector<SpikeEvent> events;
+  for (std::size_t ch = 0; ch < r.size(); ++ch)
+    for (const double t : r[ch]) events.push_back({t, ch});
+  std::sort(events.begin(), events.end(),
+            [](const SpikeEvent& a, const SpikeEvent& b) {
+              return a.time < b.time;
+            });
+  return events;
+}
+
+std::vector<std::size_t> spike_counts(const SpikeRaster& r, double t0,
+                                      double t1) {
+  std::vector<std::size_t> counts(r.size(), 0);
+  for (std::size_t ch = 0; ch < r.size(); ++ch)
+    for (const double t : r[ch])
+      if (t >= t0 && t < t1) ++counts[ch];
+  return counts;
+}
+
+}  // namespace aspen::snn

@@ -1,0 +1,45 @@
+#pragma once
+/// \file spike.hpp
+/// Spike-train types and encoders for the photonic SNN substrate (paper
+/// Section 3: PCM accumulation + Q-switched laser spiking sources enable
+/// "photonic spiking neural networks (SNN) and bio-inspired learning
+/// rules such as spike-timing dependent plasticity (STDP)").
+
+#include <cstddef>
+#include <vector>
+
+#include "lina/random.hpp"
+
+namespace aspen::snn {
+
+/// A raster of spike times: raster[channel] = sorted spike times [s].
+using SpikeRaster = std::vector<std::vector<double>>;
+
+/// Poisson spike train with the given mean rate over [0, duration).
+[[nodiscard]] std::vector<double> poisson_train(double rate_hz,
+                                                double duration_s,
+                                                lina::Rng& rng);
+
+/// Latency encoding: one spike per channel, earlier for larger values.
+/// value in [0, 1] -> spike at (1 - value) * window (values <= 0 stay
+/// silent).
+[[nodiscard]] SpikeRaster latency_encode(const std::vector<double>& values,
+                                         double window_s);
+
+/// Rate encoding: Poisson trains with rate proportional to value.
+[[nodiscard]] SpikeRaster rate_encode(const std::vector<double>& values,
+                                      double max_rate_hz, double duration_s,
+                                      lina::Rng& rng);
+
+/// Merge a raster into a time-sorted (time, channel) event list.
+struct SpikeEvent {
+  double time;
+  std::size_t channel;
+};
+[[nodiscard]] std::vector<SpikeEvent> raster_to_events(const SpikeRaster& r);
+
+/// Count spikes in [t0, t1) per channel.
+[[nodiscard]] std::vector<std::size_t> spike_counts(const SpikeRaster& r,
+                                                    double t0, double t1);
+
+}  // namespace aspen::snn

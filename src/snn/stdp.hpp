@@ -1,0 +1,27 @@
+#pragma once
+/// \file stdp.hpp
+/// Pair-based spike-timing-dependent plasticity rule (paper Section 3).
+/// Causal pre-before-post pairs potentiate, anti-causal pairs depress,
+/// both with exponential windows. Weight updates are later realized as
+/// partial SET / partial RESET pulses on the PCM synapses.
+
+#include <cmath>
+
+namespace aspen::snn {
+
+struct StdpConfig {
+  double a_plus = 0.08;    ///< LTP amplitude (fractional weight change)
+  double a_minus = 0.06;   ///< LTD amplitude
+  double tau_plus_s = 40e-9;
+  double tau_minus_s = 40e-9;
+};
+
+/// Weight change for a pre->post delay `dt = t_post - t_pre`.
+/// dt >= 0 (causal): +a_plus * exp(-dt / tau_plus)
+/// dt <  0 (anti-causal): -a_minus * exp(dt / tau_minus)
+[[nodiscard]] inline double stdp_delta(const StdpConfig& cfg, double dt_s) {
+  if (dt_s >= 0.0) return cfg.a_plus * std::exp(-dt_s / cfg.tau_plus_s);
+  return -cfg.a_minus * std::exp(dt_s / cfg.tau_minus_s);
+}
+
+}  // namespace aspen::snn

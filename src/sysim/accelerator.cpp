@@ -1,0 +1,180 @@
+#include "sysim/accelerator.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace aspen::sys {
+
+using lina::CMat;
+using lina::cplx;
+using lina::CVec;
+
+namespace {
+std::uint32_t spm_bytes(std::size_t elems) {
+  return static_cast<std::uint32_t>(elems * sizeof(std::int16_t));
+}
+}  // namespace
+
+PhotonicAccelerator::PhotonicAccelerator(AcceleratorConfig cfg)
+    : cfg_(cfg),
+      gemm_(cfg.gemm),
+      spm_w_("spm-w",
+             spm_bytes(cfg.gemm.mvm.ports * cfg.gemm.mvm.ports), 1),
+      spm_x_("spm-x", spm_bytes(cfg.gemm.mvm.ports * cfg.max_cols), 1),
+      spm_y_("spm-y", spm_bytes(cfg.gemm.mvm.ports * cfg.max_cols), 1) {
+  if (cfg_.max_cols == 0 || cfg_.clock_hz <= 0.0)
+    throw std::invalid_argument("PhotonicAccelerator: bad config");
+  if (spm_bytes(cfg.gemm.mvm.ports * cfg.max_cols) > 0x1000)
+    throw std::invalid_argument(
+        "PhotonicAccelerator: SPM exceeds its 4 KiB window");
+}
+
+std::int16_t PhotonicAccelerator::to_fixed(double v) {
+  const double scaled = std::round(v * (1 << kFracBits));
+  if (scaled > 32767.0) return 32767;
+  if (scaled < -32768.0) return -32768;
+  return static_cast<std::int16_t>(scaled);
+}
+
+double PhotonicAccelerator::from_fixed(std::int16_t v) {
+  return static_cast<double>(v) / (1 << kFracBits);
+}
+
+namespace {
+/// Device-internal decode: out-of-range offsets inside a mapped window
+/// read as zero / ignore writes, like unpopulated RTL address space —
+/// fault campaigns depend on wild accesses not killing the simulator.
+bool spm_ok(const Memory& m, std::uint32_t off, unsigned size) {
+  return off + size <= m.size();
+}
+}  // namespace
+
+std::uint32_t PhotonicAccelerator::read(std::uint32_t offset, unsigned size) {
+  if (offset >= kSpmYBase)
+    return spm_ok(spm_y_, offset - kSpmYBase, size)
+               ? spm_y_.read(offset - kSpmYBase, size)
+               : 0;
+  if (offset >= kSpmXBase)
+    return spm_ok(spm_x_, offset - kSpmXBase, size)
+               ? spm_x_.read(offset - kSpmXBase, size)
+               : 0;
+  if (offset >= kSpmWBase)
+    return spm_ok(spm_w_, offset - kSpmWBase, size)
+               ? spm_w_.read(offset - kSpmWBase, size)
+               : 0;
+  switch (offset) {
+    case kRegCtrl: return ctrl_;
+    case kRegStatus:
+      return (busy() ? kStatusBusy : 0u) | (done_ ? kStatusDone : 0u);
+    case kRegCols: return cols_;
+    case kRegPorts: return static_cast<std::uint32_t>(cfg_.gemm.mvm.ports);
+    case kRegCycles: return last_op_cycles_;
+    default: return 0;
+  }
+}
+
+void PhotonicAccelerator::write(std::uint32_t offset, std::uint32_t value,
+                                unsigned size) {
+  if (offset >= kSpmYBase) {
+    if (spm_ok(spm_y_, offset - kSpmYBase, size))
+      spm_y_.write(offset - kSpmYBase, value, size);
+    return;
+  }
+  if (offset >= kSpmXBase) {
+    if (spm_ok(spm_x_, offset - kSpmXBase, size))
+      spm_x_.write(offset - kSpmXBase, value, size);
+    return;
+  }
+  if (offset >= kSpmWBase) {
+    if (spm_ok(spm_w_, offset - kSpmWBase, size))
+      spm_w_.write(offset - kSpmWBase, value, size);
+    return;
+  }
+  switch (offset) {
+    case kRegCtrl:
+      ctrl_ = value;
+      if ((value & (kCtrlStart | kCtrlLoadWeights)) && !busy())
+        start_operation(value);
+      break;
+    case kRegStatus:
+      if (value & kStatusDone) {
+        done_ = false;
+        irq_ = false;
+      }
+      break;
+    case kRegCols:
+      if (value >= 1 && value <= cfg_.max_cols) cols_ = value;
+      break;
+    default: break;
+  }
+}
+
+void PhotonicAccelerator::start_operation(std::uint32_t ctrl) {
+  pending_op_ = ctrl;
+  const std::size_t n = cfg_.gemm.mvm.ports;
+  double op_seconds = 0.0;
+
+  if (ctrl & kCtrlLoadWeights) {
+    CMat w(n, n);
+    for (std::size_t r = 0; r < n; ++r)
+      for (std::size_t c = 0; c < n; ++c) {
+        const auto raw = static_cast<std::int16_t>(
+            spm_w_.read(static_cast<std::uint32_t>(2 * (r * n + c)), 2));
+        w(r, c) = cplx{from_fixed(raw), 0.0};
+      }
+    gemm_.set_weights(w);
+    op_seconds += gemm_.engine().program_time_s();
+  }
+
+  if (ctrl & kCtrlStart) {
+    const std::size_t m = cols_;
+    CMat x(n, m);
+    for (std::size_t c = 0; c < m; ++c)
+      for (std::size_t r = 0; r < n; ++r) {
+        const auto raw = static_cast<std::int16_t>(
+            spm_x_.read(static_cast<std::uint32_t>(2 * (c * n + r)), 2));
+        x(r, c) = cplx{from_fixed(raw), 0.0};
+      }
+
+    CMat y(n, m);
+    if (cfg_.deterministic) {
+      for (std::size_t c = 0; c < m; ++c) {
+        const CVec out = gemm_.engine().multiply_noiseless(x.col(c));
+        for (std::size_t r = 0; r < n; ++r) y(r, c) = out[r];
+      }
+    } else {
+      y = gemm_.multiply(x);
+    }
+    for (std::size_t c = 0; c < m; ++c)
+      for (std::size_t r = 0; r < n; ++r)
+        spm_y_.write(static_cast<std::uint32_t>(2 * (c * n + r)),
+                     static_cast<std::uint16_t>(to_fixed(y(r, c).real())), 2);
+
+    const auto k = static_cast<std::size_t>(
+        std::max(1, cfg_.gemm.wdm_channels));
+    const auto groups = static_cast<double>((m + k - 1) / k);
+    op_seconds += groups * gemm_.engine().symbol_time_s();
+  }
+
+  const double cycles = std::ceil(op_seconds * cfg_.clock_hz);
+  busy_cycles_ = static_cast<std::uint64_t>(cycles) + cfg_.handshake_cycles;
+  total_busy_cycles_ += busy_cycles_;
+  last_op_cycles_ = static_cast<std::uint32_t>(busy_cycles_);
+}
+
+void PhotonicAccelerator::finish_operation() {
+  done_ = true;
+  if (pending_op_ & kCtrlIrqEn) irq_ = true;
+}
+
+void PhotonicAccelerator::tick() {
+  if (busy_cycles_ == 0) return;
+  if (--busy_cycles_ == 0) finish_operation();
+}
+
+void PhotonicAccelerator::inject_phase_fault(std::size_t phase_index,
+                                             double delta_rad) {
+  gemm_.engine().perturb_phase(phase_index, delta_rad);
+}
+
+}  // namespace aspen::sys

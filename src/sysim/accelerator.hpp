@@ -1,0 +1,116 @@
+#pragma once
+/// \file accelerator.hpp
+/// The photonic DSA as a memory-mapped device — the paper's Fig. 3
+/// architecture: a Compute Unit (the photonic GeMM core of src/core)
+/// behind a Communications Interface of memory-mapped registers (MMRs),
+/// scratchpad memories (SPMs) for the weight/input/output tiles, and an
+/// interrupt line "so the host can utilize the provided interrupt signals
+/// for synchronization without the need for constant polling".
+///
+/// Device memory map (offsets from the device base):
+///   0x0000  MMR block
+///     0x00 CTRL    bit0 START_COMPUTE, bit1 IRQ_EN, bit2 LOAD_WEIGHTS
+///     0x04 STATUS  bit0 BUSY, bit1 DONE (write 1 to clear)
+///     0x08 COLS    number of input columns M (1 .. max_cols)
+///     0x0C PORTS   (RO) mesh size N
+///     0x10 CYCLES  (RO) busy cycles of the last operation
+///   0x1000  SPM_W  N x N   int16 Q3.12 weights, row-major
+///   0x2000  SPM_X  N x M   int16 Q3.12 inputs, column-major
+///   0x3000  SPM_Y  N x M   int16 Q3.12 outputs, column-major
+///
+/// Timing: LOAD_WEIGHTS costs the weight-programming time of the
+/// configured technology (micro-seconds for thermo-optic heaters,
+/// ~100 ns for PCM); START_COMPUTE costs the optical GeMM wall time plus
+/// a fixed handshake overhead. Data conversion is Q3.12 fixed point with
+/// saturation (range [-8, 8), resolution 2^-12) — wide enough for N <= 8
+/// dot products of [-1, 1] operands without overflow.
+
+#include <memory>
+
+#include "core/gemm_core.hpp"
+#include "sysim/memory.hpp"
+
+namespace aspen::sys {
+
+struct AcceleratorConfig {
+  core::GemmConfig gemm;
+  std::uint32_t max_cols = 64;
+  double clock_hz = 1e9;          ///< system clock for cycle conversion
+  unsigned handshake_cycles = 20; ///< fixed start/finish overhead
+  /// Use the deterministic (noise-free) optical path so software-visible
+  /// results are reproducible; benches studying analog noise disable it.
+  bool deterministic = true;
+};
+
+class PhotonicAccelerator final : public BusDevice {
+ public:
+  explicit PhotonicAccelerator(AcceleratorConfig cfg);
+
+  std::uint32_t read(std::uint32_t offset, unsigned size) override;
+  void write(std::uint32_t offset, std::uint32_t value, unsigned size) override;
+  [[nodiscard]] unsigned access_latency() const override { return 2; }
+  [[nodiscard]] std::string name() const override { return "photonic-dsa"; }
+
+  /// Advance one system clock cycle.
+  void tick();
+
+  [[nodiscard]] bool irq_pending() const { return irq_; }
+  void clear_irq() { irq_ = false; }
+  [[nodiscard]] bool busy() const { return busy_cycles_ > 0; }
+
+  /// Direct SPM access for fault injection campaigns.
+  [[nodiscard]] Memory& spm_w() { return spm_w_; }
+  [[nodiscard]] Memory& spm_x() { return spm_x_; }
+  [[nodiscard]] Memory& spm_y() { return spm_y_; }
+  /// Perturb one programmed mesh phase (photonic-domain fault).
+  void inject_phase_fault(std::size_t phase_index, double delta_rad);
+  /// Number of programmable phases (the photonic fault surface).
+  [[nodiscard]] std::size_t phase_state_size() const {
+    return gemm_.engine().phase_state_size();
+  }
+
+  [[nodiscard]] const AcceleratorConfig& config() const { return cfg_; }
+  [[nodiscard]] std::uint64_t total_busy_cycles() const {
+    return total_busy_cycles_;
+  }
+
+  static constexpr std::uint32_t kMmrBase = 0x0000;
+  static constexpr std::uint32_t kSpmWBase = 0x1000;
+  static constexpr std::uint32_t kSpmXBase = 0x2000;
+  static constexpr std::uint32_t kSpmYBase = 0x3000;
+  static constexpr std::uint32_t kRegCtrl = 0x00;
+  static constexpr std::uint32_t kRegStatus = 0x04;
+  static constexpr std::uint32_t kRegCols = 0x08;
+  static constexpr std::uint32_t kRegPorts = 0x0C;
+  static constexpr std::uint32_t kRegCycles = 0x10;
+  static constexpr std::uint32_t kCtrlStart = 1u << 0;
+  static constexpr std::uint32_t kCtrlIrqEn = 1u << 1;
+  static constexpr std::uint32_t kCtrlLoadWeights = 1u << 2;
+  static constexpr std::uint32_t kStatusBusy = 1u << 0;
+  static constexpr std::uint32_t kStatusDone = 1u << 1;
+
+  /// Fixed-point format shared with the software baseline workloads.
+  static constexpr int kFracBits = 12;  // Q3.12
+  [[nodiscard]] static std::int16_t to_fixed(double v);
+  [[nodiscard]] static double from_fixed(std::int16_t v);
+
+ private:
+  void start_operation(std::uint32_t ctrl);
+  void finish_operation();
+
+  AcceleratorConfig cfg_;
+  core::GemmCore gemm_;
+  Memory spm_w_;
+  Memory spm_x_;
+  Memory spm_y_;
+  std::uint32_t ctrl_ = 0;
+  std::uint32_t cols_ = 1;
+  bool done_ = false;
+  bool irq_ = false;
+  std::uint64_t busy_cycles_ = 0;
+  std::uint64_t total_busy_cycles_ = 0;
+  std::uint32_t last_op_cycles_ = 0;
+  std::uint32_t pending_op_ = 0;  ///< latched CTRL of the running op
+};
+
+}  // namespace aspen::sys

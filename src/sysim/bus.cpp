@@ -1,0 +1,55 @@
+#include "sysim/bus.hpp"
+
+#include <stdexcept>
+
+namespace aspen::sys {
+
+void Bus::attach(std::uint32_t base, std::uint32_t size, BusDevice* dev) {
+  if (dev == nullptr) throw std::invalid_argument("Bus::attach: null device");
+  if (size == 0) throw std::invalid_argument("Bus::attach: zero size");
+  for (const auto& r : regions_) {
+    const bool overlap = base < r.base + r.size && r.base < base + size;
+    if (overlap)
+      throw std::invalid_argument("Bus::attach: overlapping region for " +
+                                  dev->name());
+  }
+  regions_.push_back({base, size, dev});
+}
+
+const Bus::Region* Bus::find(std::uint32_t addr) const {
+  for (const auto& r : regions_)
+    if (addr >= r.base && addr < r.base + r.size) return &r;
+  return nullptr;
+}
+
+BusDevice* Bus::device_at(std::uint32_t addr) const {
+  const Region* r = find(addr);
+  return r ? r->dev : nullptr;
+}
+
+Bus::Access Bus::read(std::uint32_t addr, unsigned size) {
+  Access a;
+  const Region* r = find(addr);
+  if (r == nullptr) {
+    a.fault = true;
+    return a;
+  }
+  a.value = r->dev->read(addr - r->base, size);
+  a.latency = bus_latency_ + r->dev->access_latency();
+  return a;
+}
+
+Bus::Access Bus::write(std::uint32_t addr, std::uint32_t value,
+                       unsigned size) {
+  Access a;
+  const Region* r = find(addr);
+  if (r == nullptr) {
+    a.fault = true;
+    return a;
+  }
+  r->dev->write(addr - r->base, value, size);
+  a.latency = bus_latency_ + r->dev->access_latency();
+  return a;
+}
+
+}  // namespace aspen::sys

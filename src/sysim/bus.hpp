@@ -1,0 +1,59 @@
+#pragma once
+/// \file bus.hpp
+/// System interconnect of the gem5-style platform (paper Fig. 3): a
+/// single shared bus routing CPU / DMA accesses by address to memories
+/// and memory-mapped devices. Each device reports its access latency;
+/// the bus adds its own arbitration cost. Cycle accounting is returned
+/// with every access so masters can stall accordingly.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace aspen::sys {
+
+/// Anything addressable on the bus.
+class BusDevice {
+ public:
+  virtual ~BusDevice() = default;
+  /// Read `size` (1, 2 or 4) bytes at device-relative `offset`.
+  virtual std::uint32_t read(std::uint32_t offset, unsigned size) = 0;
+  /// Write `size` bytes.
+  virtual void write(std::uint32_t offset, std::uint32_t value,
+                     unsigned size) = 0;
+  /// Cycles per access (on top of the bus latency).
+  [[nodiscard]] virtual unsigned access_latency() const { return 1; }
+  [[nodiscard]] virtual std::string name() const { return "device"; }
+};
+
+/// Simple address-routed bus. Regions must not overlap.
+class Bus {
+ public:
+  /// Cycles added by the interconnect itself per transaction.
+  explicit Bus(unsigned bus_latency = 1) : bus_latency_(bus_latency) {}
+
+  void attach(std::uint32_t base, std::uint32_t size, BusDevice* dev);
+
+  struct Access {
+    std::uint32_t value = 0;
+    unsigned latency = 0;
+    bool fault = false;  ///< no device at address
+  };
+  [[nodiscard]] Access read(std::uint32_t addr, unsigned size);
+  Access write(std::uint32_t addr, std::uint32_t value, unsigned size);
+
+  /// Device mapped at `addr`, or nullptr.
+  [[nodiscard]] BusDevice* device_at(std::uint32_t addr) const;
+
+ private:
+  struct Region {
+    std::uint32_t base;
+    std::uint32_t size;
+    BusDevice* dev;
+  };
+  [[nodiscard]] const Region* find(std::uint32_t addr) const;
+  std::vector<Region> regions_;
+  unsigned bus_latency_;
+};
+
+}  // namespace aspen::sys

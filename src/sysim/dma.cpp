@@ -1,0 +1,69 @@
+#include "sysim/dma.hpp"
+
+namespace aspen::sys {
+
+DmaEngine::DmaEngine(Bus& bus, unsigned bytes_per_cycle)
+    : bus_(bus), beat_(bytes_per_cycle == 0 ? 4 : bytes_per_cycle) {}
+
+std::uint32_t DmaEngine::read(std::uint32_t offset, unsigned /*size*/) {
+  switch (offset) {
+    case kRegSrc: return src_;
+    case kRegDst: return dst_;
+    case kRegLen: return len_;
+    case kRegCtrl: return ctrl_;
+    case kRegStatus:
+      return (busy_ ? kStatusBusy : 0u) | (done_ ? kStatusDone : 0u);
+    default: return 0;
+  }
+}
+
+void DmaEngine::write(std::uint32_t offset, std::uint32_t value,
+                      unsigned /*size*/) {
+  switch (offset) {
+    case kRegSrc: src_ = value; break;
+    case kRegDst: dst_ = value; break;
+    case kRegLen: len_ = value; break;
+    case kRegCtrl:
+      ctrl_ = value;
+      if ((value & kCtrlStart) && !busy_ && len_ > 0) {
+        busy_ = true;
+        done_ = false;
+        cursor_ = 0;
+      }
+      break;
+    case kRegStatus:
+      if (value & kStatusDone) {
+        done_ = false;
+        irq_ = false;
+      }
+      break;
+    default: break;
+  }
+}
+
+void DmaEngine::tick() {
+  if (!busy_) return;
+  unsigned moved = 0;
+  while (moved < beat_ && cursor_ < len_) {
+    // Word transfers when aligned and enough remaining; bytes otherwise.
+    const std::uint32_t remaining = len_ - cursor_;
+    const bool word_ok = remaining >= 4 && ((src_ + cursor_) % 4 == 0) &&
+                         ((dst_ + cursor_) % 4 == 0);
+    const unsigned size = word_ok ? 4 : 1;
+    const Bus::Access rd = bus_.read(src_ + cursor_, size);
+    if (rd.fault) {  // abort on bus error; leave DONE unset, drop BUSY
+      busy_ = false;
+      return;
+    }
+    (void)bus_.write(dst_ + cursor_, rd.value, size);
+    cursor_ += size;
+    moved += size;
+  }
+  if (cursor_ >= len_) {
+    busy_ = false;
+    done_ = true;
+    if (ctrl_ & kCtrlIrqEn) irq_ = true;
+  }
+}
+
+}  // namespace aspen::sys

@@ -1,0 +1,182 @@
+#include "sysim/fault.hpp"
+
+#include <stdexcept>
+
+namespace aspen::sys {
+
+std::string to_string(FaultTarget t) {
+  switch (t) {
+    case FaultTarget::kCpuRegfile: return "cpu-regfile";
+    case FaultTarget::kDramData: return "dram-data";
+    case FaultTarget::kAccelSpmW: return "accel-spm-w";
+    case FaultTarget::kAccelSpmX: return "accel-spm-x";
+    case FaultTarget::kAccelPhase: return "accel-phase";
+  }
+  return "?";
+}
+
+std::string to_string(FaultModel m) {
+  switch (m) {
+    case FaultModel::kTransientFlip: return "transient";
+    case FaultModel::kStuckAt0: return "stuck-at-0";
+    case FaultModel::kStuckAt1: return "stuck-at-1";
+  }
+  return "?";
+}
+
+std::string to_string(Outcome o) {
+  switch (o) {
+    case Outcome::kMasked: return "masked";
+    case Outcome::kSdc: return "SDC";
+    case Outcome::kDueTrap: return "DUE-trap";
+    case Outcome::kDueHang: return "DUE-hang";
+  }
+  return "?";
+}
+
+double CampaignResult::fraction(Outcome o) const {
+  const auto it = counts.find(o);
+  if (it == counts.end() || total == 0) return 0.0;
+  return static_cast<double>(it->second) / static_cast<double>(total);
+}
+
+FaultCampaign::FaultCampaign(SystemFactory factory, OutputReader read_output,
+                             std::uint64_t max_cycles)
+    : factory_(std::move(factory)),
+      read_output_(std::move(read_output)),
+      max_cycles_(max_cycles) {}
+
+const std::vector<std::uint8_t>& FaultCampaign::golden() {
+  if (!have_golden_) {
+    auto system = factory_();
+    const auto result = system->run();
+    if (result.timed_out || result.halt == rv::Halt::kBusFault ||
+        result.halt == rv::Halt::kIllegal)
+      throw std::runtime_error("FaultCampaign: golden run failed");
+    golden_ = read_output_(*system);
+    golden_cycles_ = result.cycles;
+    have_golden_ = true;
+  }
+  return golden_;
+}
+
+std::uint64_t FaultCampaign::golden_cycles() {
+  (void)golden();
+  return golden_cycles_;
+}
+
+void FaultCampaign::inject(System& system, const FaultSpec& spec) {
+  switch (spec.target) {
+    case FaultTarget::kCpuRegfile: {
+      const int reg = static_cast<int>(spec.index % 31 + 1);  // skip x0
+      if (spec.model == FaultModel::kTransientFlip)
+        system.cpu().flip_reg_bit(reg, spec.bit);
+      else
+        system.cpu().set_reg_stuck_bit(reg, spec.bit,
+                                       spec.model == FaultModel::kStuckAt1);
+      break;
+    }
+    case FaultTarget::kDramData: {
+      if (spec.model == FaultModel::kTransientFlip)
+        system.dram().flip_bit(spec.index, spec.bit);
+      else
+        system.dram().set_stuck_bit(spec.index, spec.bit,
+                                    spec.model == FaultModel::kStuckAt1);
+      break;
+    }
+    case FaultTarget::kAccelSpmW:
+    case FaultTarget::kAccelSpmX: {
+      Memory& spm = spec.target == FaultTarget::kAccelSpmW
+                        ? system.pe(0).spm_w()
+                        : system.pe(0).spm_x();
+      const std::uint32_t off = spec.index % spm.size();
+      if (spec.model == FaultModel::kTransientFlip)
+        spm.flip_bit(off, spec.bit);
+      else
+        spm.set_stuck_bit(off, spec.bit,
+                          spec.model == FaultModel::kStuckAt1);
+      break;
+    }
+    case FaultTarget::kAccelPhase: {
+      // Photonic configuration upset: a phase deviates. Stuck-at maps to
+      // a persistent offset (PCM cell switched to a wrong level).
+      system.pe(0).inject_phase_fault(spec.index, spec.phase_delta_rad);
+      break;
+    }
+  }
+}
+
+Outcome FaultCampaign::run_one(const FaultSpec& spec) {
+  (void)golden();  // ensure reference exists
+  auto system = factory_();
+
+  // Run to the injection point, inject, then run to completion.
+  while (!system->cpu().halted() && system->now() < spec.cycle &&
+         system->now() < max_cycles_)
+    system->tick();
+  inject(*system, spec);
+  while (!system->cpu().halted() && system->now() < max_cycles_)
+    system->tick();
+
+  if (!system->cpu().halted()) return Outcome::kDueHang;
+  const rv::Halt h = system->cpu().halt_reason();
+  if (h == rv::Halt::kBusFault || h == rv::Halt::kIllegal)
+    return Outcome::kDueTrap;
+  const std::vector<std::uint8_t> out = read_output_(*system);
+  return out == golden_ ? Outcome::kMasked : Outcome::kSdc;
+}
+
+CampaignResult FaultCampaign::run_campaign(FaultTarget target,
+                                           FaultModel model, int trials,
+                                           lina::Rng& rng,
+                                           std::uint32_t index_lo,
+                                           std::uint32_t index_hi) {
+  CampaignResult result;
+  const std::uint64_t window = golden_cycles();
+  // Probe one system to size the injectable structures.
+  auto probe = factory_();
+  const auto default_hi = [&](std::uint32_t structure_size) {
+    return index_hi != 0 ? index_hi : structure_size - 1;
+  };
+
+  for (int t = 0; t < trials; ++t) {
+    FaultSpec spec;
+    spec.target = target;
+    spec.model = model;
+    spec.cycle = rng.uniform_int(1, window > 2 ? window - 1 : 1);
+    spec.bit = static_cast<unsigned>(rng.uniform_int(0, 31));
+    switch (target) {
+      case FaultTarget::kCpuRegfile:
+        spec.index = static_cast<std::uint32_t>(rng.uniform_int(0, 30));
+        break;
+      case FaultTarget::kDramData:
+        spec.index = static_cast<std::uint32_t>(rng.uniform_int(
+            index_lo, default_hi(probe->config().dram_size)));
+        spec.bit = static_cast<unsigned>(rng.uniform_int(0, 7));
+        break;
+      case FaultTarget::kAccelSpmW:
+        spec.index = static_cast<std::uint32_t>(
+            rng.uniform_int(index_lo, default_hi(probe->pe(0).spm_w().size())));
+        spec.bit = static_cast<unsigned>(rng.uniform_int(0, 7));
+        break;
+      case FaultTarget::kAccelSpmX:
+        spec.index = static_cast<std::uint32_t>(
+            rng.uniform_int(index_lo, default_hi(probe->pe(0).spm_x().size())));
+        spec.bit = static_cast<unsigned>(rng.uniform_int(0, 7));
+        break;
+      case FaultTarget::kAccelPhase: {
+        const auto nph =
+            static_cast<std::uint32_t>(probe->pe(0).phase_state_size());
+        spec.index = static_cast<std::uint32_t>(
+            rng.uniform_int(0, nph > 1 ? nph - 1 : 0));
+        spec.phase_delta_rad = rng.uniform(-1.5, 1.5);
+        break;
+      }
+    }
+    ++result.counts[run_one(spec)];
+    ++result.total;
+  }
+  return result;
+}
+
+}  // namespace aspen::sys

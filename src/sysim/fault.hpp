@@ -1,0 +1,100 @@
+#pragma once
+/// \file fault.hpp
+/// Microarchitecture-level fault injection campaigns — the gem5-MARVEL
+/// capability the paper highlights (Section 5: "supports transient and
+/// permanent fault injections to all hardware structures"). A campaign
+/// repeatedly executes a workload on a fresh system, injects one fault
+/// per run (target structure, model, cycle, bit), and classifies the
+/// outcome against a golden run:
+///
+///   Masked   — run completed, architectural output identical
+///   SDC      — run completed, output differs (silent data corruption)
+///   DUE-trap — detected: CPU halted on an access/illegal fault
+///   DUE-hang — detected: run exceeded the cycle budget (watchdog)
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lina/random.hpp"
+#include "sysim/system.hpp"
+
+namespace aspen::sys {
+
+enum class FaultTarget {
+  kCpuRegfile,    ///< architectural register bit
+  kDramData,      ///< workload data region in DRAM
+  kAccelSpmW,     ///< accelerator weight scratchpad
+  kAccelSpmX,     ///< accelerator input scratchpad
+  kAccelPhase,    ///< photonic configuration (programmed mesh phase)
+};
+[[nodiscard]] std::string to_string(FaultTarget t);
+
+enum class FaultModel {
+  kTransientFlip,  ///< single bit flip at the injection cycle
+  kStuckAt0,       ///< permanent stuck-at-0 from the injection cycle on
+  kStuckAt1,       ///< permanent stuck-at-1
+};
+[[nodiscard]] std::string to_string(FaultModel m);
+
+enum class Outcome { kMasked, kSdc, kDueTrap, kDueHang };
+[[nodiscard]] std::string to_string(Outcome o);
+
+struct FaultSpec {
+  FaultTarget target = FaultTarget::kCpuRegfile;
+  FaultModel model = FaultModel::kTransientFlip;
+  std::uint64_t cycle = 0;   ///< injection time
+  std::uint32_t index = 1;   ///< register number / byte offset / phase idx
+  unsigned bit = 0;          ///< bit within the target word/byte
+  double phase_delta_rad = 0.5;  ///< for kAccelPhase
+};
+
+/// Distribution of outcomes over a campaign.
+struct CampaignResult {
+  std::map<Outcome, int> counts;
+  int total = 0;
+  [[nodiscard]] double fraction(Outcome o) const;
+};
+
+class FaultCampaign {
+ public:
+  /// `factory` builds a fully staged system (program + data loaded);
+  /// `read_output` extracts the architectural output after completion.
+  using SystemFactory = std::function<std::unique_ptr<System>()>;
+  using OutputReader = std::function<std::vector<std::uint8_t>(System&)>;
+
+  FaultCampaign(SystemFactory factory, OutputReader read_output,
+                std::uint64_t max_cycles);
+
+  /// Golden (fault-free) execution; cached after the first call.
+  const std::vector<std::uint8_t>& golden();
+  /// Cycle count of the golden run (for sampling injection times).
+  [[nodiscard]] std::uint64_t golden_cycles();
+
+  /// Execute one faulted run.
+  Outcome run_one(const FaultSpec& spec);
+
+  /// Random campaign over a target/model pair: injection cycles uniform
+  /// in the golden run's active window, indices/bits uniform over the
+  /// target structure. `index_lo`/`index_hi` restrict the sampled index
+  /// range (e.g. the workload's data region in DRAM); hi == 0 means the
+  /// whole structure.
+  CampaignResult run_campaign(FaultTarget target, FaultModel model,
+                              int trials, lina::Rng& rng,
+                              std::uint32_t index_lo = 0,
+                              std::uint32_t index_hi = 0);
+
+ private:
+  void inject(System& system, const FaultSpec& spec);
+
+  SystemFactory factory_;
+  OutputReader read_output_;
+  std::uint64_t max_cycles_;
+  std::vector<std::uint8_t> golden_;
+  std::uint64_t golden_cycles_ = 0;
+  bool have_golden_ = false;
+};
+
+}  // namespace aspen::sys

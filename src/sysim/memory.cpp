@@ -1,0 +1,72 @@
+#include "sysim/memory.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace aspen::sys {
+
+Memory::Memory(std::string name, std::uint32_t size, unsigned latency_cycles)
+    : name_(std::move(name)), bytes_(size, 0), latency_(latency_cycles) {
+  if (size == 0) throw std::invalid_argument("Memory: zero size");
+}
+
+std::uint8_t Memory::read_byte(std::uint32_t offset) const {
+  std::uint8_t b = bytes_[offset];
+  for (const auto& s : stuck_) {
+    if (s.offset != offset) continue;
+    if (s.value)
+      b |= static_cast<std::uint8_t>(1u << s.bit);
+    else
+      b &= static_cast<std::uint8_t>(~(1u << s.bit));
+  }
+  return b;
+}
+
+std::uint32_t Memory::read(std::uint32_t offset, unsigned size) {
+  // Bus-facing access: a region-boundary-crossing transaction (possible
+  // under injected faults) reads as zero rather than killing the
+  // simulation; host-side load/read_block stay strict.
+  if (offset + size > bytes_.size()) return 0;
+  std::uint32_t v = 0;
+  for (unsigned i = 0; i < size; ++i)
+    v |= static_cast<std::uint32_t>(read_byte(offset + i)) << (8 * i);
+  return v;
+}
+
+void Memory::write(std::uint32_t offset, std::uint32_t value, unsigned size) {
+  if (offset + size > bytes_.size()) return;  // see read()
+  for (unsigned i = 0; i < size; ++i)
+    bytes_[offset + i] = static_cast<std::uint8_t>(value >> (8 * i));
+}
+
+void Memory::load(std::uint32_t offset, const void* src, std::size_t n) {
+  if (offset + n > bytes_.size())
+    throw std::out_of_range(name_ + ": load past end");
+  std::memcpy(bytes_.data() + offset, src, n);
+}
+
+void Memory::read_block(std::uint32_t offset, void* dst, std::size_t n) const {
+  if (offset + n > bytes_.size())
+    throw std::out_of_range(name_ + ": read_block past end");
+  std::memcpy(dst, bytes_.data() + offset, n);
+}
+
+void Memory::fill(std::uint8_t value) {
+  std::fill(bytes_.begin(), bytes_.end(), value);
+}
+
+void Memory::flip_bit(std::uint32_t offset, unsigned bit) {
+  if (offset >= bytes_.size() || bit > 7)
+    throw std::out_of_range(name_ + ": flip_bit out of range");
+  bytes_[offset] ^= static_cast<std::uint8_t>(1u << bit);
+}
+
+void Memory::set_stuck_bit(std::uint32_t offset, unsigned bit, bool value) {
+  if (offset >= bytes_.size() || bit > 7)
+    throw std::out_of_range(name_ + ": set_stuck_bit out of range");
+  stuck_.push_back({offset, static_cast<std::uint8_t>(bit), value});
+}
+
+void Memory::clear_faults() { stuck_.clear(); }
+
+}  // namespace aspen::sys

@@ -1,0 +1,56 @@
+#pragma once
+/// \file memory.hpp
+/// Byte-addressable memories: DRAM-like main memory and on-accelerator
+/// scratchpads (SPMs — "these two types of memories occupy the largest
+/// part of the area of many accelerators", paper Section 5). Supports the
+/// permanent stuck-at fault hooks used by the reliability campaigns.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sysim/bus.hpp"
+
+namespace aspen::sys {
+
+class Memory final : public BusDevice {
+ public:
+  Memory(std::string name, std::uint32_t size, unsigned latency_cycles);
+
+  std::uint32_t read(std::uint32_t offset, unsigned size) override;
+  void write(std::uint32_t offset, std::uint32_t value, unsigned size) override;
+  [[nodiscard]] unsigned access_latency() const override { return latency_; }
+  [[nodiscard]] std::string name() const override { return name_; }
+
+  [[nodiscard]] std::uint32_t size() const {
+    return static_cast<std::uint32_t>(bytes_.size());
+  }
+
+  /// Bulk host-side access (program loading, result checking) — no
+  /// latency modelling.
+  void load(std::uint32_t offset, const void* src, std::size_t n);
+  void read_block(std::uint32_t offset, void* dst, std::size_t n) const;
+  void fill(std::uint8_t value);
+
+  // -- Fault hooks --------------------------------------------------------
+  /// Transient: flip one bit now.
+  void flip_bit(std::uint32_t offset, unsigned bit);
+  /// Permanent: force one bit to `value` on every read from now on.
+  void set_stuck_bit(std::uint32_t offset, unsigned bit, bool value);
+  void clear_faults();
+
+ private:
+  [[nodiscard]] std::uint8_t read_byte(std::uint32_t offset) const;
+
+  std::string name_;
+  std::vector<std::uint8_t> bytes_;
+  unsigned latency_;
+  struct Stuck {
+    std::uint32_t offset;
+    std::uint8_t bit;
+    bool value;
+  };
+  std::vector<Stuck> stuck_;
+};
+
+}  // namespace aspen::sys

@@ -1,0 +1,267 @@
+#include "sysim/riscv/assembler.hpp"
+
+#include <stdexcept>
+
+namespace aspen::sys::rv {
+
+namespace {
+
+std::uint32_t rtype(unsigned funct7, int rs2, int rs1, unsigned funct3,
+                    int rd, unsigned opcode) {
+  return (funct7 << 25) | (static_cast<std::uint32_t>(rs2) << 20) |
+         (static_cast<std::uint32_t>(rs1) << 15) | (funct3 << 12) |
+         (static_cast<std::uint32_t>(rd) << 7) | opcode;
+}
+
+std::uint32_t itype(std::int32_t imm, int rs1, unsigned funct3, int rd,
+                    unsigned opcode) {
+  if (imm < -2048 || imm > 2047)
+    throw std::invalid_argument("Assembler: I-immediate out of range");
+  return (static_cast<std::uint32_t>(imm & 0xFFF) << 20) |
+         (static_cast<std::uint32_t>(rs1) << 15) | (funct3 << 12) |
+         (static_cast<std::uint32_t>(rd) << 7) | opcode;
+}
+
+std::uint32_t stype(std::int32_t imm, int rs2, int rs1, unsigned funct3,
+                    unsigned opcode) {
+  if (imm < -2048 || imm > 2047)
+    throw std::invalid_argument("Assembler: S-immediate out of range");
+  const auto u = static_cast<std::uint32_t>(imm & 0xFFF);
+  return ((u >> 5) << 25) | (static_cast<std::uint32_t>(rs2) << 20) |
+         (static_cast<std::uint32_t>(rs1) << 15) | (funct3 << 12) |
+         ((u & 0x1F) << 7) | opcode;
+}
+
+std::uint32_t btype_imm(std::int32_t offset) {
+  if (offset < -4096 || offset > 4094 || (offset & 1))
+    throw std::invalid_argument("Assembler: branch offset out of range");
+  const auto u = static_cast<std::uint32_t>(offset);
+  return (((u >> 12) & 1u) << 31) | (((u >> 5) & 0x3Fu) << 25) |
+         (((u >> 1) & 0xFu) << 8) | (((u >> 11) & 1u) << 7);
+}
+
+std::uint32_t jtype_imm(std::int32_t offset) {
+  if (offset < -(1 << 20) || offset >= (1 << 20) || (offset & 1))
+    throw std::invalid_argument("Assembler: jump offset out of range");
+  const auto u = static_cast<std::uint32_t>(offset);
+  return (((u >> 20) & 1u) << 31) | (((u >> 1) & 0x3FFu) << 21) |
+         (((u >> 11) & 1u) << 20) | (((u >> 12) & 0xFFu) << 12);
+}
+
+void check_reg(int r) {
+  if (r < 0 || r > 31) throw std::invalid_argument("Assembler: bad register");
+}
+
+}  // namespace
+
+void Assembler::emit(std::uint32_t word) { words_.push_back(word); }
+
+std::uint32_t Assembler::current_address() const {
+  return base_ + static_cast<std::uint32_t>(words_.size() * 4);
+}
+
+void Assembler::label(const std::string& name) {
+  if (labels_.count(name))
+    throw std::invalid_argument("Assembler: duplicate label " + name);
+  labels_[name] = current_address();
+}
+
+std::uint32_t Assembler::address_of(const std::string& label) const {
+  const auto it = labels_.find(label);
+  if (it == labels_.end())
+    throw std::invalid_argument("Assembler: unknown label " + label);
+  return it->second;
+}
+
+void Assembler::lui(int rd, std::uint32_t imm20) {
+  check_reg(rd);
+  emit((imm20 << 12) | (static_cast<std::uint32_t>(rd) << 7) | 0x37);
+}
+void Assembler::auipc(int rd, std::uint32_t imm20) {
+  check_reg(rd);
+  emit((imm20 << 12) | (static_cast<std::uint32_t>(rd) << 7) | 0x17);
+}
+void Assembler::jal(int rd, const std::string& target) {
+  check_reg(rd);
+  fixups_.push_back({words_.size(), target, /*is_branch=*/false});
+  emit((static_cast<std::uint32_t>(rd) << 7) | 0x6F);
+}
+void Assembler::jalr(int rd, int rs1, std::int32_t imm) {
+  check_reg(rd);
+  check_reg(rs1);
+  emit(itype(imm, rs1, 0, rd, 0x67));
+}
+
+void Assembler::branch(unsigned funct3, int rs1, int rs2,
+                       const std::string& target) {
+  check_reg(rs1);
+  check_reg(rs2);
+  fixups_.push_back({words_.size(), target, /*is_branch=*/true});
+  emit((static_cast<std::uint32_t>(rs2) << 20) |
+       (static_cast<std::uint32_t>(rs1) << 15) | (funct3 << 12) | 0x63);
+}
+void Assembler::beq(int a, int b, const std::string& l) { branch(0, a, b, l); }
+void Assembler::bne(int a, int b, const std::string& l) { branch(1, a, b, l); }
+void Assembler::blt(int a, int b, const std::string& l) { branch(4, a, b, l); }
+void Assembler::bge(int a, int b, const std::string& l) { branch(5, a, b, l); }
+void Assembler::bltu(int a, int b, const std::string& l) { branch(6, a, b, l); }
+void Assembler::bgeu(int a, int b, const std::string& l) { branch(7, a, b, l); }
+
+void Assembler::lb(int rd, int rs1, std::int32_t imm) {
+  emit(itype(imm, rs1, 0, rd, 0x03));
+}
+void Assembler::lh(int rd, int rs1, std::int32_t imm) {
+  emit(itype(imm, rs1, 1, rd, 0x03));
+}
+void Assembler::lw(int rd, int rs1, std::int32_t imm) {
+  emit(itype(imm, rs1, 2, rd, 0x03));
+}
+void Assembler::lbu(int rd, int rs1, std::int32_t imm) {
+  emit(itype(imm, rs1, 4, rd, 0x03));
+}
+void Assembler::lhu(int rd, int rs1, std::int32_t imm) {
+  emit(itype(imm, rs1, 5, rd, 0x03));
+}
+void Assembler::sb(int rs2, int rs1, std::int32_t imm) {
+  emit(stype(imm, rs2, rs1, 0, 0x23));
+}
+void Assembler::sh(int rs2, int rs1, std::int32_t imm) {
+  emit(stype(imm, rs2, rs1, 1, 0x23));
+}
+void Assembler::sw(int rs2, int rs1, std::int32_t imm) {
+  emit(stype(imm, rs2, rs1, 2, 0x23));
+}
+
+void Assembler::addi(int rd, int rs1, std::int32_t imm) {
+  emit(itype(imm, rs1, 0, rd, 0x13));
+}
+void Assembler::slti(int rd, int rs1, std::int32_t imm) {
+  emit(itype(imm, rs1, 2, rd, 0x13));
+}
+void Assembler::sltiu(int rd, int rs1, std::int32_t imm) {
+  emit(itype(imm, rs1, 3, rd, 0x13));
+}
+void Assembler::xori(int rd, int rs1, std::int32_t imm) {
+  emit(itype(imm, rs1, 4, rd, 0x13));
+}
+void Assembler::ori(int rd, int rs1, std::int32_t imm) {
+  emit(itype(imm, rs1, 6, rd, 0x13));
+}
+void Assembler::andi(int rd, int rs1, std::int32_t imm) {
+  emit(itype(imm, rs1, 7, rd, 0x13));
+}
+void Assembler::slli(int rd, int rs1, unsigned shamt) {
+  emit(rtype(0x00, static_cast<int>(shamt), rs1, 1, rd, 0x13));
+}
+void Assembler::srli(int rd, int rs1, unsigned shamt) {
+  emit(rtype(0x00, static_cast<int>(shamt), rs1, 5, rd, 0x13));
+}
+void Assembler::srai(int rd, int rs1, unsigned shamt) {
+  emit(rtype(0x20, static_cast<int>(shamt), rs1, 5, rd, 0x13));
+}
+
+void Assembler::add(int rd, int rs1, int rs2) {
+  emit(rtype(0x00, rs2, rs1, 0, rd, 0x33));
+}
+void Assembler::sub(int rd, int rs1, int rs2) {
+  emit(rtype(0x20, rs2, rs1, 0, rd, 0x33));
+}
+void Assembler::sll(int rd, int rs1, int rs2) {
+  emit(rtype(0x00, rs2, rs1, 1, rd, 0x33));
+}
+void Assembler::slt(int rd, int rs1, int rs2) {
+  emit(rtype(0x00, rs2, rs1, 2, rd, 0x33));
+}
+void Assembler::sltu(int rd, int rs1, int rs2) {
+  emit(rtype(0x00, rs2, rs1, 3, rd, 0x33));
+}
+void Assembler::xor_(int rd, int rs1, int rs2) {
+  emit(rtype(0x00, rs2, rs1, 4, rd, 0x33));
+}
+void Assembler::srl(int rd, int rs1, int rs2) {
+  emit(rtype(0x00, rs2, rs1, 5, rd, 0x33));
+}
+void Assembler::sra(int rd, int rs1, int rs2) {
+  emit(rtype(0x20, rs2, rs1, 5, rd, 0x33));
+}
+void Assembler::or_(int rd, int rs1, int rs2) {
+  emit(rtype(0x00, rs2, rs1, 6, rd, 0x33));
+}
+void Assembler::and_(int rd, int rs1, int rs2) {
+  emit(rtype(0x00, rs2, rs1, 7, rd, 0x33));
+}
+
+void Assembler::mul(int rd, int rs1, int rs2) {
+  emit(rtype(0x01, rs2, rs1, 0, rd, 0x33));
+}
+void Assembler::mulh(int rd, int rs1, int rs2) {
+  emit(rtype(0x01, rs2, rs1, 1, rd, 0x33));
+}
+void Assembler::mulhsu(int rd, int rs1, int rs2) {
+  emit(rtype(0x01, rs2, rs1, 2, rd, 0x33));
+}
+void Assembler::mulhu(int rd, int rs1, int rs2) {
+  emit(rtype(0x01, rs2, rs1, 3, rd, 0x33));
+}
+void Assembler::div(int rd, int rs1, int rs2) {
+  emit(rtype(0x01, rs2, rs1, 4, rd, 0x33));
+}
+void Assembler::divu(int rd, int rs1, int rs2) {
+  emit(rtype(0x01, rs2, rs1, 5, rd, 0x33));
+}
+void Assembler::rem(int rd, int rs1, int rs2) {
+  emit(rtype(0x01, rs2, rs1, 6, rd, 0x33));
+}
+void Assembler::remu(int rd, int rs1, int rs2) {
+  emit(rtype(0x01, rs2, rs1, 7, rd, 0x33));
+}
+
+void Assembler::ecall() { emit(0x00000073); }
+void Assembler::ebreak() { emit(0x00100073); }
+void Assembler::wfi() { emit(0x10500073); }
+void Assembler::mret() { emit(0x30200073); }
+
+void Assembler::csrrw(int rd, std::uint32_t csr, int rs1) {
+  emit((csr << 20) | (static_cast<std::uint32_t>(rs1) << 15) | (1u << 12) |
+       (static_cast<std::uint32_t>(rd) << 7) | 0x73);
+}
+void Assembler::csrrs(int rd, std::uint32_t csr, int rs1) {
+  emit((csr << 20) | (static_cast<std::uint32_t>(rs1) << 15) | (2u << 12) |
+       (static_cast<std::uint32_t>(rd) << 7) | 0x73);
+}
+void Assembler::csrrc(int rd, std::uint32_t csr, int rs1) {
+  emit((csr << 20) | (static_cast<std::uint32_t>(rs1) << 15) | (3u << 12) |
+       (static_cast<std::uint32_t>(rd) << 7) | 0x73);
+}
+void Assembler::csrrwi(int rd, std::uint32_t csr, unsigned zimm) {
+  emit((csr << 20) | ((zimm & 0x1Fu) << 15) | (5u << 12) |
+       (static_cast<std::uint32_t>(rd) << 7) | 0x73);
+}
+
+void Assembler::li(int rd, std::uint32_t value) {
+  check_reg(rd);
+  const std::int32_t low = static_cast<std::int32_t>(value << 20) >> 20;
+  const std::uint32_t high =
+      (value - static_cast<std::uint32_t>(low)) >> 12;
+  if (high != 0) {
+    lui(rd, high & 0xFFFFF);
+    if (low != 0) addi(rd, rd, low);
+  } else {
+    addi(rd, 0, low);
+  }
+}
+
+std::vector<std::uint32_t> Assembler::assemble() {
+  for (const auto& f : fixups_) {
+    const std::uint32_t target = address_of(f.label);
+    const std::uint32_t pc =
+        base_ + static_cast<std::uint32_t>(f.index * 4);
+    const auto offset =
+        static_cast<std::int32_t>(target - pc);
+    words_[f.index] |= f.is_branch ? btype_imm(offset) : jtype_imm(offset);
+  }
+  fixups_.clear();
+  return words_;
+}
+
+}  // namespace aspen::sys::rv

@@ -1,0 +1,131 @@
+#pragma once
+/// \file assembler.hpp
+/// Typed RV32IM program builder. Workload generators construct bare-metal
+/// programs through this API (labels + fixups, standard pseudo-ops); the
+/// emitted words feed the ISS. Register arguments are plain ints 0..31;
+/// the Reg enum provides the ABI names.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace aspen::sys::rv {
+
+/// ABI register names (x0..x31).
+enum Reg : int {
+  zero = 0, ra = 1, sp = 2, gp = 3, tp = 4,
+  t0 = 5, t1 = 6, t2 = 7,
+  s0 = 8, s1 = 9,
+  a0 = 10, a1 = 11, a2 = 12, a3 = 13, a4 = 14, a5 = 15, a6 = 16, a7 = 17,
+  s2 = 18, s3 = 19, s4 = 20, s5 = 21, s6 = 22, s7 = 23, s8 = 24, s9 = 25,
+  s10 = 26, s11 = 27,
+  t3 = 28, t4 = 29, t5 = 30, t6 = 31,
+};
+
+/// Machine-mode CSR numbers used by the platform.
+inline constexpr std::uint32_t kCsrMstatus = 0x300;
+inline constexpr std::uint32_t kCsrMie = 0x304;
+inline constexpr std::uint32_t kCsrMtvec = 0x305;
+inline constexpr std::uint32_t kCsrMscratch = 0x340;
+inline constexpr std::uint32_t kCsrMepc = 0x341;
+inline constexpr std::uint32_t kCsrMcause = 0x342;
+inline constexpr std::uint32_t kCsrMip = 0x344;
+inline constexpr std::uint32_t kCsrMcycle = 0xB00;
+inline constexpr std::uint32_t kCsrMinstret = 0xB02;
+
+class Assembler {
+ public:
+  explicit Assembler(std::uint32_t base_address = 0x80000000u)
+      : base_(base_address) {}
+
+  // -- RV32I --------------------------------------------------------------
+  void lui(int rd, std::uint32_t imm20);
+  void auipc(int rd, std::uint32_t imm20);
+  void jal(int rd, const std::string& label);
+  void jalr(int rd, int rs1, std::int32_t imm);
+  void beq(int rs1, int rs2, const std::string& label);
+  void bne(int rs1, int rs2, const std::string& label);
+  void blt(int rs1, int rs2, const std::string& label);
+  void bge(int rs1, int rs2, const std::string& label);
+  void bltu(int rs1, int rs2, const std::string& label);
+  void bgeu(int rs1, int rs2, const std::string& label);
+  void lb(int rd, int rs1, std::int32_t imm);
+  void lh(int rd, int rs1, std::int32_t imm);
+  void lw(int rd, int rs1, std::int32_t imm);
+  void lbu(int rd, int rs1, std::int32_t imm);
+  void lhu(int rd, int rs1, std::int32_t imm);
+  void sb(int rs2, int rs1, std::int32_t imm);
+  void sh(int rs2, int rs1, std::int32_t imm);
+  void sw(int rs2, int rs1, std::int32_t imm);
+  void addi(int rd, int rs1, std::int32_t imm);
+  void slti(int rd, int rs1, std::int32_t imm);
+  void sltiu(int rd, int rs1, std::int32_t imm);
+  void xori(int rd, int rs1, std::int32_t imm);
+  void ori(int rd, int rs1, std::int32_t imm);
+  void andi(int rd, int rs1, std::int32_t imm);
+  void slli(int rd, int rs1, unsigned shamt);
+  void srli(int rd, int rs1, unsigned shamt);
+  void srai(int rd, int rs1, unsigned shamt);
+  void add(int rd, int rs1, int rs2);
+  void sub(int rd, int rs1, int rs2);
+  void sll(int rd, int rs1, int rs2);
+  void slt(int rd, int rs1, int rs2);
+  void sltu(int rd, int rs1, int rs2);
+  void xor_(int rd, int rs1, int rs2);
+  void srl(int rd, int rs1, int rs2);
+  void sra(int rd, int rs1, int rs2);
+  void or_(int rd, int rs1, int rs2);
+  void and_(int rd, int rs1, int rs2);
+  void ecall();
+  void ebreak();
+  void wfi();
+  void mret();
+  void csrrw(int rd, std::uint32_t csr, int rs1);
+  void csrrs(int rd, std::uint32_t csr, int rs1);
+  void csrrc(int rd, std::uint32_t csr, int rs1);
+  void csrrwi(int rd, std::uint32_t csr, unsigned zimm);
+
+  // -- RV32M --------------------------------------------------------------
+  void mul(int rd, int rs1, int rs2);
+  void mulh(int rd, int rs1, int rs2);
+  void mulhsu(int rd, int rs1, int rs2);
+  void mulhu(int rd, int rs1, int rs2);
+  void div(int rd, int rs1, int rs2);
+  void divu(int rd, int rs1, int rs2);
+  void rem(int rd, int rs1, int rs2);
+  void remu(int rd, int rs1, int rs2);
+
+  // -- Pseudo-instructions -------------------------------------------------
+  void nop() { addi(0, 0, 0); }
+  void mv(int rd, int rs) { addi(rd, rs, 0); }
+  /// Load arbitrary 32-bit constant (lui + addi as needed).
+  void li(int rd, std::uint32_t value);
+  void j(const std::string& label) { jal(0, label); }
+  void ret() { jalr(0, 1, 0); }
+
+  // -- Labels / layout ------------------------------------------------------
+  void label(const std::string& name);
+  [[nodiscard]] std::uint32_t address_of(const std::string& label) const;
+  [[nodiscard]] std::uint32_t current_address() const;
+  [[nodiscard]] std::uint32_t base_address() const { return base_; }
+
+  /// Finalize (resolve fixups) and return the instruction words.
+  [[nodiscard]] std::vector<std::uint32_t> assemble();
+
+ private:
+  void emit(std::uint32_t word);
+  void branch(unsigned funct3, int rs1, int rs2, const std::string& label);
+
+  std::uint32_t base_;
+  std::vector<std::uint32_t> words_;
+  std::map<std::string, std::uint32_t> labels_;  ///< label -> address
+  struct Fixup {
+    std::size_t index;      ///< word index to patch
+    std::string label;
+    bool is_branch;         ///< B-type vs J-type immediate
+  };
+  std::vector<Fixup> fixups_;
+};
+
+}  // namespace aspen::sys::rv

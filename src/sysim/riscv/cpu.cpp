@@ -1,0 +1,412 @@
+#include "sysim/riscv/cpu.hpp"
+
+#include <stdexcept>
+
+#include "sysim/riscv/assembler.hpp"  // CSR number constants
+
+namespace aspen::sys::rv {
+
+namespace {
+constexpr std::uint32_t kMstatusMie = 1u << 3;
+constexpr std::uint32_t kMstatusMpie = 1u << 7;
+constexpr std::uint32_t kMeip = 1u << 11;
+constexpr std::uint32_t kCauseExternal = 0x8000000Bu;
+
+std::int32_t sign_extend(std::uint32_t v, unsigned bits) {
+  const unsigned shift = 32 - bits;
+  return static_cast<std::int32_t>(v << shift) >> shift;
+}
+}  // namespace
+
+Cpu::Cpu(Bus& bus, CpuConfig cfg) : bus_(bus), cfg_(cfg), pc_(cfg.reset_pc) {
+  stuck_and_.fill(0xFFFFFFFFu);
+}
+
+void Cpu::reset() {
+  regs_.fill(0);
+  pc_ = cfg_.reset_pc;
+  cycles_ = instret_ = 0;
+  stall_ = 0;
+  irq_ = false;
+  wfi_ = false;
+  halt_ = Halt::kRunning;
+  mstatus_ = mie_ = mip_ = mtvec_ = mscratch_ = mepc_ = mcause_ = 0;
+}
+
+std::uint32_t Cpu::read_reg(int i) const {
+  if (i == 0) return 0;
+  return (regs_[static_cast<std::size_t>(i)] |
+          stuck_or_[static_cast<std::size_t>(i)]) &
+         stuck_and_[static_cast<std::size_t>(i)];
+}
+
+void Cpu::write_reg(int i, std::uint32_t v) {
+  if (i != 0) regs_[static_cast<std::size_t>(i)] = v;
+}
+
+void Cpu::flip_reg_bit(int reg, unsigned bit) {
+  if (reg <= 0 || reg > 31 || bit > 31)
+    throw std::out_of_range("Cpu::flip_reg_bit");
+  regs_[static_cast<std::size_t>(reg)] ^= (1u << bit);
+}
+
+void Cpu::set_reg_stuck_bit(int reg, unsigned bit, bool value) {
+  if (reg <= 0 || reg > 31 || bit > 31)
+    throw std::out_of_range("Cpu::set_reg_stuck_bit");
+  if (value)
+    stuck_or_[static_cast<std::size_t>(reg)] |= (1u << bit);
+  else
+    stuck_and_[static_cast<std::size_t>(reg)] &= ~(1u << bit);
+}
+
+void Cpu::clear_faults() {
+  stuck_or_.fill(0);
+  stuck_and_.fill(0xFFFFFFFFu);
+}
+
+std::uint32_t Cpu::read_csr(std::uint32_t addr) const {
+  switch (addr) {
+    case kCsrMstatus: return mstatus_;
+    case kCsrMie: return mie_;
+    case kCsrMip: return mip_;
+    case kCsrMtvec: return mtvec_;
+    case kCsrMscratch: return mscratch_;
+    case kCsrMepc: return mepc_;
+    case kCsrMcause: return mcause_;
+    case kCsrMcycle: return static_cast<std::uint32_t>(cycles_);
+    case kCsrMinstret: return static_cast<std::uint32_t>(instret_);
+    default: return 0;
+  }
+}
+
+void Cpu::write_csr(std::uint32_t addr, std::uint32_t value) {
+  switch (addr) {
+    case kCsrMstatus: mstatus_ = value; break;
+    case kCsrMie: mie_ = value; break;
+    case kCsrMip: break;  // MEIP is wired to the interrupt line
+    case kCsrMtvec: mtvec_ = value; break;
+    case kCsrMscratch: mscratch_ = value; break;
+    case kCsrMepc: mepc_ = value; break;
+    case kCsrMcause: mcause_ = value; break;
+    default: break;
+  }
+}
+
+void Cpu::take_trap(std::uint32_t cause, std::uint32_t epc) {
+  mepc_ = epc;
+  mcause_ = cause;
+  if (mstatus_ & kMstatusMie)
+    mstatus_ |= kMstatusMpie;
+  else
+    mstatus_ &= ~kMstatusMpie;
+  mstatus_ &= ~kMstatusMie;
+  pc_ = mtvec_ & ~3u;
+}
+
+void Cpu::mem_fault(std::uint32_t cause) {
+  if (mtvec_ != 0) {
+    take_trap(cause, pc_);
+  } else {
+    // No handler installed: cause 2 is an illegal instruction, the rest
+    // are access faults.
+    halt_ = cause == 2 ? Halt::kIllegal : Halt::kBusFault;
+  }
+}
+
+void Cpu::tick() {
+  if (halt_ != Halt::kRunning) return;
+  ++cycles_;
+  if (stall_ > 0) {
+    --stall_;
+    return;
+  }
+
+  // External interrupt line -> MEIP; WFI wakes on pending regardless of
+  // the global enable, per the privileged spec.
+  if (irq_)
+    mip_ |= kMeip;
+  else
+    mip_ &= ~kMeip;
+
+  if (wfi_) {
+    if (mip_ & kMeip) {
+      wfi_ = false;
+      pc_ += 4;  // retire the WFI
+    } else {
+      return;  // idle
+    }
+  }
+
+  if ((mstatus_ & kMstatusMie) && (mie_ & kMeip) && (mip_ & kMeip)) {
+    take_trap(kCauseExternal, pc_);
+    return;
+  }
+
+  const Bus::Access fetch = bus_.read(pc_, 4);
+  if (fetch.fault) {
+    mem_fault(1);  // instruction access fault
+    return;
+  }
+  stall_ += cfg_.fetch_latency;
+  exec(fetch.value);
+}
+
+void Cpu::exec(std::uint32_t inst) {
+  const unsigned opcode = inst & 0x7F;
+  const int rd = static_cast<int>((inst >> 7) & 0x1F);
+  const unsigned funct3 = (inst >> 12) & 0x7;
+  const int rs1 = static_cast<int>((inst >> 15) & 0x1F);
+  const int rs2 = static_cast<int>((inst >> 20) & 0x1F);
+  const unsigned funct7 = inst >> 25;
+  std::uint32_t next_pc = pc_ + 4;
+  bool retired = true;
+
+  const std::uint32_t a = read_reg(rs1);
+  const std::uint32_t b = read_reg(rs2);
+
+  switch (opcode) {
+    case 0x37:  // LUI
+      write_reg(rd, inst & 0xFFFFF000u);
+      break;
+    case 0x17:  // AUIPC
+      write_reg(rd, pc_ + (inst & 0xFFFFF000u));
+      break;
+    case 0x6F: {  // JAL
+      const std::uint32_t imm =
+          (((inst >> 31) & 1u) << 20) | (((inst >> 12) & 0xFFu) << 12) |
+          (((inst >> 20) & 1u) << 11) | (((inst >> 21) & 0x3FFu) << 1);
+      write_reg(rd, pc_ + 4);
+      next_pc = pc_ + static_cast<std::uint32_t>(sign_extend(imm, 21));
+      ++stall_;  // taken-control-flow penalty
+      break;
+    }
+    case 0x67: {  // JALR
+      const auto imm = sign_extend(inst >> 20, 12);
+      const std::uint32_t target =
+          (a + static_cast<std::uint32_t>(imm)) & ~1u;
+      write_reg(rd, pc_ + 4);
+      next_pc = target;
+      ++stall_;
+      break;
+    }
+    case 0x63: {  // branches
+      const std::uint32_t imm =
+          (((inst >> 31) & 1u) << 12) | (((inst >> 7) & 1u) << 11) |
+          (((inst >> 25) & 0x3Fu) << 5) | (((inst >> 8) & 0xFu) << 1);
+      const auto offset = static_cast<std::uint32_t>(sign_extend(imm, 13));
+      bool taken = false;
+      switch (funct3) {
+        case 0: taken = a == b; break;
+        case 1: taken = a != b; break;
+        case 4: taken = static_cast<std::int32_t>(a) <
+                        static_cast<std::int32_t>(b); break;
+        case 5: taken = static_cast<std::int32_t>(a) >=
+                        static_cast<std::int32_t>(b); break;
+        case 6: taken = a < b; break;
+        case 7: taken = a >= b; break;
+        default:
+          retired = false;
+          mem_fault(2);
+          return;
+      }
+      if (taken) {
+        next_pc = pc_ + offset;
+        ++stall_;
+      }
+      break;
+    }
+    case 0x03: {  // loads
+      const auto imm = sign_extend(inst >> 20, 12);
+      const std::uint32_t addr = a + static_cast<std::uint32_t>(imm);
+      unsigned size = 1;
+      if (funct3 == 1 || funct3 == 5) size = 2;
+      if (funct3 == 2) size = 4;
+      const Bus::Access acc = bus_.read(addr, size);
+      if (acc.fault) {
+        mem_fault(5);  // load access fault
+        return;
+      }
+      stall_ += acc.latency;
+      std::uint32_t v = acc.value;
+      if (funct3 == 0) v = static_cast<std::uint32_t>(sign_extend(v, 8));
+      if (funct3 == 1) v = static_cast<std::uint32_t>(sign_extend(v, 16));
+      write_reg(rd, v);
+      break;
+    }
+    case 0x23: {  // stores
+      const std::uint32_t imm =
+          ((inst >> 25) << 5) | ((inst >> 7) & 0x1Fu);
+      const auto offset = sign_extend(imm, 12);
+      const std::uint32_t addr = a + static_cast<std::uint32_t>(offset);
+      unsigned size = 1;
+      if (funct3 == 1) size = 2;
+      if (funct3 == 2) size = 4;
+      const Bus::Access acc = bus_.write(addr, b, size);
+      if (acc.fault) {
+        mem_fault(7);  // store access fault
+        return;
+      }
+      stall_ += acc.latency;
+      break;
+    }
+    case 0x13: {  // OP-IMM
+      const auto imm = sign_extend(inst >> 20, 12);
+      const auto ui = static_cast<std::uint32_t>(imm);
+      const unsigned shamt = (inst >> 20) & 0x1F;
+      switch (funct3) {
+        case 0: write_reg(rd, a + ui); break;
+        case 1: write_reg(rd, a << shamt); break;
+        case 2: write_reg(rd, static_cast<std::int32_t>(a) < imm ? 1 : 0); break;
+        case 3: write_reg(rd, a < ui ? 1 : 0); break;
+        case 4: write_reg(rd, a ^ ui); break;
+        case 5:
+          if (funct7 & 0x20)
+            write_reg(rd, static_cast<std::uint32_t>(
+                              static_cast<std::int32_t>(a) >> shamt));
+          else
+            write_reg(rd, a >> shamt);
+          break;
+        case 6: write_reg(rd, a | ui); break;
+        case 7: write_reg(rd, a & ui); break;
+        default: break;
+      }
+      break;
+    }
+    case 0x33: {  // OP
+      if (funct7 == 0x01) {  // M extension
+        const auto sa = static_cast<std::int64_t>(static_cast<std::int32_t>(a));
+        const auto sb = static_cast<std::int64_t>(static_cast<std::int32_t>(b));
+        const auto ua = static_cast<std::uint64_t>(a);
+        const auto ub = static_cast<std::uint64_t>(b);
+        switch (funct3) {
+          case 0: write_reg(rd, static_cast<std::uint32_t>(sa * sb)); break;
+          case 1:
+            write_reg(rd, static_cast<std::uint32_t>(
+                              (sa * sb) >> 32));
+            break;
+          case 2:
+            write_reg(rd, static_cast<std::uint32_t>(
+                              (sa * static_cast<std::int64_t>(ub)) >> 32));
+            break;
+          case 3:
+            write_reg(rd, static_cast<std::uint32_t>((ua * ub) >> 32));
+            break;
+          case 4:  // DIV
+            if (b == 0)
+              write_reg(rd, 0xFFFFFFFFu);
+            else if (a == 0x80000000u && b == 0xFFFFFFFFu)
+              write_reg(rd, 0x80000000u);
+            else
+              write_reg(rd, static_cast<std::uint32_t>(
+                                static_cast<std::int32_t>(a) /
+                                static_cast<std::int32_t>(b)));
+            break;
+          case 5:  // DIVU
+            write_reg(rd, b == 0 ? 0xFFFFFFFFu : a / b);
+            break;
+          case 6:  // REM
+            if (b == 0)
+              write_reg(rd, a);
+            else if (a == 0x80000000u && b == 0xFFFFFFFFu)
+              write_reg(rd, 0);
+            else
+              write_reg(rd, static_cast<std::uint32_t>(
+                                static_cast<std::int32_t>(a) %
+                                static_cast<std::int32_t>(b)));
+            break;
+          case 7:  // REMU
+            write_reg(rd, b == 0 ? a : a % b);
+            break;
+          default: break;
+        }
+        stall_ += (funct3 <= 3) ? cfg_.mul_latency - 1 : cfg_.div_latency - 1;
+      } else {
+        switch (funct3) {
+          case 0:
+            write_reg(rd, (funct7 & 0x20) ? a - b : a + b);
+            break;
+          case 1: write_reg(rd, a << (b & 0x1F)); break;
+          case 2:
+            write_reg(rd, static_cast<std::int32_t>(a) <
+                                  static_cast<std::int32_t>(b)
+                              ? 1
+                              : 0);
+            break;
+          case 3: write_reg(rd, a < b ? 1 : 0); break;
+          case 4: write_reg(rd, a ^ b); break;
+          case 5:
+            if (funct7 & 0x20)
+              write_reg(rd, static_cast<std::uint32_t>(
+                                static_cast<std::int32_t>(a) >> (b & 0x1F)));
+            else
+              write_reg(rd, a >> (b & 0x1F));
+            break;
+          case 6: write_reg(rd, a | b); break;
+          case 7: write_reg(rd, a & b); break;
+          default: break;
+        }
+      }
+      break;
+    }
+    case 0x0F:  // FENCE — no-op on this single-hart platform
+      break;
+    case 0x73: {  // SYSTEM
+      if (inst == 0x00000073) {  // ECALL
+        if (read_reg(17) == 93) {  // exit syscall convention (a7 = 93)
+          halt_ = Halt::kEcallExit;
+          return;
+        }
+        if (mtvec_ != 0) {
+          take_trap(11, pc_);  // environment call from M-mode
+          return;
+        }
+        halt_ = Halt::kIllegal;
+        return;
+      }
+      if (inst == 0x00100073) {  // EBREAK
+        halt_ = Halt::kEbreak;
+        return;
+      }
+      if (inst == 0x10500073) {  // WFI
+        wfi_ = true;
+        return;  // pc advances when an interrupt becomes pending
+      }
+      if (inst == 0x30200073) {  // MRET
+        if (mstatus_ & kMstatusMpie)
+          mstatus_ |= kMstatusMie;
+        else
+          mstatus_ &= ~kMstatusMie;
+        mstatus_ |= kMstatusMpie;
+        next_pc = mepc_;
+        ++stall_;
+        break;
+      }
+      // Zicsr
+      const std::uint32_t csr = inst >> 20;
+      const std::uint32_t old = read_csr(csr);
+      switch (funct3) {
+        case 1: write_csr(csr, a); break;                       // CSRRW
+        case 2: if (rs1 != 0) write_csr(csr, old | a); break;   // CSRRS
+        case 3: if (rs1 != 0) write_csr(csr, old & ~a); break;  // CSRRC
+        case 5: write_csr(csr, static_cast<std::uint32_t>(rs1)); break;
+        case 6: write_csr(csr, old | static_cast<std::uint32_t>(rs1)); break;
+        case 7: write_csr(csr, old & ~static_cast<std::uint32_t>(rs1)); break;
+        default:
+          retired = false;
+          mem_fault(2);
+          return;
+      }
+      if (funct3 >= 1 && funct3 <= 7) write_reg(rd, old);
+      break;
+    }
+    default:
+      retired = false;
+      mem_fault(2);  // illegal instruction
+      return;
+  }
+
+  if (retired) ++instret_;
+  pc_ = next_pc;
+}
+
+}  // namespace aspen::sys::rv

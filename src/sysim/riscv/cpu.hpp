@@ -1,0 +1,97 @@
+#pragma once
+/// \file cpu.hpp
+/// RV32IM instruction-set simulator with simple timing — the host
+/// processor of the platform (paper Section 5: gem5-SALAM "ported to
+/// support the RISC-V ISA"). Machine mode only, bare metal:
+///  - full RV32I + M extension
+///  - machine CSRs (mstatus/mie/mip/mtvec/mepc/mcause/mscratch/mcycle)
+///  - external interrupt line, WFI, MRET
+///  - timing: base CPI 1, configurable multiply/divide latencies, memory
+///    latency from the bus, +1 cycle on taken branches
+///  - microarchitecture-level fault hooks on the register file (transient
+///    bit flips and permanent stuck-at bits) for the gem5-MARVEL-style
+///    reliability campaigns.
+
+#include <array>
+#include <cstdint>
+
+#include "sysim/bus.hpp"
+
+namespace aspen::sys::rv {
+
+struct CpuConfig {
+  std::uint32_t reset_pc = 0x80000000u;
+  unsigned mul_latency = 3;
+  unsigned div_latency = 20;
+  /// Instruction-fetch cycles. Default 0 models a tightly-coupled
+  /// instruction memory / perfect i-cache (fetch overlapped with
+  /// execute); data accesses always pay the full bus + device latency.
+  unsigned fetch_latency = 0;
+};
+
+enum class Halt {
+  kRunning,
+  kEbreak,       ///< ebreak retired (normal test exit)
+  kEcallExit,    ///< ecall with a7 == 93 (exit syscall convention)
+  kBusFault,     ///< access to an unmapped address, no handler
+  kIllegal,      ///< illegal instruction, no handler
+};
+
+class Cpu {
+ public:
+  Cpu(Bus& bus, CpuConfig cfg = {});
+
+  /// Advance one clock cycle (may retire at most one instruction).
+  void tick();
+
+  [[nodiscard]] bool halted() const { return halt_ != Halt::kRunning; }
+  [[nodiscard]] Halt halt_reason() const { return halt_; }
+  /// a0 at halt (exit code convention).
+  [[nodiscard]] std::uint32_t exit_code() const { return read_reg(10); }
+
+  void set_irq(bool level) { irq_ = level; }
+
+  [[nodiscard]] std::uint32_t pc() const { return pc_; }
+  [[nodiscard]] std::uint32_t read_reg(int i) const;
+  void write_reg(int i, std::uint32_t v);
+  [[nodiscard]] std::uint64_t cycles() const { return cycles_; }
+  [[nodiscard]] std::uint64_t instret() const { return instret_; }
+
+  void reset();
+
+  // -- Fault hooks ---------------------------------------------------------
+  void flip_reg_bit(int reg, unsigned bit);
+  void set_reg_stuck_bit(int reg, unsigned bit, bool value);
+  void clear_faults();
+
+ private:
+  void exec(std::uint32_t inst);
+  void take_trap(std::uint32_t cause, std::uint32_t epc);
+  [[nodiscard]] std::uint32_t read_csr(std::uint32_t addr) const;
+  void write_csr(std::uint32_t addr, std::uint32_t value);
+  void mem_fault(std::uint32_t cause);
+
+  Bus& bus_;
+  CpuConfig cfg_;
+  std::array<std::uint32_t, 32> regs_{};
+  std::array<std::uint32_t, 32> stuck_or_{};   ///< bits forced to 1
+  std::array<std::uint32_t, 32> stuck_and_{};  ///< bits forced to 0 (mask)
+  std::uint32_t pc_;
+  std::uint64_t cycles_ = 0;
+  std::uint64_t instret_ = 0;
+  unsigned stall_ = 0;
+  bool irq_ = false;
+  bool wfi_ = false;
+  Halt halt_ = Halt::kRunning;
+
+  // Machine CSRs.
+  std::uint32_t mstatus_ = 0;
+  std::uint32_t mie_ = 0;
+  std::uint32_t mip_ = 0;
+  std::uint32_t mtvec_ = 0;
+  std::uint32_t mscratch_ = 0;
+  std::uint32_t mepc_ = 0;
+  std::uint32_t mcause_ = 0;
+};
+
+}  // namespace aspen::sys::rv

@@ -1,0 +1,65 @@
+#include "sysim/system.hpp"
+
+#include <stdexcept>
+
+namespace aspen::sys {
+
+System::System(SystemConfig cfg) : cfg_(cfg), bus_(cfg.bus_latency) {
+  if (cfg_.num_pes == 0) throw std::invalid_argument("System: num_pes == 0");
+  dram_ = std::make_unique<Memory>("dram", cfg_.dram_size, cfg_.dram_latency);
+  bus_.attach(cfg_.dram_base, cfg_.dram_size, dram_.get());
+
+  dma_ = std::make_unique<DmaEngine>(bus_, cfg_.dma_bytes_per_cycle);
+  bus_.attach(cfg_.dma_base, 0x1000, dma_.get());
+
+  for (std::size_t i = 0; i < cfg_.num_pes; ++i) {
+    AcceleratorConfig pe_cfg = cfg_.accel;
+    // Distinct noise streams / dies per PE.
+    pe_cfg.gemm.mvm.noise_seed += i;
+    pe_cfg.gemm.mvm.errors.seed += i;
+    pes_.push_back(std::make_unique<PhotonicAccelerator>(pe_cfg));
+    bus_.attach(cfg_.accel_base +
+                    static_cast<std::uint32_t>(i) * cfg_.accel_stride,
+                0x4000, pes_.back().get());
+  }
+
+  rv::CpuConfig cpu_cfg = cfg_.cpu;
+  cpu_cfg.reset_pc = cfg_.dram_base;
+  cpu_ = std::make_unique<rv::Cpu>(bus_, cpu_cfg);
+}
+
+void System::load_program(const std::vector<std::uint32_t>& words) {
+  dram_->load(0, words.data(), words.size() * 4);
+}
+
+void System::write_dram(std::uint32_t offset, const void* src,
+                        std::size_t n) {
+  dram_->load(offset, src, n);
+}
+
+void System::read_dram(std::uint32_t offset, void* dst, std::size_t n) const {
+  dram_->read_block(offset, dst, n);
+}
+
+void System::tick() {
+  bool irq = dma_->irq_pending();
+  for (const auto& pe : pes_) irq = irq || pe->irq_pending();
+  cpu_->set_irq(irq);
+  cpu_->tick();
+  dma_->tick();
+  for (const auto& pe : pes_) pe->tick();
+  ++cycle_;
+}
+
+System::RunResult System::run() {
+  RunResult r;
+  while (!cpu_->halted() && cycle_ < cfg_.max_cycles) tick();
+  r.cycles = cpu_->cycles();
+  r.instret = cpu_->instret();
+  r.halt = cpu_->halt_reason();
+  r.exit_code = cpu_->halted() ? cpu_->exit_code() : 0;
+  r.timed_out = !cpu_->halted();
+  return r;
+}
+
+}  // namespace aspen::sys

@@ -1,0 +1,82 @@
+#pragma once
+/// \file system.hpp
+/// Full-platform wiring (paper Fig. 3): RISC-V CPU + shared bus + DRAM +
+/// DMA engine + a cluster of photonic DSA processing elements (PEs), with
+/// interrupt lines from DMA and every PE OR-ed into the CPU's external
+/// interrupt. Synchronous cycle stepping: every tick advances the CPU and
+/// all devices by one system clock cycle.
+///
+/// Address map:
+///   0x8000_0000  DRAM (code + data)
+///   0x4000_0000  PE 0 (MMRs + SPM windows, 64 KiB stride per PE)
+///   0x4001_0000  PE 1 ...
+///   0x4100_0000  DMA engine
+
+#include <memory>
+#include <vector>
+
+#include "sysim/accelerator.hpp"
+#include "sysim/dma.hpp"
+#include "sysim/memory.hpp"
+#include "sysim/riscv/cpu.hpp"
+
+namespace aspen::sys {
+
+struct SystemConfig {
+  std::uint32_t dram_base = 0x80000000u;
+  std::uint32_t dram_size = 4u << 20;
+  unsigned dram_latency = 10;
+  std::uint32_t accel_base = 0x40000000u;
+  std::uint32_t accel_stride = 0x10000u;
+  std::uint32_t dma_base = 0x41000000u;
+  unsigned bus_latency = 1;
+  unsigned dma_bytes_per_cycle = 4;
+  std::size_t num_pes = 1;
+  AcceleratorConfig accel;  ///< configuration shared by all PEs
+  rv::CpuConfig cpu;
+  std::uint64_t max_cycles = 200'000'000ULL;
+};
+
+class System {
+ public:
+  explicit System(SystemConfig cfg = {});
+
+  /// Copy an assembled program to the reset address.
+  void load_program(const std::vector<std::uint32_t>& words);
+  /// Host-side data staging in DRAM (offset relative to dram_base).
+  void write_dram(std::uint32_t offset, const void* src, std::size_t n);
+  void read_dram(std::uint32_t offset, void* dst, std::size_t n) const;
+
+  /// Advance one cycle.
+  void tick();
+
+  struct RunResult {
+    std::uint64_t cycles = 0;
+    std::uint64_t instret = 0;
+    rv::Halt halt = rv::Halt::kRunning;
+    std::uint32_t exit_code = 0;
+    bool timed_out = false;
+  };
+  /// Run until the CPU halts or max_cycles elapse.
+  RunResult run();
+
+  [[nodiscard]] rv::Cpu& cpu() { return *cpu_; }
+  [[nodiscard]] Memory& dram() { return *dram_; }
+  [[nodiscard]] DmaEngine& dma() { return *dma_; }
+  [[nodiscard]] Bus& bus() { return bus_; }
+  [[nodiscard]] std::size_t pe_count() const { return pes_.size(); }
+  [[nodiscard]] PhotonicAccelerator& pe(std::size_t i) { return *pes_.at(i); }
+  [[nodiscard]] const SystemConfig& config() const { return cfg_; }
+  [[nodiscard]] std::uint64_t now() const { return cycle_; }
+
+ private:
+  SystemConfig cfg_;
+  Bus bus_;
+  std::unique_ptr<Memory> dram_;
+  std::unique_ptr<DmaEngine> dma_;
+  std::vector<std::unique_ptr<PhotonicAccelerator>> pes_;
+  std::unique_ptr<rv::Cpu> cpu_;
+  std::uint64_t cycle_ = 0;
+};
+
+}  // namespace aspen::sys

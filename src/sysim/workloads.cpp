@@ -1,0 +1,283 @@
+#include "sysim/workloads.hpp"
+
+#include <stdexcept>
+
+namespace aspen::sys {
+
+using namespace rv;
+
+namespace {
+
+/// Emit `ecall` exit with code 0.
+void emit_exit(Assembler& as) {
+  as.li(a7, 93);
+  as.li(a0, 0);
+  as.ecall();
+}
+
+/// Word-copy loop: copies `bytes` from the address in `src_reg` to the
+/// address in `dst_reg` (both preserved), clobbering t0-t3.
+void emit_copy_words(Assembler& as, int src_reg, int dst_reg,
+                     std::uint32_t bytes, const std::string& tag) {
+  if (bytes % 4 != 0)
+    throw std::invalid_argument("emit_copy_words: bytes % 4 != 0");
+  as.li(t0, 0);
+  as.li(t1, bytes);
+  as.label(tag);
+  as.add(t2, src_reg, t0);
+  as.lw(t3, t2, 0);
+  as.add(t2, dst_reg, t0);
+  as.sw(t3, t2, 0);
+  as.addi(t0, t0, 4);
+  as.blt(t0, t1, tag);
+}
+
+/// Wait for STATUS bit1 (DONE) on the device whose base is in `base_reg`,
+/// at STATUS offset `status_off`; optionally sleeps with WFI between
+/// polls. Clears DONE/IRQ afterwards. Clobbers t0.
+void emit_wait_done(Assembler& as, int base_reg, std::int32_t status_off,
+                    bool use_wfi, const std::string& tag) {
+  as.label(tag);
+  as.lw(t0, base_reg, status_off);
+  as.andi(t0, t0, 2);
+  as.bne(t0, zero, tag + "_done");
+  if (use_wfi) as.wfi();
+  as.j(tag);
+  as.label(tag + "_done");
+  as.li(t0, 2);
+  as.sw(t0, base_reg, status_off);
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> build_gemm_software(const GemmWorkload& wl,
+                                               const SystemConfig& sys) {
+  Assembler as(sys.dram_base);
+  const auto n = static_cast<std::uint32_t>(wl.n);
+  const auto m = static_cast<std::uint32_t>(wl.m);
+
+  as.li(a0, sys.dram_base + wl.a_offset);
+  as.li(a1, sys.dram_base + wl.x_offset);
+  as.li(a2, sys.dram_base + wl.y_offset);
+  as.li(t4, n);
+  as.li(t5, m);
+
+  as.li(s0, 0);  // r
+  as.label("r_loop");
+  as.li(s1, 0);  // c
+  as.label("c_loop");
+  as.li(s3, 0);           // acc
+  as.li(s2, 0);           // k
+  as.mul(t0, s0, t4);     // r * n
+  as.mul(t1, s1, t4);     // c * n
+  as.label("k_loop");
+  as.add(t2, t0, s2);
+  as.slli(t2, t2, 1);
+  as.add(t2, t2, a0);
+  as.lh(t2, t2, 0);       // A[r][k]
+  as.add(t3, t1, s2);
+  as.slli(t3, t3, 1);
+  as.add(t3, t3, a1);
+  as.lh(t3, t3, 0);       // X[k][c]
+  as.mul(t2, t2, t3);
+  as.add(s3, s3, t2);
+  as.addi(s2, s2, 1);
+  as.blt(s2, t4, "k_loop");
+  as.srai(s3, s3, 12);    // Q3.12 renormalization
+  as.add(t3, t1, s0);     // c*n + r
+  as.slli(t3, t3, 1);
+  as.add(t3, t3, a2);
+  as.sh(s3, t3, 0);
+  as.addi(s1, s1, 1);
+  as.blt(s1, t5, "c_loop");
+  as.addi(s0, s0, 1);
+  as.blt(s0, t4, "r_loop");
+  emit_exit(as);
+  return as.assemble();
+}
+
+std::vector<std::uint32_t> build_gemm_offload(const GemmWorkload& wl,
+                                              const SystemConfig& sys,
+                                              OffloadPath path,
+                                              std::size_t pe_index) {
+  Assembler as(sys.dram_base);
+  const auto n = static_cast<std::uint32_t>(wl.n);
+  const auto m = static_cast<std::uint32_t>(wl.m);
+  const std::uint32_t pe_base =
+      sys.accel_base + static_cast<std::uint32_t>(pe_index) * sys.accel_stride;
+  const std::uint32_t bytes_w = n * n * 2;
+  const std::uint32_t bytes_xy = n * m * 2;
+  const bool irq = path != OffloadPath::kMmrPolling;
+
+  as.li(s0, pe_base);
+  as.li(a0, sys.dram_base + wl.a_offset);
+  as.li(a1, sys.dram_base + wl.x_offset);
+  as.li(a2, sys.dram_base + wl.y_offset);
+  as.li(s4, pe_base + PhotonicAccelerator::kSpmWBase);
+  as.li(s5, pe_base + PhotonicAccelerator::kSpmXBase);
+  as.li(s6, pe_base + PhotonicAccelerator::kSpmYBase);
+
+  // COLS = m.
+  as.li(t0, m);
+  as.sw(t0, s0, PhotonicAccelerator::kRegCols);
+
+  // Two-phase protocol: load the (reused) weights first, then stream the
+  // inputs and start the compute — the deployment pattern non-volatile
+  // weights enable.
+  const std::uint32_t irq_bit =
+      irq ? PhotonicAccelerator::kCtrlIrqEn : 0u;
+  if (path == OffloadPath::kDmaInterrupt) {
+    as.li(s7, sys.dma_base);
+    const auto dma_move = [&](int src, int dst, std::uint32_t bytes,
+                              const std::string& tag) {
+      as.sw(src, s7, DmaEngine::kRegSrc);
+      as.sw(dst, s7, DmaEngine::kRegDst);
+      as.li(t0, bytes);
+      as.sw(t0, s7, DmaEngine::kRegLen);
+      as.li(t0, DmaEngine::kCtrlStart | DmaEngine::kCtrlIrqEn);
+      as.sw(t0, s7, DmaEngine::kRegCtrl);
+      emit_wait_done(as, s7, DmaEngine::kRegStatus, /*use_wfi=*/true, tag);
+    };
+    dma_move(a0, s4, bytes_w, "dma_a");
+    as.li(t0, PhotonicAccelerator::kCtrlLoadWeights | irq_bit);
+    as.sw(t0, s0, PhotonicAccelerator::kRegCtrl);
+    emit_wait_done(as, s0, PhotonicAccelerator::kRegStatus, irq, "load_wait");
+    dma_move(a1, s5, bytes_xy, "dma_x");
+  } else {
+    emit_copy_words(as, a0, s4, bytes_w, "copy_a");
+    as.li(t0, PhotonicAccelerator::kCtrlLoadWeights | irq_bit);
+    as.sw(t0, s0, PhotonicAccelerator::kRegCtrl);
+    emit_wait_done(as, s0, PhotonicAccelerator::kRegStatus, irq, "load_wait");
+    emit_copy_words(as, a1, s5, bytes_xy, "copy_x");
+  }
+
+  as.li(t0, PhotonicAccelerator::kCtrlStart | irq_bit);
+  as.sw(t0, s0, PhotonicAccelerator::kRegCtrl);
+  emit_wait_done(as, s0, PhotonicAccelerator::kRegStatus, irq, "accel_wait");
+
+  if (path == OffloadPath::kDmaInterrupt) {
+    as.sw(s6, s7, DmaEngine::kRegSrc);
+    as.sw(a2, s7, DmaEngine::kRegDst);
+    as.li(t0, bytes_xy);
+    as.sw(t0, s7, DmaEngine::kRegLen);
+    as.li(t0, DmaEngine::kCtrlStart | DmaEngine::kCtrlIrqEn);
+    as.sw(t0, s7, DmaEngine::kRegCtrl);
+    emit_wait_done(as, s7, DmaEngine::kRegStatus, /*use_wfi=*/true, "dma_y");
+  } else {
+    emit_copy_words(as, s6, a2, bytes_xy, "copy_y");
+  }
+  emit_exit(as);
+  return as.assemble();
+}
+
+std::vector<std::uint32_t> build_gemm_multi_pe(const GemmWorkload& wl,
+                                               const SystemConfig& sys) {
+  const auto pes = static_cast<std::uint32_t>(sys.num_pes);
+  if (wl.m % pes != 0)
+    throw std::invalid_argument("build_gemm_multi_pe: m % num_pes != 0");
+  const auto n = static_cast<std::uint32_t>(wl.n);
+  const std::uint32_t cols_per_pe = static_cast<std::uint32_t>(wl.m) / pes;
+  const std::uint32_t bytes_w = n * n * 2;
+  const std::uint32_t chunk = n * cols_per_pe * 2;
+
+  Assembler as(sys.dram_base);
+  as.li(a0, sys.dram_base + wl.a_offset);
+  as.li(a1, sys.dram_base + wl.x_offset);
+  as.li(a2, sys.dram_base + wl.y_offset);
+  as.li(s7, sys.dma_base);
+
+  // Program one DMA descriptor and poll it to completion. Source and
+  // destination are each either a register plus offset (reg >= 0) or an
+  // absolute address (reg < 0, address in the offset argument).
+  const auto dma_move_imm = [&](int src_reg, std::uint32_t src_add,
+                                int dst_reg, std::uint32_t dst_imm,
+                                std::uint32_t bytes, const std::string& tag) {
+    if (src_reg >= 0) {
+      as.addi(t1, src_reg, 0);
+      if (src_add != 0) {
+        as.li(t2, src_add);
+        as.add(t1, t1, t2);
+      }
+    } else {
+      as.li(t1, src_add);
+    }
+    as.sw(t1, s7, DmaEngine::kRegSrc);
+    if (dst_reg >= 0) {
+      as.addi(t1, dst_reg, 0);
+      if (dst_imm != 0) {
+        as.li(t2, dst_imm);
+        as.add(t1, t1, t2);
+      }
+    } else {
+      as.li(t1, dst_imm);
+    }
+    as.sw(t1, s7, DmaEngine::kRegDst);
+    as.li(t1, bytes);
+    as.sw(t1, s7, DmaEngine::kRegLen);
+    as.li(t1, DmaEngine::kCtrlStart);
+    as.sw(t1, s7, DmaEngine::kRegCtrl);
+    emit_wait_done(as, s7, DmaEngine::kRegStatus, /*use_wfi=*/false, tag);
+  };
+
+  // Distribute weights + input chunks, start every PE.
+  for (std::uint32_t p = 0; p < pes; ++p) {
+    const std::uint32_t pe_base = sys.accel_base + p * sys.accel_stride;
+    const std::string ps = std::to_string(p);
+    dma_move_imm(a0, 0, -1, pe_base + PhotonicAccelerator::kSpmWBase,
+                 bytes_w, "w" + ps);
+    dma_move_imm(a1, p * chunk, -1,
+                 pe_base + PhotonicAccelerator::kSpmXBase, chunk, "x" + ps);
+    as.li(s1, pe_base);
+    as.li(t0, cols_per_pe);
+    as.sw(t0, s1, PhotonicAccelerator::kRegCols);
+    as.li(t0, PhotonicAccelerator::kCtrlStart |
+                  PhotonicAccelerator::kCtrlLoadWeights);
+    as.sw(t0, s1, PhotonicAccelerator::kRegCtrl);
+  }
+  // Collect results as PEs finish (in order).
+  for (std::uint32_t p = 0; p < pes; ++p) {
+    const std::uint32_t pe_base = sys.accel_base + p * sys.accel_stride;
+    const std::string ps = std::to_string(p);
+    as.li(s1, pe_base);
+    emit_wait_done(as, s1, PhotonicAccelerator::kRegStatus, false,
+                   "pewait" + ps);
+    dma_move_imm(-1, pe_base + PhotonicAccelerator::kSpmYBase, a2,
+                 p * chunk, chunk, "y" + ps);
+  }
+  emit_exit(as);
+  return as.assemble();
+}
+
+void stage_gemm_data(System& system, const GemmWorkload& wl,
+                     const std::vector<std::int16_t>& a,
+                     const std::vector<std::int16_t>& x) {
+  if (a.size() != wl.n * wl.n || x.size() != wl.n * wl.m)
+    throw std::invalid_argument("stage_gemm_data: size mismatch");
+  system.write_dram(wl.a_offset, a.data(), a.size() * 2);
+  system.write_dram(wl.x_offset, x.data(), x.size() * 2);
+}
+
+std::vector<std::int16_t> read_gemm_result(System& system,
+                                           const GemmWorkload& wl) {
+  std::vector<std::int16_t> y(wl.n * wl.m);
+  system.read_dram(wl.y_offset, y.data(), y.size() * 2);
+  return y;
+}
+
+std::vector<std::int16_t> golden_gemm(const GemmWorkload& wl,
+                                      const std::vector<std::int16_t>& a,
+                                      const std::vector<std::int16_t>& x) {
+  std::vector<std::int16_t> y(wl.n * wl.m, 0);
+  for (std::size_t c = 0; c < wl.m; ++c) {
+    for (std::size_t r = 0; r < wl.n; ++r) {
+      std::int32_t acc = 0;
+      for (std::size_t k = 0; k < wl.n; ++k)
+        acc += static_cast<std::int32_t>(a[r * wl.n + k]) *
+               static_cast<std::int32_t>(x[c * wl.n + k]);
+      y[c * wl.n + r] = static_cast<std::int16_t>(acc >> 12);
+    }
+  }
+  return y;
+}
+
+}  // namespace aspen::sys

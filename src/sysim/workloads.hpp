@@ -1,0 +1,64 @@
+#pragma once
+/// \file workloads.hpp
+/// Bare-metal RISC-V workload generators for the system-level experiments
+/// (E6): the scalar software GEMM baseline and the accelerator-offload
+/// variants (MMR-programmed copy loops vs. DMA bulk transfers, polling
+/// vs. interrupt synchronization). All operate on int16 Q3.12 data so the
+/// software and photonic results are directly comparable.
+///
+/// DRAM data layout (offsets relative to dram_base):
+///   A: n x n weights, row-major
+///   X: n x m inputs, column-major
+///   Y: n x m outputs, column-major
+
+#include <cstdint>
+#include <vector>
+
+#include "sysim/riscv/assembler.hpp"
+#include "sysim/system.hpp"
+
+namespace aspen::sys {
+
+struct GemmWorkload {
+  std::size_t n = 8;   ///< must equal the accelerator port count
+  std::size_t m = 8;   ///< input columns
+  std::uint32_t a_offset = 0x10000;  ///< DRAM offsets (from dram_base)
+  std::uint32_t x_offset = 0x20000;
+  std::uint32_t y_offset = 0x30000;
+};
+
+/// Scalar triple-loop GEMM on the CPU (the software baseline).
+[[nodiscard]] std::vector<std::uint32_t> build_gemm_software(
+    const GemmWorkload& wl, const SystemConfig& sys);
+
+enum class OffloadPath {
+  kMmrPolling,   ///< CPU copy loops + STATUS polling
+  kMmrInterrupt, ///< CPU copy loops + WFI on the accelerator IRQ
+  kDmaInterrupt, ///< DMA bulk transfers + WFI
+};
+
+/// Offload the same GEMM to photonic PE `pe_index`.
+[[nodiscard]] std::vector<std::uint32_t> build_gemm_offload(
+    const GemmWorkload& wl, const SystemConfig& sys, OffloadPath path,
+    std::size_t pe_index = 0);
+
+/// Offload with the columns partitioned across all `num_pes` PEs (DMA +
+/// polling across PEs); demonstrates multi-PE clustering (Fig. 3 right).
+[[nodiscard]] std::vector<std::uint32_t> build_gemm_multi_pe(
+    const GemmWorkload& wl, const SystemConfig& sys);
+
+/// Stage A and X matrices (Q3.12) into DRAM for a workload.
+void stage_gemm_data(System& system, const GemmWorkload& wl,
+                     const std::vector<std::int16_t>& a,
+                     const std::vector<std::int16_t>& x);
+
+/// Read back Y.
+[[nodiscard]] std::vector<std::int16_t> read_gemm_result(
+    System& system, const GemmWorkload& wl);
+
+/// Exact int16 Q3.12 GEMM on the host (golden reference).
+[[nodiscard]] std::vector<std::int16_t> golden_gemm(
+    const GemmWorkload& wl, const std::vector<std::int16_t>& a,
+    const std::vector<std::int16_t>& x);
+
+}  // namespace aspen::sys

@@ -1,0 +1,390 @@
+// Tests for the photonic accelerator core (S4): MVM engine, GeMM
+// scheduler (TDM/WDM), energy/area model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/energy_model.hpp"
+#include "core/gemm_core.hpp"
+#include "core/mvm_engine.hpp"
+#include "lina/random.hpp"
+
+namespace {
+
+using namespace aspen::core;
+using aspen::lina::CMat;
+using aspen::lina::cplx;
+using aspen::lina::CVec;
+using aspen::lina::Rng;
+
+MvmConfig clean_config(std::size_t ports = 8) {
+  MvmConfig cfg;
+  cfg.ports = ports;
+  cfg.errors.coupler_loss_db = 0.0;
+  cfg.errors.ps_loss_db = 0.0;
+  cfg.errors.routing_loss_db_per_column = 0.0;
+  cfg.modulator.insertion_loss_db = 0.0;
+  cfg.modulator.dac_bits = 14;
+  cfg.modulator.extinction_ratio_db = 90.0;
+  cfg.adc.bits = 14;
+  cfg.detector.thermal_noise_a_per_sqrt_hz = 0.0;
+  cfg.laser.rin_db_per_hz = -200.0;
+  return cfg;
+}
+
+double max_err(const CVec& a, const CVec& b) {
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    m = std::max(m, std::abs(a[i] - b[i]));
+  return m;
+}
+
+TEST(MvmEngineTest, IdentityRoundTrip) {
+  MvmEngine eng(clean_config());
+  Rng rng(1);
+  const CVec x = aspen::lina::random_state(8, rng);
+  const CVec y = eng.multiply_noiseless(x);
+  EXPECT_LT(max_err(y, x), 1e-6);
+}
+
+TEST(MvmEngineTest, ArbitraryRealMatrixNoiseless) {
+  MvmConfig cfg = clean_config();
+  MvmEngine eng(cfg);
+  Rng rng(2);
+  const CMat w = aspen::lina::random_real(8, 8, rng);
+  eng.set_matrix(w);
+  EXPECT_GT(eng.programming_fidelity(), 0.999999);
+
+  const CVec x = aspen::lina::random_state(8, rng);
+  const CVec expected = w * x;
+  const CVec y = eng.multiply_noiseless(x);
+  EXPECT_LT(max_err(y, expected), 1e-6);
+}
+
+TEST(MvmEngineTest, ComplexMatrixNoiseless) {
+  MvmEngine eng(clean_config());
+  Rng rng(3);
+  CMat w = aspen::lina::ginibre(8, 8, rng);
+  w = w.scaled(cplx{0.3, 0.0});  // keep entries modest
+  eng.set_matrix(w);
+  const CVec x = aspen::lina::random_state(8, rng);
+  EXPECT_LT(max_err(eng.multiply_noiseless(x), w * x), 1e-6);
+}
+
+TEST(MvmEngineTest, NoisyMultiplyCloseToExact) {
+  MvmConfig cfg = clean_config();
+  cfg.detector.thermal_noise_a_per_sqrt_hz = 10e-12;
+  cfg.modulator.dac_bits = 8;
+  cfg.adc.bits = 8;
+  MvmEngine eng(cfg);
+  Rng rng(4);
+  const CMat w = aspen::lina::random_real(8, 8, rng);
+  eng.set_matrix(w);
+  const CVec x = aspen::lina::random_state(8, rng);
+  const CVec expected = w * x;
+  const CVec y = eng.multiply(x);
+  // 8-bit converters + physical noise: expect percent-level accuracy.
+  EXPECT_LT(max_err(y, expected), 0.08);
+}
+
+TEST(MvmEngineTest, LossDoesNotBiasCalibratedResult) {
+  MvmConfig cfg = clean_config();
+  cfg.errors.coupler_loss_db = 0.05;
+  cfg.errors.ps_loss_db = 0.05;
+  cfg.errors.routing_loss_db_per_column = 0.02;
+  cfg.modulator.insertion_loss_db = 3.0;
+  MvmEngine eng(cfg);
+  Rng rng(5);
+  const CMat w = aspen::lina::random_real(8, 8, rng);
+  eng.set_matrix(w);
+  const CVec x = aspen::lina::random_state(8, rng);
+  EXPECT_LT(max_err(eng.multiply_noiseless(x), w * x), 1e-6)
+      << "scalar gain calibration must absorb path loss";
+}
+
+TEST(MvmEngineTest, FabricationErrorsShowUpAsSystematicError) {
+  MvmConfig cfg = clean_config();
+  cfg.errors.coupler_sigma = 0.05;
+  cfg.errors.phase_sigma = 0.05;
+  MvmEngine eng(cfg);
+  Rng rng(6);
+  const CMat w = aspen::lina::random_real(8, 8, rng);
+  eng.set_matrix(w);
+  EXPECT_LT(eng.programming_fidelity(), 0.99999);
+  const CVec x = aspen::lina::random_state(8, rng);
+  EXPECT_GT(max_err(eng.multiply_noiseless(x), w * x), 1e-4);
+}
+
+TEST(MvmEngineTest, RecalibrationImprovesProgrammingFidelity) {
+  MvmConfig cfg = clean_config(6);
+  cfg.errors.coupler_sigma = 0.05;
+  cfg.errors.phase_sigma = 0.05;
+  Rng rng(7);
+  const CMat w = aspen::lina::random_real(6, 6, rng);
+
+  MvmEngine direct(cfg);
+  direct.set_matrix(w);
+  cfg.recalibrate = true;
+  MvmEngine recal(cfg);
+  recal.set_matrix(w);
+  EXPECT_GT(recal.programming_fidelity(), direct.programming_fidelity());
+}
+
+TEST(MvmEngineTest, PcmWeightsZeroHoldingPower) {
+  MvmConfig cfg = clean_config();
+  cfg.weights = WeightTechnology::kPcm;
+  MvmEngine eng(cfg);
+  Rng rng(8);
+  eng.set_matrix(aspen::lina::random_real(8, 8, rng));
+  EXPECT_DOUBLE_EQ(eng.holding_power_w(), 0.0);
+  EXPECT_GT(eng.counters().weight_write_energy_j, 0.0);
+}
+
+TEST(MvmEngineTest, ThermoWeightsDrawHoldingPower) {
+  MvmEngine eng(clean_config());
+  Rng rng(9);
+  eng.set_matrix(aspen::lina::random_real(8, 8, rng));
+  EXPECT_GT(eng.holding_power_w(), 0.0);
+}
+
+TEST(MvmEngineTest, PcmQuantizationLimitsAccuracy) {
+  MvmConfig cfg = clean_config();
+  cfg.weights = WeightTechnology::kPcm;
+  cfg.pcm.level_bits = 3;
+  MvmEngine coarse(cfg);
+  cfg.pcm.level_bits = 8;
+  MvmEngine fine(cfg);
+  Rng rng(10);
+  const CMat w = aspen::lina::random_real(8, 8, rng);
+  coarse.set_matrix(w);
+  fine.set_matrix(w);
+  EXPECT_GT(fine.programming_fidelity(), coarse.programming_fidelity());
+}
+
+TEST(MvmEngineTest, DriftDegradesFidelityMonotonically) {
+  MvmConfig cfg = clean_config();
+  cfg.weights = WeightTechnology::kPcm;
+  cfg.pcm.level_bits = 8;
+  MvmEngine eng(cfg);
+  Rng rng(11);
+  eng.set_matrix(aspen::lina::random_real(8, 8, rng));
+  const double f0 = eng.programming_fidelity();
+  eng.set_pcm_drift_time(1e4);
+  const double f1 = eng.programming_fidelity();
+  eng.set_pcm_drift_time(1e8);
+  const double f2 = eng.programming_fidelity();
+  EXPECT_GE(f0, f1);
+  EXPECT_GT(f1, f2);
+}
+
+TEST(MvmEngineTest, CountersAdvance) {
+  MvmEngine eng(clean_config());
+  Rng rng(12);
+  const CVec x = aspen::lina::random_state(8, rng);
+  (void)eng.multiply(x);
+  (void)eng.multiply(x);
+  EXPECT_EQ(eng.counters().mvm_ops, 2u);
+  EXPECT_NEAR(eng.counters().busy_time_s, 2.0 * eng.symbol_time_s(), 1e-18);
+}
+
+TEST(MvmEngineTest, ShapeMismatchThrows) {
+  MvmEngine eng(clean_config());
+  EXPECT_THROW(eng.set_matrix(CMat(4, 4)), std::invalid_argument);
+  EXPECT_THROW((void)eng.multiply(CVec(5)), std::invalid_argument);
+}
+
+TEST(MvmEngineTest, ZeroMatrixHandled) {
+  MvmEngine eng(clean_config());
+  eng.set_matrix(CMat(8, 8));  // all zeros
+  Rng rng(13);
+  const CVec x = aspen::lina::random_state(8, rng);
+  const CVec y = eng.multiply_noiseless(x);
+  for (std::size_t i = 0; i < y.size(); ++i) EXPECT_LT(std::abs(y[i]), 1e-9);
+}
+
+TEST(MvmEngineTest, InsertionLossPositiveWithRealDevices) {
+  MvmConfig cfg;  // default lossy devices
+  cfg.ports = 8;
+  MvmEngine eng(cfg);
+  EXPECT_GT(eng.insertion_loss_db(), 1.0);
+}
+
+TEST(GemmCoreTest, TdmMatchesPerColumnMvm) {
+  GemmConfig gc;
+  gc.mvm = clean_config();
+  GemmCore gemm(gc);
+  Rng rng(14);
+  const CMat w = aspen::lina::random_real(8, 8, rng);
+  gemm.set_weights(w);
+  const CMat x = aspen::lina::random_real(8, 5, rng, -0.5, 0.5);
+  const CMat c = gemm.multiply(x);
+  const CMat expected = w * x;
+  EXPECT_LT(CMat::rel_error(expected, c), 0.02);
+  EXPECT_EQ(gemm.last_stats().symbols, 5u);
+  EXPECT_EQ(gemm.last_stats().macs, 8u * 8u * 5u);
+}
+
+TEST(GemmCoreTest, WdmReducesSymbolCount) {
+  GemmConfig gc;
+  gc.mvm = clean_config();
+  gc.wdm_channels = 4;
+  GemmCore gemm(gc);
+  Rng rng(15);
+  gemm.set_weights(aspen::lina::random_real(8, 8, rng));
+  const CMat x = aspen::lina::random_real(8, 12, rng, -0.5, 0.5);
+  (void)gemm.multiply(x);
+  EXPECT_EQ(gemm.last_stats().symbols, 3u);  // ceil(12 / 4)
+}
+
+TEST(GemmCoreTest, WdmCrosstalkCostsAccuracy) {
+  Rng rng(16);
+  const CMat w = aspen::lina::random_real(8, 8, rng);
+  const CMat x = aspen::lina::random_real(8, 16, rng, -0.5, 0.5);
+  const CMat expected = w * x;
+
+  GemmConfig tdm;
+  tdm.mvm = clean_config();
+  GemmCore g1(tdm);
+  g1.set_weights(w);
+  const double err_tdm = CMat::rel_error(expected, g1.multiply(x));
+
+  GemmConfig wdm = tdm;
+  wdm.wdm_channels = 8;
+  wdm.channel_isolation_db = 15.0;  // poor isolation
+  GemmCore g8(wdm);
+  g8.set_weights(w);
+  const double err_wdm = CMat::rel_error(expected, g8.multiply(x));
+  EXPECT_GT(err_wdm, err_tdm);
+}
+
+TEST(GemmCoreTest, WdmImprovesThroughputAndEfficiencyScalesSanely) {
+  Rng rng(17);
+  const CMat w = aspen::lina::random_real(8, 8, rng);
+  const CMat x = aspen::lina::random_real(8, 32, rng, -0.5, 0.5);
+
+  GemmConfig tdm;
+  tdm.mvm = clean_config();
+  GemmCore g1(tdm);
+  g1.set_weights(w);
+  (void)g1.multiply(x);
+  const auto s1 = g1.last_stats();
+
+  GemmConfig wdm = tdm;
+  wdm.wdm_channels = 8;
+  GemmCore g8(wdm);
+  g8.set_weights(w);
+  (void)g8.multiply(x);
+  const auto s8 = g8.last_stats();
+
+  EXPECT_NEAR(s8.ops_per_second() / s1.ops_per_second(), 8.0, 0.5);
+  EXPECT_EQ(s1.macs, s8.macs);
+}
+
+TEST(GemmCoreTest, DispersionPenalizesWideGrids) {
+  Rng rng(18);
+  const CMat w = aspen::lina::random_real(8, 8, rng);
+  const CMat x = aspen::lina::random_real(8, 16, rng, -0.5, 0.5);
+  const CMat exact = w * x;
+
+  GemmConfig narrow;
+  narrow.mvm = clean_config();
+  narrow.wdm_channels = 2;
+  narrow.channel_spacing_nm = 0.8;
+  narrow.channel_isolation_db = 80.0;
+  GemmCore g2(narrow);
+  g2.set_weights(w);
+  const double err2 = CMat::rel_error(exact, g2.multiply(x));
+
+  GemmConfig wide = narrow;
+  wide.wdm_channels = 16;
+  GemmCore g16(wide);
+  g16.set_weights(w);
+  const double err16 = CMat::rel_error(exact, g16.multiply(x));
+  EXPECT_GT(err16, err2) << "outer channels see rotated couplers";
+}
+
+TEST(GemmCoreTest, ZeroSpacingMatchesFlatMesh) {
+  Rng rng(19);
+  const CMat w = aspen::lina::random_real(8, 8, rng);
+  const CMat x = aspen::lina::random_real(8, 8, rng, -0.5, 0.5);
+  GemmConfig flat;
+  flat.mvm = clean_config();
+  flat.wdm_channels = 4;
+  flat.channel_spacing_nm = 0.0;
+  flat.channel_isolation_db = 80.0;  // isolate the dispersion variable
+  GemmCore g(flat);
+  g.set_weights(w);
+  const CMat y = g.multiply(x);
+  EXPECT_LT(CMat::rel_error(w * x, y), 0.02);
+}
+
+TEST(GemmCoreTest, InvalidConfigThrows) {
+  GemmConfig gc;
+  gc.wdm_channels = 0;
+  EXPECT_THROW(GemmCore{gc}, std::invalid_argument);
+  GemmConfig gc2;
+  gc2.channel_isolation_db = 0.0;
+  EXPECT_THROW(GemmCore{gc2}, std::invalid_argument);
+}
+
+TEST(EnergyModelTest, PcmEliminatesWeightHoldingPower) {
+  MvmConfig cfg;
+  cfg.ports = 8;
+  const auto thermo = evaluate_accelerator(cfg);
+  cfg.weights = WeightTechnology::kPcm;
+  const auto pcm = evaluate_accelerator(cfg);
+  EXPECT_GT(thermo.weight_holding_w, 0.0);
+  EXPECT_DOUBLE_EQ(pcm.weight_holding_w, 0.0);
+  EXPECT_LT(pcm.static_power_w, thermo.static_power_w);
+}
+
+TEST(EnergyModelTest, EnergyCrossoverFavorsPcmAtHighReuse) {
+  MvmConfig cfg;
+  cfg.ports = 8;
+  // At reuse = 1 PCM pays its write energy every inference; at high reuse
+  // the thermo heaters' static draw dominates (Section 3's argument).
+  const auto once = weight_energy_at_reuse(cfg, 1.0, 8.0);
+  const auto many = weight_energy_at_reuse(cfg, 1e6, 8.0);
+  EXPECT_LT(many.pcm_energy_j, many.thermo_energy_j);
+  // Amortization helps PCM: per-inference energy shrinks with reuse.
+  EXPECT_GT(once.pcm_energy_j, many.pcm_energy_j);
+  EXPECT_GT(once.pcm_energy_j, 0.0);
+  EXPECT_GT(once.thermo_energy_j, 0.0);
+}
+
+TEST(EnergyModelTest, AreaGrowsQuadratically) {
+  MvmConfig small;
+  small.ports = 8;
+  MvmConfig large;
+  large.ports = 32;
+  const double a8 = evaluate_accelerator(small).area_mm2;
+  const double a32 = evaluate_accelerator(large).area_mm2;
+  // N(N-1)/2 cells per mesh: 32-port mesh has ~17.7x the cells of 8-port.
+  EXPECT_GT(a32 / a8, 8.0);
+  EXPECT_LT(a32 / a8, 20.0);
+}
+
+TEST(EnergyModelTest, WdmBoostsThroughputSameMeshArea) {
+  MvmConfig cfg;
+  cfg.ports = 8;
+  const auto one = evaluate_accelerator(cfg, 1e6, 1);
+  const auto four = evaluate_accelerator(cfg, 1e6, 4);
+  EXPECT_NEAR(four.throughput_ops_s / one.throughput_ops_s, 4.0, 1e-9);
+  EXPECT_LT(four.area_mm2 / one.area_mm2, 3.0)
+      << "mesh is shared; only IO replicates";
+}
+
+TEST(EnergyModelTest, ReckAndClementsSameCellCountSameArea) {
+  MvmConfig a;
+  a.ports = 8;
+  a.architecture = aspen::mesh::Architecture::kClements;
+  MvmConfig b = a;
+  b.architecture = aspen::mesh::Architecture::kReck;
+  EXPECT_NEAR(evaluate_accelerator(a).area_mm2, evaluate_accelerator(b).area_mm2,
+              1e-12);
+  // But Reck's deeper triangle pays more optical loss.
+  EXPECT_GT(evaluate_accelerator(b).insertion_loss_db,
+            evaluate_accelerator(a).insertion_loss_db);
+}
+
+}  // namespace

@@ -1,0 +1,278 @@
+// Cross-stack integration tests: NN workloads running through the full
+// system simulator, randomized differential testing of the ISS, and
+// end-to-end invariants that span multiple subsystems.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "nn/dataset.hpp"
+#include "nn/mlp.hpp"
+#include "sysim/system.hpp"
+#include "sysim/workloads.hpp"
+
+namespace {
+
+using namespace aspen;
+using namespace aspen::sys;
+
+// ------------------------------------------------------------------------
+// NN layer executed on the *system-level* accelerator: quantize a trained
+// dense layer and one input batch to Q3.12, offload via the RISC-V
+// program, and compare classification argmax against the float reference.
+// Exercises: nn training -> fixed-point -> assembler -> ISS -> bus -> DSA
+// -> photonic core -> readback.
+TEST(EndToEndTest, TrainedLayerOffloadPreservesArgmax) {
+  lina::Rng rng(17);
+  const nn::Dataset data = nn::make_blobs(4, 8, 40, rng, 0.08);
+  nn::Mlp mlp({8, 8, 4}, rng);
+  mlp.train(data, 60, 0.2, 20, rng);
+  ASSERT_GT(mlp.accuracy(data), 0.9);
+
+  // Offload the first (8x8) layer for a batch of 8 samples.
+  const auto& layer = mlp.layers()[0];
+  // Thermo-optic weights: exact phases keep this end-to-end check tight
+  // (PCM quantization effects are characterized separately in E3/E10).
+  SystemConfig sc;
+  sc.accel.gemm.mvm.ports = 8;
+  sc.accel.gemm.mvm.weights = core::WeightTechnology::kThermoOptic;
+  GemmWorkload wl;
+  wl.n = 8;
+  wl.m = 8;
+
+  std::vector<std::int16_t> a(64), x(64);
+  for (std::size_t r = 0; r < 8; ++r)
+    for (std::size_t c = 0; c < 8; ++c)
+      a[r * 8 + c] = PhotonicAccelerator::to_fixed(layer.weights(r, c));
+  for (std::size_t s = 0; s < 8; ++s)
+    for (std::size_t f = 0; f < 8; ++f)
+      x[s * 8 + f] = PhotonicAccelerator::to_fixed(data.inputs(f, s));
+
+  System system(sc);
+  stage_gemm_data(system, wl, a, x);
+  system.load_program(
+      build_gemm_offload(wl, sc, OffloadPath::kDmaInterrupt));
+  const auto run = system.run();
+  ASSERT_EQ(run.halt, rv::Halt::kEcallExit);
+
+  const auto y = read_gemm_result(system, wl);
+  // Compare pre-activation values against the float layer output.
+  nn::Matrix batch(8, 8);
+  for (std::size_t s = 0; s < 8; ++s)
+    for (std::size_t f = 0; f < 8; ++f) batch(f, s) = data.inputs(f, s);
+  const nn::Matrix exact = layer.weights * batch;
+  double max_err = 0.0;
+  for (std::size_t s = 0; s < 8; ++s)
+    for (std::size_t r = 0; r < 8; ++r)
+      max_err = std::max(
+          max_err, std::abs(PhotonicAccelerator::from_fixed(y[s * 8 + r]) -
+                            exact(r, s)));
+  EXPECT_LT(max_err, 0.05) << "offloaded layer must track the float layer";
+}
+
+// ------------------------------------------------------------------------
+// Randomized differential test of the ISS: generate straight-line RV32IM
+// arithmetic on random operands, compute the expected results on the
+// host, compare every destination register.
+struct AluCase {
+  const char* name;
+  std::uint32_t (*expect)(std::uint32_t, std::uint32_t);
+  void (*emit)(rv::Assembler&, int, int, int);
+};
+
+const AluCase kAluCases[] = {
+    {"add", [](std::uint32_t a, std::uint32_t b) { return a + b; },
+     [](rv::Assembler& as, int d, int s1, int s2) { as.add(d, s1, s2); }},
+    {"sub", [](std::uint32_t a, std::uint32_t b) { return a - b; },
+     [](rv::Assembler& as, int d, int s1, int s2) { as.sub(d, s1, s2); }},
+    {"xor", [](std::uint32_t a, std::uint32_t b) { return a ^ b; },
+     [](rv::Assembler& as, int d, int s1, int s2) { as.xor_(d, s1, s2); }},
+    {"or", [](std::uint32_t a, std::uint32_t b) { return a | b; },
+     [](rv::Assembler& as, int d, int s1, int s2) { as.or_(d, s1, s2); }},
+    {"and", [](std::uint32_t a, std::uint32_t b) { return a & b; },
+     [](rv::Assembler& as, int d, int s1, int s2) { as.and_(d, s1, s2); }},
+    {"sll",
+     [](std::uint32_t a, std::uint32_t b) { return a << (b & 31u); },
+     [](rv::Assembler& as, int d, int s1, int s2) { as.sll(d, s1, s2); }},
+    {"srl",
+     [](std::uint32_t a, std::uint32_t b) { return a >> (b & 31u); },
+     [](rv::Assembler& as, int d, int s1, int s2) { as.srl(d, s1, s2); }},
+    {"sra",
+     [](std::uint32_t a, std::uint32_t b) {
+       return static_cast<std::uint32_t>(static_cast<std::int32_t>(a) >>
+                                         (b & 31u));
+     },
+     [](rv::Assembler& as, int d, int s1, int s2) { as.sra(d, s1, s2); }},
+    {"slt",
+     [](std::uint32_t a, std::uint32_t b) {
+       return static_cast<std::uint32_t>(static_cast<std::int32_t>(a) <
+                                         static_cast<std::int32_t>(b));
+     },
+     [](rv::Assembler& as, int d, int s1, int s2) { as.slt(d, s1, s2); }},
+    {"sltu",
+     [](std::uint32_t a, std::uint32_t b) {
+       return static_cast<std::uint32_t>(a < b);
+     },
+     [](rv::Assembler& as, int d, int s1, int s2) { as.sltu(d, s1, s2); }},
+    {"mul", [](std::uint32_t a, std::uint32_t b) { return a * b; },
+     [](rv::Assembler& as, int d, int s1, int s2) { as.mul(d, s1, s2); }},
+    {"mulh",
+     [](std::uint32_t a, std::uint32_t b) {
+       const auto p = static_cast<std::int64_t>(static_cast<std::int32_t>(a)) *
+                      static_cast<std::int64_t>(static_cast<std::int32_t>(b));
+       return static_cast<std::uint32_t>(static_cast<std::uint64_t>(p) >> 32);
+     },
+     [](rv::Assembler& as, int d, int s1, int s2) { as.mulh(d, s1, s2); }},
+    {"mulhu",
+     [](std::uint32_t a, std::uint32_t b) {
+       return static_cast<std::uint32_t>(
+           (static_cast<std::uint64_t>(a) * b) >> 32);
+     },
+     [](rv::Assembler& as, int d, int s1, int s2) { as.mulhu(d, s1, s2); }},
+    {"divu",
+     [](std::uint32_t a, std::uint32_t b) {
+       return b == 0 ? 0xFFFFFFFFu : a / b;
+     },
+     [](rv::Assembler& as, int d, int s1, int s2) { as.divu(d, s1, s2); }},
+    {"remu",
+     [](std::uint32_t a, std::uint32_t b) { return b == 0 ? a : a % b; },
+     [](rv::Assembler& as, int d, int s1, int s2) { as.remu(d, s1, s2); }},
+};
+
+class IssDifferentialTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IssDifferentialTest, RandomAluProgramsMatchHost) {
+  lina::Rng rng(GetParam());
+  rv::Assembler as(0x80000000u);
+
+  // Random operands in s2/s3, results spread over s4..s11 (8 slots).
+  struct Step {
+    std::size_t op;
+    std::uint32_t a, b;
+    int dest;
+  };
+  std::vector<Step> steps;
+  for (int k = 0; k < 8; ++k) {
+    Step s;
+    s.op = rng.uniform_int(0, std::size(kAluCases) - 1);
+    // Mix of adversarial and random operands.
+    const std::uint32_t specials[] = {0u, 1u, 0x7FFFFFFFu, 0x80000000u,
+                                      0xFFFFFFFFu};
+    s.a = rng.chance(0.3)
+              ? specials[rng.uniform_int(0, 4)]
+              : static_cast<std::uint32_t>(rng.uniform_int(0, 0xFFFFFFFFu));
+    s.b = rng.chance(0.3)
+              ? specials[rng.uniform_int(0, 4)]
+              : static_cast<std::uint32_t>(rng.uniform_int(0, 0xFFFFFFFFu));
+    s.dest = 20 + k;  // s4..s11
+    steps.push_back(s);
+    as.li(rv::s2, s.a);
+    as.li(rv::s3, s.b);
+    kAluCases[s.op].emit(as, s.dest, rv::s2, rv::s3);
+  }
+  as.ebreak();
+
+  Bus bus(0);
+  Memory ram("ram", 1 << 16, 0);
+  bus.attach(0x80000000u, 1 << 16, &ram);
+  const auto words = as.assemble();
+  ram.load(0, words.data(), words.size() * 4);
+  rv::Cpu cpu(bus);
+  for (int i = 0; i < 10000 && !cpu.halted(); ++i) cpu.tick();
+  ASSERT_TRUE(cpu.halted());
+
+  for (const auto& s : steps)
+    EXPECT_EQ(cpu.read_reg(s.dest), kAluCases[s.op].expect(s.a, s.b))
+        << kAluCases[s.op].name << "(" << std::hex << s.a << ", " << s.b
+        << ")";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IssDifferentialTest,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+// ------------------------------------------------------------------------
+// Memory differential: random store/load sequences vs a host shadow copy.
+TEST(IssDifferentialTest, RandomMemoryTrafficMatchesShadow) {
+  lina::Rng rng(777);
+  rv::Assembler as(0x80000000u);
+  std::vector<std::uint8_t> shadow(256, 0);
+  const std::uint32_t data_base = 0x80008000u;
+
+  struct Access {
+    std::uint32_t offset;
+    std::uint32_t value;
+    unsigned size;
+  };
+  std::vector<Access> writes;
+  for (int k = 0; k < 24; ++k) {
+    Access a;
+    a.size = 1u << rng.uniform_int(0, 2);
+    a.offset =
+        static_cast<std::uint32_t>(rng.uniform_int(0, 255 - a.size)) &
+        ~(a.size - 1);
+    a.value = static_cast<std::uint32_t>(rng.uniform_int(0, 0xFFFFFFFFu));
+    writes.push_back(a);
+    as.li(rv::t0, data_base + a.offset);
+    as.li(rv::t1, a.value);
+    if (a.size == 1)
+      as.sb(rv::t1, rv::t0, 0);
+    else if (a.size == 2)
+      as.sh(rv::t1, rv::t0, 0);
+    else
+      as.sw(rv::t1, rv::t0, 0);
+    for (unsigned i = 0; i < a.size; ++i)
+      shadow[a.offset + i] = static_cast<std::uint8_t>(a.value >> (8 * i));
+  }
+  as.ebreak();
+
+  Bus bus(0);
+  Memory ram("ram", 1 << 16, 0);
+  bus.attach(0x80000000u, 1 << 16, &ram);
+  const auto words = as.assemble();
+  ram.load(0, words.data(), words.size() * 4);
+  rv::Cpu cpu(bus);
+  for (int i = 0; i < 100000 && !cpu.halted(); ++i) cpu.tick();
+  ASSERT_TRUE(cpu.halted());
+
+  std::vector<std::uint8_t> got(256);
+  ram.read_block(0x8000, got.data(), 256);
+  EXPECT_EQ(got, shadow);
+}
+
+// ------------------------------------------------------------------------
+// Cross-subsystem invariant: the analytical energy model and the GemmCore
+// measured stats must agree on modulator/ADC energy for a known call.
+TEST(EndToEndTest, EnergyModelMatchesMeasuredStats) {
+  core::GemmConfig gc;
+  gc.mvm.ports = 8;
+  core::GemmCore gemm(gc);
+  lina::Rng rng(9);
+  gemm.set_weights(lina::random_real(8, 8, rng));
+  const lina::CMat x = lina::random_real(8, 16, rng, -0.5, 0.5);
+  (void)gemm.multiply(x);
+  const auto& s = gemm.last_stats();
+  // 8 ports x 16 columns symbols of modulation.
+  EXPECT_NEAR(s.modulator_energy_j,
+              8.0 * 16.0 * gc.mvm.modulator.energy_per_symbol_j, 1e-18);
+  EXPECT_NEAR(s.adc_energy_j, 2.0 * 8.0 * 16.0 * gc.mvm.adc.energy_per_sample_j,
+              1e-18);
+  EXPECT_EQ(s.macs, 8u * 8u * 16u);
+}
+
+// Drift must never *improve* an engine's programming fidelity (sanity
+// across photonics + mesh + core).
+TEST(EndToEndTest, DriftMonotonicityProperty) {
+  core::MvmConfig cfg;
+  cfg.ports = 8;
+  cfg.weights = core::WeightTechnology::kPcm;
+  core::MvmEngine engine(cfg);
+  lina::Rng rng(11);
+  engine.set_matrix(lina::random_real(8, 8, rng));
+  double prev = engine.programming_fidelity();
+  for (double t : {1e2, 1e4, 1e6, 1e8}) {
+    engine.set_pcm_drift_time(t);
+    EXPECT_LE(engine.programming_fidelity(), prev + 1e-9);
+    prev = engine.programming_fidelity();
+  }
+}
+
+}  // namespace

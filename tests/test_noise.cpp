@@ -1,0 +1,90 @@
+// Tests for the end-to-end precision-budget analysis (S4 extension).
+#include <gtest/gtest.h>
+
+#include "core/noise_analysis.hpp"
+
+namespace {
+
+using namespace aspen::core;
+
+MvmConfig base() {
+  MvmConfig cfg;
+  cfg.ports = 8;
+  return cfg;
+}
+
+TEST(NoiseAnalysisTest, RmsToBitsInvertsQuantizerRms) {
+  // An ideal b-bit quantizer over [-1, 1] has rms = step / (2 sqrt 3);
+  // rms_to_bits must recover ~b (up to the 2^b vs 2^b - 1 endpoint
+  // convention, worth log2(2^b / (2^b - 1)) ~ 0.1 bit at b = 4).
+  for (int bits : {4, 8, 12}) {
+    const double step = 2.0 / ((1 << bits) - 1);
+    EXPECT_NEAR(rms_to_bits(step / (2.0 * std::sqrt(3.0))), bits, 0.1);
+  }
+  EXPECT_DOUBLE_EQ(rms_to_bits(0.0), 24.0);
+}
+
+TEST(NoiseAnalysisTest, BudgetHasAllSources) {
+  const auto b = analytic_precision_budget(base());
+  EXPECT_GE(b.contributions.size(), 6u);
+  EXPECT_GT(b.total_relative_rms, 0.0);
+  EXPECT_GT(b.enob, 0.0);
+  // Total is at least as large as any single contribution.
+  for (const auto& c : b.contributions)
+    EXPECT_GE(b.total_relative_rms, c.relative_rms);
+}
+
+TEST(NoiseAnalysisTest, PcmAddsWeightContributions) {
+  MvmConfig cfg = base();
+  const auto thermo = analytic_precision_budget(cfg);
+  cfg.weights = WeightTechnology::kPcm;
+  const auto pcm = analytic_precision_budget(cfg);
+  EXPECT_EQ(pcm.contributions.size(), thermo.contributions.size() + 2);
+  EXPECT_LT(pcm.enob, thermo.enob);
+}
+
+TEST(NoiseAnalysisTest, MoreLaserPowerMoreBits) {
+  MvmConfig lo = base();
+  lo.laser.power_w = 0.1e-3;
+  MvmConfig hi = base();
+  hi.laser.power_w = 100e-3;
+  EXPECT_GT(analytic_precision_budget(hi).enob,
+            analytic_precision_budget(lo).enob);
+}
+
+TEST(NoiseAnalysisTest, ConverterBitsBoundEnob) {
+  // ENOB can never exceed the converter resolution.
+  for (int bits : {4, 6, 8}) {
+    MvmConfig cfg = base();
+    cfg.modulator.dac_bits = bits;
+    cfg.adc.bits = bits;
+    EXPECT_LE(analytic_precision_budget(cfg).enob, bits + 0.01);
+  }
+}
+
+TEST(NoiseAnalysisTest, DominantIdentifiesLargest) {
+  MvmConfig cfg = base();
+  cfg.modulator.dac_bits = 3;  // make the DAC clearly dominant
+  cfg.adc.bits = 12;
+  const auto b = analytic_precision_budget(cfg);
+  EXPECT_EQ(b.dominant().source, "input DAC");
+}
+
+TEST(NoiseAnalysisTest, EmpiricalTracksAnalyticWithinMargin) {
+  MvmConfig cfg = base();
+  cfg.modulator.dac_bits = 10;
+  cfg.adc.bits = 10;
+  const double analytic = analytic_precision_budget(cfg).enob;
+  const double empirical = empirical_enob(cfg, /*trials=*/32);
+  // The analytic model ignores mesh loss imbalance; expect agreement
+  // within ~1.5 bits, with the empirical value lower.
+  EXPECT_LT(std::abs(analytic - empirical), 1.8);
+}
+
+TEST(NoiseAnalysisTest, EmpiricalDeterministicForSeed) {
+  const double a = empirical_enob(base(), 16, 42);
+  const double b = empirical_enob(base(), 16, 42);
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+}  // namespace

@@ -1,0 +1,291 @@
+// Tests for the spiking substrate (S6): spike encoders, PCM synapses,
+// accumulate-and-fire neurons, STDP, and the crossbar network.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "snn/network.hpp"
+#include "snn/neuron.hpp"
+#include "snn/pcm_synapse.hpp"
+#include "snn/spike.hpp"
+#include "snn/stdp.hpp"
+
+namespace {
+
+using namespace aspen::snn;
+using aspen::lina::Rng;
+
+TEST(SpikeTest, PoissonRateMatches) {
+  Rng rng(1);
+  double total = 0.0;
+  const int trials = 50;
+  for (int t = 0; t < trials; ++t)
+    total += static_cast<double>(poisson_train(1e6, 1e-3, rng).size());
+  EXPECT_NEAR(total / trials, 1000.0, 50.0);
+}
+
+TEST(SpikeTest, PoissonTimesSortedWithinWindow) {
+  Rng rng(2);
+  const auto train = poisson_train(1e6, 1e-3, rng);
+  for (std::size_t i = 1; i < train.size(); ++i)
+    EXPECT_GT(train[i], train[i - 1]);
+  if (!train.empty()) {
+    EXPECT_GE(train.front(), 0.0);
+    EXPECT_LT(train.back(), 1e-3);
+  }
+}
+
+TEST(SpikeTest, LatencyEncodeOrdersByValue) {
+  const SpikeRaster r = latency_encode({0.9, 0.1, 0.0}, 1e-6);
+  ASSERT_EQ(r[0].size(), 1u);
+  ASSERT_EQ(r[1].size(), 1u);
+  EXPECT_TRUE(r[2].empty()) << "zero input stays silent";
+  EXPECT_LT(r[0][0], r[1][0]) << "larger value spikes earlier";
+}
+
+TEST(SpikeTest, RasterToEventsSorted) {
+  SpikeRaster r(2);
+  r[0] = {3e-9, 1e-9};
+  r[1] = {2e-9};
+  auto events = raster_to_events(r);
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_LE(events[0].time, events[1].time);
+  EXPECT_LE(events[1].time, events[2].time);
+}
+
+TEST(SpikeTest, SpikeCountsWindowed) {
+  SpikeRaster r(1);
+  r[0] = {1e-9, 2e-9, 5e-9};
+  EXPECT_EQ(spike_counts(r, 0.0, 3e-9)[0], 2u);
+  EXPECT_EQ(spike_counts(r, 3e-9, 10e-9)[0], 1u);
+}
+
+TEST(StdpTest, CausalPotentiatesAnticausalDepresses) {
+  StdpConfig cfg;
+  EXPECT_GT(stdp_delta(cfg, 10e-9), 0.0);
+  EXPECT_LT(stdp_delta(cfg, -10e-9), 0.0);
+}
+
+TEST(StdpTest, WindowDecaysExponentially) {
+  StdpConfig cfg;
+  const double near = stdp_delta(cfg, 5e-9);
+  const double far = stdp_delta(cfg, 200e-9);
+  EXPECT_GT(near, far);
+  EXPECT_NEAR(far, 0.0, cfg.a_plus * 0.01);
+  // Exact exponential ratio.
+  EXPECT_NEAR(stdp_delta(cfg, cfg.tau_plus_s) / stdp_delta(cfg, 0.0),
+              std::exp(-1.0), 1e-12);
+}
+
+TEST(PcmSynapseTest, WeightSetAndRead) {
+  PcmSynapse syn;
+  for (double w : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    syn.set_weight(w);
+    EXPECT_NEAR(syn.weight(), w, 0.02) << "64-level quantization";
+  }
+}
+
+TEST(PcmSynapseTest, UpdateMovesWeightInRightDirection) {
+  PcmSynapse syn(aspen::phot::PcmCellConfig{}, 0.5);
+  const double w0 = syn.weight();
+  syn.update(+0.2);
+  EXPECT_GT(syn.weight(), w0);
+  syn.update(-0.4);
+  EXPECT_LT(syn.weight(), w0);
+}
+
+TEST(PcmSynapseTest, WeightClampsAtBounds) {
+  PcmSynapse syn(aspen::phot::PcmCellConfig{}, 0.9);
+  syn.update(10.0);
+  EXPECT_NEAR(syn.weight(), 1.0, 1e-9);
+  syn.update(-10.0);
+  EXPECT_NEAR(syn.weight(), 0.0, 1e-9);
+}
+
+TEST(PcmSynapseTest, UpdatesCostWriteEnergy) {
+  PcmSynapse syn;
+  const double e0 = syn.cell().energy_spent_j();
+  syn.update(0.1);
+  EXPECT_GT(syn.cell().energy_spent_j(), e0);
+}
+
+TEST(PcmNeuronTest, IntegratesToThresholdAndFires) {
+  PcmNeuronConfig cfg;
+  cfg.cell.accumulation_step = 0.2;
+  cfg.threshold_fraction = 0.75;
+  PcmNeuron n(cfg);
+  double t = 0.0;
+  int fired = 0;
+  for (int i = 0; i < 4; ++i) {
+    t += 50e-9;
+    if (n.inject(1.0, t)) ++fired;
+  }
+  EXPECT_EQ(fired, 1) << "4 pulses x 0.2 crosses the 0.75 threshold once";
+  EXPECT_NEAR(n.membrane(), 0.0, 1e-12) << "reset after firing";
+}
+
+TEST(PcmNeuronTest, SubThresholdStatePersists) {
+  // Non-volatility: the membrane keeps its value between pulses (no leak)
+  PcmNeuronConfig cfg;
+  cfg.cell.accumulation_step = 0.3;
+  PcmNeuron n(cfg);
+  (void)n.inject(1.0, 1e-9);
+  const double m = n.membrane();
+  EXPECT_GT(m, 0.0);
+  // ... much later, state is unchanged
+  (void)n.inject(0.0, 1.0);
+  EXPECT_DOUBLE_EQ(n.membrane(), m);
+}
+
+TEST(PcmNeuronTest, RefractoryBlocksPrompt) {
+  PcmNeuronConfig cfg;
+  cfg.cell.accumulation_step = 1.0;  // fire on every pulse
+  cfg.refractory_s = 100e-9;
+  PcmNeuron n(cfg);
+  EXPECT_TRUE(n.inject(1.0, 100e-9));
+  EXPECT_FALSE(n.inject(1.0, 150e-9)) << "within refractory";
+  EXPECT_TRUE(n.inject(1.0, 250e-9)) << "after refractory";
+}
+
+TEST(PcmNeuronTest, InhibitionLowersMembrane) {
+  PcmNeuronConfig cfg;
+  cfg.cell.accumulation_step = 0.3;
+  PcmNeuron n(cfg);
+  (void)n.inject(1.0, 1e-9);
+  const double before = n.membrane();
+  n.inhibit(0.2);
+  EXPECT_LT(n.membrane(), before);
+}
+
+TEST(YamadaSpikingTest, PhysicalTimeConversion) {
+  YamadaSpikingNeuron n;
+  n.advance(100e-9, 0.0);
+  EXPECT_NEAR(n.now(), 100e-9, 1e-9);
+  EXPECT_TRUE(n.spike_times().empty());
+}
+
+TEST(YamadaSpikingTest, StrongDriveProducesSpikes) {
+  YamadaSpikingNeuron n;
+  n.advance(2000e-9, 0.2);
+  EXPECT_GE(n.spike_times().size(), 1u);
+}
+
+TEST(NetworkTest, ForwardSpikesPropagate) {
+  NetworkConfig cfg;
+  cfg.inputs = 4;
+  cfg.outputs = 1;
+  cfg.learning = false;
+  cfg.neuron.cell.accumulation_step = 0.5;
+  cfg.neuron.threshold_fraction = 0.6;
+  SpikingNetwork net(cfg);
+  for (std::size_t i = 0; i < 4; ++i) net.set_weight(0, i, 1.0);
+
+  // All four inputs pulse every slot: weighted sum = 1 -> accumulate 0.5
+  // per slot -> fires every ~2 slots.
+  SpikeRaster in(4);
+  for (std::size_t i = 0; i < 4; ++i)
+    for (int k = 0; k < 10; ++k)
+      in[i].push_back(static_cast<double>(k) * cfg.slot_s + 1e-12);
+  const SpikeRaster out = net.run(in, 10 * cfg.slot_s);
+  EXPECT_GE(out[0].size(), 3u);
+  EXPECT_LE(out[0].size(), 6u);
+}
+
+TEST(NetworkTest, SilentWithoutInput) {
+  NetworkConfig cfg;
+  cfg.inputs = 4;
+  cfg.outputs = 2;
+  SpikingNetwork net(cfg);
+  const SpikeRaster out = net.run(SpikeRaster(4), 1e-6);
+  EXPECT_TRUE(out[0].empty());
+  EXPECT_TRUE(out[1].empty());
+}
+
+TEST(NetworkTest, StdpPotentiatesActiveSynapses) {
+  // One output; inputs 0,1 fire regularly, inputs 2,3 stay silent.
+  // After learning, w[0..1] must exceed w[2..3].
+  NetworkConfig cfg;
+  cfg.inputs = 4;
+  cfg.outputs = 1;
+  cfg.learning = true;
+  cfg.neuron.cell.accumulation_step = 0.6;
+  cfg.neuron.threshold_fraction = 0.5;
+  // LTP-dominant protocol: with sustained drive the anti-causal window
+  // must be short, or the pre spikes that trail each post spike depress
+  // the very synapses that caused it (rate-dependence of pair STDP).
+  cfg.stdp.a_plus = 0.10;
+  cfg.stdp.a_minus = 0.05;
+  cfg.stdp.tau_minus_s = 5e-9;
+  SpikingNetwork net(cfg);
+
+  SpikeRaster in(4);
+  for (int k = 0; k < 40; ++k) {
+    in[0].push_back(k * cfg.slot_s + 1e-12);
+    in[1].push_back(k * cfg.slot_s + 1e-12);
+  }
+  (void)net.run(in, 40 * cfg.slot_s);
+  const auto w = net.weights();
+  const double active = 0.5 * (w[0][0] + w[0][1]);
+  const double silent = 0.5 * (w[0][2] + w[0][3]);
+  EXPECT_GT(active, silent + 0.1);
+}
+
+TEST(NetworkTest, LateralInhibitionSpecializesOutputs) {
+  // Two outputs, two disjoint input patterns presented alternately with
+  // WTA inhibition: the outputs should prefer different patterns.
+  NetworkConfig cfg;
+  cfg.inputs = 8;
+  cfg.outputs = 2;
+  cfg.learning = true;
+  cfg.lateral_inhibition = 0.4;
+  cfg.neuron.cell.accumulation_step = 0.6;
+  cfg.neuron.threshold_fraction = 0.5;
+  cfg.seed = 0x77;
+  SpikingNetwork net(cfg);
+
+  SpikeRaster in(8);
+  // Pattern A (inputs 0-3) on even 4-slot blocks; pattern B (4-7) on odd.
+  for (int block = 0; block < 60; ++block) {
+    const bool a = block % 2 == 0;
+    for (int s = 0; s < 2; ++s) {
+      const double t = (block * 4 + s) * cfg.slot_s + 1e-12;
+      for (std::size_t i = a ? 0 : 4; i < (a ? 4u : 8u); ++i)
+        in[i].push_back(t);
+    }
+  }
+  (void)net.run(in, 60 * 4 * cfg.slot_s);
+  const auto w = net.weights();
+  // Selectivity: each output's preference for pattern A.
+  const auto pref = [&](std::size_t o) {
+    double wa = 0.0, wb = 0.0;
+    for (std::size_t i = 0; i < 4; ++i) wa += w[o][i];
+    for (std::size_t i = 4; i < 8; ++i) wb += w[o][i];
+    return wa - wb;
+  };
+  // The two outputs must not have identical preferences (specialization).
+  EXPECT_GT(std::abs(pref(0) - pref(1)), 0.2);
+}
+
+TEST(NetworkTest, WriteEnergyAccounted) {
+  NetworkConfig cfg;
+  cfg.inputs = 2;
+  cfg.outputs = 1;
+  SpikingNetwork net(cfg);
+  const double e0 = net.total_write_energy_j();
+  SpikeRaster in(2);
+  in[0] = {1e-12};
+  in[1] = {1e-12};
+  (void)net.run(in, 20e-9);
+  EXPECT_GE(net.total_write_energy_j(), e0);
+}
+
+TEST(NetworkTest, BadShapesThrow) {
+  NetworkConfig cfg;
+  cfg.inputs = 0;
+  EXPECT_THROW(SpikingNetwork{cfg}, std::invalid_argument);
+  NetworkConfig ok;
+  SpikingNetwork net(ok);
+  EXPECT_THROW((void)net.run(SpikeRaster(3), 1e-6), std::invalid_argument);
+}
+
+}  // namespace
