@@ -35,7 +35,8 @@ int main() {
           row.push_back("-");  // optimizer cost grows steeply; see series 2
           continue;
         }
-        const int samples = arch == Architecture::kFldzhyan ? 3 : 5;
+        const int samples =
+            bench::samples(arch == Architecture::kFldzhyan ? 3 : 5);
         const auto r = mesh::haar_ensemble_fidelity(
             arch, n, perfect, samples, /*recalibrate=*/false, /*seed=*/11);
         row.push_back(lina::Table::sci(r.infidelity.mean()));
@@ -54,7 +55,7 @@ int main() {
     lina::Rng rng(23);
     for (std::size_t layers : {2u, 3u, 4u, 5u, 6u, 7u, 9u, 12u}) {
       lina::Stats fid;
-      for (int s = 0; s < 3; ++s) {
+      for (int s = 0; s < bench::samples(3); ++s) {
         const lina::CMat target = lina::haar_unitary(6, rng);
         mesh::PhysicalMesh twin(mesh::fldzhyan_layout(6, layers),
                                 mesh::MeshErrorModel{});

@@ -49,7 +49,7 @@ int main() {
                 "Sec.6: architectures evaluated for robustness; [10] is the "
                 "error-tolerant design");
   const std::size_t n = 6;
-  const int samples = 3;
+  const int samples = bench::samples(3);
   sweep("fidelity vs coupler-imbalance sigma [rad] — direct programming",
         /*vary_coupler=*/true, /*recalibrate=*/false, n, samples);
   sweep("fidelity vs coupler-imbalance sigma [rad] — with in-situ "

@@ -4,11 +4,25 @@
 /// EXPERIMENTS.md records, on deterministic seeds.
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 
 #include "lina/table.hpp"
 
 namespace aspen::bench {
+
+/// True when ASPEN_BENCH_SMOKE is set to a non-empty, non-"0" value.
+/// The CTest `bench_smoke` label runs every harness in this mode so a
+/// broken sweep is caught cheaply; full runs are the default.
+inline bool smoke_mode() {
+  const char* v = std::getenv("ASPEN_BENCH_SMOKE");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+/// Sample-count helper: `full` normally, `tiny` under smoke mode.
+inline int samples(int full, int tiny = 1) {
+  return smoke_mode() ? tiny : full;
+}
 
 inline void header(const char* experiment, const char* claim) {
   std::printf("################################################################\n");

@@ -1,0 +1,47 @@
+# Locate GoogleTest, preferring offline sources so the suite builds in
+# sandboxed environments:
+#   1. an installed package (GTestConfig.cmake / FindGTest),
+#   2. vendored sources (third_party/googletest or /usr/src/googletest),
+#   3. FetchContent from GitHub as a last resort (needs network).
+# Defines GTest::gtest and GTest::gtest_main either way.
+
+include_guard(GLOBAL)
+
+find_package(GTest QUIET)
+if(GTest_FOUND OR GTEST_FOUND)
+  message(STATUS "ASPEN: using installed GoogleTest")
+  return()
+endif()
+
+set(_aspen_gtest_src "")
+foreach(_cand
+    "${PROJECT_SOURCE_DIR}/third_party/googletest"
+    "/usr/src/googletest")
+  if(EXISTS "${_cand}/CMakeLists.txt")
+    set(_aspen_gtest_src "${_cand}")
+    break()
+  endif()
+endforeach()
+
+if(_aspen_gtest_src)
+  message(STATUS "ASPEN: using vendored GoogleTest at ${_aspen_gtest_src}")
+  set(BUILD_GMOCK OFF CACHE BOOL "" FORCE)
+  set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+  add_subdirectory("${_aspen_gtest_src}" "${CMAKE_BINARY_DIR}/_deps/googletest" EXCLUDE_FROM_ALL)
+else()
+  message(STATUS "ASPEN: fetching GoogleTest from GitHub")
+  include(FetchContent)
+  FetchContent_Declare(googletest
+    URL https://github.com/google/googletest/archive/refs/tags/v1.14.0.tar.gz)
+  set(BUILD_GMOCK OFF CACHE BOOL "" FORCE)
+  set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+  FetchContent_MakeAvailable(googletest)
+endif()
+
+# Older vendored trees export plain `gtest` targets; alias to GTest:: names.
+if(NOT TARGET GTest::gtest AND TARGET gtest)
+  add_library(GTest::gtest ALIAS gtest)
+endif()
+if(NOT TARGET GTest::gtest_main AND TARGET gtest_main)
+  add_library(GTest::gtest_main ALIAS gtest_main)
+endif()
