@@ -50,6 +50,28 @@ void BM_MeshTransfer(benchmark::State& state) {
 }
 BENCHMARK(BM_MeshTransfer)->Arg(8)->Arg(16)->Arg(32);
 
+void BM_SetPhaseTransferIncremental(benchmark::State& state) {
+  // The column-factored cache's O(N^2) incremental path: nudge one phase,
+  // refresh the transfer (one column rebuild + rank-one updates).
+  lina::Rng rng(40);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto pm = mesh::clements_decompose(lina::haar_unitary(n, rng));
+  mesh::MeshErrorModel em;
+  em.coupler_sigma = 0.02;
+  mesh::PhysicalMesh mesh(pm.layout, em);
+  mesh.program(pm.phases);
+  benchmark::DoNotOptimize(mesh.transfer());
+  std::size_t slot = 0;
+  double bump = 1e-3;
+  for (auto _ : state) {
+    mesh.set_phase(slot, mesh.phase(slot) + bump);
+    benchmark::DoNotOptimize(mesh.transfer());
+    slot = (slot + 1) % mesh.phase_count();
+    bump = -bump;
+  }
+}
+BENCHMARK(BM_SetPhaseTransferIncremental)->Arg(8)->Arg(16)->Arg(32);
+
 void BM_Calibrate(benchmark::State& state) {
   lina::Rng rng(5);
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -65,7 +87,12 @@ void BM_Calibrate(benchmark::State& state) {
     benchmark::DoNotOptimize(mesh::calibrate(mesh, target));
   }
 }
-BENCHMARK(BM_Calibrate)->Arg(6)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Calibrate)
+    ->Arg(6)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_MvmMultiply(benchmark::State& state) {
   core::MvmConfig cfg;
@@ -77,6 +104,44 @@ void BM_MvmMultiply(benchmark::State& state) {
   for (auto _ : state) benchmark::DoNotOptimize(engine.multiply(x));
 }
 BENCHMARK(BM_MvmMultiply)->Arg(8)->Arg(16);
+
+void BM_MvmMultiplyBatch(benchmark::State& state) {
+  // Whole-batch GEMM propagation vs the per-vector loop below; items
+  // processed = input vectors, so throughput is directly comparable.
+  core::MvmConfig cfg;
+  cfg.ports = static_cast<std::size_t>(state.range(0));
+  const auto batch = static_cast<std::size_t>(state.range(1));
+  core::MvmEngine engine(cfg);
+  lina::Rng rng(6);
+  engine.set_matrix(lina::random_real(cfg.ports, cfg.ports, rng));
+  lina::CMat x(cfg.ports, batch);
+  for (std::size_t r = 0; r < cfg.ports; ++r)
+    for (std::size_t c = 0; c < batch; ++c)
+      x(r, c) = lina::cplx{rng.uniform(-1.0, 1.0), 0.0};
+  for (auto _ : state) benchmark::DoNotOptimize(engine.multiply_batch(x));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_MvmMultiplyBatch)->Args({8, 64})->Args({16, 64});
+
+void BM_MvmMultiplyLooped(benchmark::State& state) {
+  core::MvmConfig cfg;
+  cfg.ports = static_cast<std::size_t>(state.range(0));
+  const auto batch = static_cast<std::size_t>(state.range(1));
+  core::MvmEngine engine(cfg);
+  lina::Rng rng(6);
+  engine.set_matrix(lina::random_real(cfg.ports, cfg.ports, rng));
+  lina::CMat x(cfg.ports, batch);
+  for (std::size_t r = 0; r < cfg.ports; ++r)
+    for (std::size_t c = 0; c < batch; ++c)
+      x(r, c) = lina::cplx{rng.uniform(-1.0, 1.0), 0.0};
+  for (auto _ : state)
+    for (std::size_t c = 0; c < batch; ++c)
+      benchmark::DoNotOptimize(engine.multiply(x.col(c)));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_MvmMultiplyLooped)->Args({8, 64})->Args({16, 64});
 
 void BM_IssInstructionRate(benchmark::State& state) {
   // Tight arithmetic loop: measures simulated instructions per host

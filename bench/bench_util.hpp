@@ -5,7 +5,10 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "lina/table.hpp"
 
@@ -34,6 +37,29 @@ inline void header(const char* experiment, const char* claim) {
 inline void show(lina::Table& t) {
   t.print(std::cout);
   std::cout << "\n";
+}
+
+/// One machine-readable microbenchmark result row.
+struct BenchRow {
+  std::string name;   ///< kernel identifier, stable across PRs
+  double ns_per_op;   ///< wall time per operation [ns]
+  int ports;          ///< problem size (0 when not size-parameterized)
+};
+
+/// Write benchmark rows as a JSON array (e.g. BENCH_mesh.json) so CI can
+/// archive the performance trajectory as a workflow artifact.
+inline void json_report(const std::string& path,
+                        const std::vector<BenchRow>& rows) {
+  std::ofstream os(path);
+  os.precision(3);
+  os << std::fixed << "[\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    os << "  {\"name\": \"" << rows[i].name
+       << "\", \"ns_per_op\": " << rows[i].ns_per_op
+       << ", \"ports\": " << rows[i].ports << "}"
+       << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  os << "]\n";
 }
 
 }  // namespace aspen::bench

@@ -9,7 +9,6 @@ namespace aspen::core {
 
 using lina::CMat;
 using lina::cplx;
-using lina::CVec;
 
 GemmCore::GemmCore(GemmConfig cfg) : cfg_(cfg), engine_(cfg.mvm) {
   if (cfg_.wdm_channels < 1)
@@ -56,32 +55,45 @@ CMat GemmCore::multiply(const CMat& x) {
     const std::size_t first = group * k;
     const std::size_t count = std::min(k, m - first);
 
-    // Propagate each channel's column through the same mesh; distinct
+    // Encode the whole group into one ports x count field block, then
+    // propagate it as a single matrix-matrix product; distinct
     // wavelengths do not interfere, but with dispersion enabled each
     // channel sees its own (rotated) transfer.
-    std::vector<CVec> outputs(count);
-    for (std::size_t c = 0; c < count; ++c) {
-      const CVec fields = engine_.encode(x.col(first + c));
-      outputs[c] = channel_transfer_.empty()
-                       ? engine_.propagate_fields(fields)
-                       : channel_transfer_[c] * fields;
-    }
-    // Imperfect demux: neighbour leakage before detection.
-    std::vector<CVec> mixed = outputs;
-    if (count > 1 && leak > 0.0) {
+    engine_.encode_batch(x, first, count, fields_);
+    if (channel_transfer_.empty()) {
+      lina::mul_into(outputs_, engine_.physical_transfer(), fields_);
+    } else {
+      outputs_.resize(n, count);
       for (std::size_t c = 0; c < count; ++c) {
-        for (std::size_t p = 0; p < n; ++p) {
-          cplx leakage{0.0, 0.0};
-          if (c > 0) leakage += outputs[c - 1][p];
-          if (c + 1 < count) leakage += outputs[c + 1][p];
-          mixed[c][p] += leak * leakage;
+        const CMat& t = channel_transfer_[c];
+        for (std::size_t r = 0; r < n; ++r) {
+          cplx s{0.0, 0.0};
+          for (std::size_t j = 0; j < n; ++j) s += t(r, j) * fields_(j, c);
+          outputs_(r, c) = s;
         }
       }
     }
-    for (std::size_t c = 0; c < count; ++c) {
-      const CVec y = engine_.rescale(engine_.detect(mixed[c]));
-      for (std::size_t r = 0; r < n; ++r) out(r, first + c) = y[r];
+    // Imperfect demux: neighbour leakage before detection. The mixing
+    // block only exists when there is something to mix — single-channel
+    // or perfectly isolated configs detect the outputs directly.
+    CMat* detected = &outputs_;
+    if (count > 1 && leak > 0.0) {
+      mixed_.resize(n, count);
+      for (std::size_t c = 0; c < count; ++c) {
+        for (std::size_t p = 0; p < n; ++p) {
+          cplx leakage{0.0, 0.0};
+          if (c > 0) leakage += outputs_(p, c - 1);
+          if (c + 1 < count) leakage += outputs_(p, c + 1);
+          mixed_(p, c) = outputs_(p, c) + leak * leakage;
+        }
+      }
+      detected = &mixed_;
     }
+    engine_.detect_batch(*detected);
+    engine_.rescale_batch(*detected);
+    for (std::size_t c = 0; c < count; ++c)
+      for (std::size_t r = 0; r < n; ++r)
+        out(r, first + c) = (*detected)(r, c);
 
     ++stats_.symbols;
   }

@@ -80,6 +80,12 @@ class GemmCore {
   GemmStats stats_;
   /// Per-channel transfers under dispersion (rebuilt on set_weights).
   std::vector<lina::CMat> channel_transfer_;
+  /// Reusable per-group scratch blocks (ports x wdm_channels), hoisted out
+  /// of the group loop: encoded fields, propagated outputs, and the
+  /// leakage-mixed block (only touched when mixing is actually needed).
+  lina::CMat fields_;
+  lina::CMat outputs_;
+  lina::CMat mixed_;
 };
 
 }  // namespace aspen::core

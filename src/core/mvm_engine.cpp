@@ -91,17 +91,22 @@ void MvmEngine::set_matrix(const CMat& w) {
   refresh_transfer();
 }
 
-void MvmEngine::rebuild_physical_transfer() {
-  const CMat tu = mesh_u_->transfer();
-  const CMat tv = mesh_v_->transfer();
+void MvmEngine::compose_path_into(const CMat& tu, const CMat& tv,
+                                  CMat& out) const {
   // Attenuator column: one variable MZI splitter per port (2 couplers +
   // 2 phase sections of loss each), setting amplitude sigma_k/sigma_max.
   const double att_loss_amp = phot::loss_db_to_amplitude(
       2.0 * cfg_.errors.coupler_loss_db + 2.0 * cfg_.errors.ps_loss_db);
-  std::vector<cplx> diag(cfg_.ports);
-  for (std::size_t k = 0; k < cfg_.ports; ++k)
-    diag[k] = cplx{attenuation_[k] * att_loss_amp, 0.0};
-  t_phys_ = tu * CMat::diag(diag) * tv;
+  scratch_path_ = tu;
+  for (std::size_t k = 0; k < cfg_.ports; ++k) {
+    const cplx d{attenuation_[k] * att_loss_amp, 0.0};
+    for (std::size_t r = 0; r < cfg_.ports; ++r) scratch_path_(r, k) *= d;
+  }
+  lina::mul_into(out, scratch_path_, tv);
+}
+
+void MvmEngine::rebuild_physical_transfer() {
+  compose_path_into(mesh_u_->transfer(), mesh_v_->transfer(), t_phys_);
 }
 
 void MvmEngine::set_pcm_drift_time(double seconds) {
@@ -114,18 +119,14 @@ void MvmEngine::set_pcm_drift_time(double seconds) {
 }
 
 lina::CMat MvmEngine::transfer_at_detuning(double nm) const {
-  mesh_u_->set_wavelength_detuning_nm(nm);
-  mesh_v_->set_wavelength_detuning_nm(nm);
-  const CMat tu = mesh_u_->transfer();
-  const CMat tv = mesh_v_->transfer();
-  mesh_u_->set_wavelength_detuning_nm(0.0);
-  mesh_v_->set_wavelength_detuning_nm(0.0);
-  const double att_loss_amp = phot::loss_db_to_amplitude(
-      2.0 * cfg_.errors.coupler_loss_db + 2.0 * cfg_.errors.ps_loss_db);
-  std::vector<cplx> diag(cfg_.ports);
-  for (std::size_t k = 0; k < cfg_.ports; ++k)
-    diag[k] = cplx{attenuation_[k] * att_loss_amp, 0.0};
-  return tu * CMat::diag(diag) * tv;
+  // Detuning is an explicit evaluation argument: the meshes' own state
+  // (detuning, transfer cache) is left untouched, keeping this method
+  // logically const instead of mutate-and-restore.
+  const CMat tu = mesh_u_->transfer_at(nm);
+  const CMat tv = mesh_v_->transfer_at(nm);
+  CMat out;
+  compose_path_into(tu, tv, out);
+  return out;
 }
 
 std::size_t MvmEngine::phase_state_size() const {
@@ -214,6 +215,63 @@ CVec MvmEngine::multiply(const CVec& x) {
   ++counters_.mvm_ops;
   counters_.busy_time_s += symbol_time_s();
   return rescale(detected);
+}
+
+void MvmEngine::encode_batch(const CMat& x, std::size_t first,
+                             std::size_t count, CMat& fields) const {
+  if (x.rows() != cfg_.ports || first + count > x.cols())
+    throw std::invalid_argument("MvmEngine::encode_batch: shape mismatch");
+  const double launch =
+      std::sqrt(cfg_.laser.power_w / static_cast<double>(cfg_.ports));
+  fields.resize(cfg_.ports, count);
+  for (std::size_t i = 0; i < cfg_.ports; ++i) {
+    for (std::size_t c = 0; c < count; ++c) {
+      const cplx v = x(i, first + c);
+      // IQ Mach-Zehnder modulator: each quadrature is DAC-quantized and
+      // carries the modulator insertion loss.
+      const cplx enc = modulator_.encode(v.real()) +
+                       cplx{0.0, 1.0} * modulator_.encode(v.imag());
+      fields(i, c) = launch * enc;
+    }
+  }
+}
+
+void MvmEngine::detect_batch(CMat& fields) {
+  for (std::size_t c = 0; c < fields.cols(); ++c)
+    for (std::size_t i = 0; i < fields.rows(); ++i)
+      fields(i, c) = receiver_.measure(fields(i, c), rng_);
+}
+
+void MvmEngine::rescale_batch(CMat& detected) const {
+  const double launch =
+      std::sqrt(cfg_.laser.power_w / static_cast<double>(cfg_.ports));
+  const cplx scale =
+      gain_ * launch * modulator_.amplitude_scale() / sigma_max_;
+  for (auto& v : detected.raw()) v /= scale;
+}
+
+lina::CMat MvmEngine::multiply_batch(const CMat& x) {
+  if (x.rows() != cfg_.ports)
+    throw std::invalid_argument("MvmEngine::multiply_batch: row mismatch");
+  const std::size_t m = x.cols();
+  encode_batch(x, 0, m, batch_fields_);
+  CMat out;
+  lina::mul_into(out, t_phys_, batch_fields_);
+  for (std::size_t c = 0; c < m; ++c) {
+    // Laser RIN: common-mode launch-power fluctuation per symbol. The
+    // scalar commutes with the mesh product, so scaling the propagated
+    // column (instead of the launched fields) is equivalent; drawing it
+    // right before this symbol's detection keeps the rng stream in the
+    // same order as a multiply() loop.
+    const double p = laser_.sample_power(rng_);
+    const cplx rin_scale{std::sqrt(p / cfg_.laser.power_w), 0.0};
+    for (std::size_t i = 0; i < cfg_.ports; ++i)
+      out(i, c) = receiver_.measure(out(i, c) * rin_scale, rng_);
+  }
+  rescale_batch(out);
+  counters_.mvm_ops += m;
+  counters_.busy_time_s += static_cast<double>(m) * symbol_time_s();
+  return out;
 }
 
 std::vector<double> MvmEngine::multiply_real(const std::vector<double>& x) {

@@ -83,6 +83,15 @@ class MvmEngine {
   /// the engine does not rescale inputs implicitly.
   [[nodiscard]] lina::CVec multiply(const lina::CVec& x);
 
+  /// Batched end-to-end multiply: every column of `x` (ports x M) is one
+  /// symbol pushed through the mesh. Propagation of the whole block is a
+  /// single matrix-matrix product on the cached physical transfer, and
+  /// encode/detect run allocation-free on reused scratch. Noise draws
+  /// (per-symbol RIN, per-sample detection) are consumed in exactly the
+  /// same order as the equivalent multiply() loop, so results agree with
+  /// it up to floating-point reassociation.
+  [[nodiscard]] lina::CMat multiply_batch(const lina::CMat& x);
+
   /// Real-vector convenience wrapper (returns real parts).
   [[nodiscard]] std::vector<double> multiply_real(
       const std::vector<double>& x);
@@ -101,6 +110,19 @@ class MvmEngine {
   /// Undo the calibrated system gain: measured field -> W-units output.
   [[nodiscard]] lina::CVec rescale(const lina::CVec& detected) const;
 
+  // -- Batched stages (used by multiply_batch and the WDM GeMM core) -----
+  /// Encode `count` columns of `x` starting at `first` into field
+  /// amplitudes; writes a ports x count block into `fields` (storage
+  /// reused, no allocation once warm).
+  void encode_batch(const lina::CMat& x, std::size_t first,
+                    std::size_t count, lina::CMat& fields) const;
+  /// Coherent detection + ADC of a block of output fields, in place
+  /// (column-major draw order: one symbol after another, matching the
+  /// per-vector detect()).
+  void detect_batch(lina::CMat& fields);
+  /// Undo the calibrated system gain on a detected block, in place.
+  void rescale_batch(lina::CMat& detected) const;
+
   /// Physical (lossy, imperfect) transfer of the whole optical path in
   /// field units, including the sqrt(P_laser / N) launch scale.
   [[nodiscard]] const lina::CMat& physical_transfer() const { return t_phys_; }
@@ -115,7 +137,8 @@ class MvmEngine {
   /// Physical transfer seen by a carrier detuned `nm` from the design
   /// wavelength (coupler dispersion). The engine's own state (and its
   /// calibration) stays at the design wavelength — DWDM side channels are
-  /// the uncalibrated ones, exactly as on hardware.
+  /// the uncalibrated ones, exactly as on hardware. Detuning is passed
+  /// straight through to the mesh evaluation; nothing is mutated.
   [[nodiscard]] lina::CMat transfer_at_detuning(double nm) const;
 
   /// Total programmable phases across both meshes (fault-injection
@@ -144,6 +167,10 @@ class MvmEngine {
  private:
   void refresh_transfer();
   void rebuild_physical_transfer();
+  /// out = T_u * diag(attenuation) * T_v, composed without temporaries
+  /// beyond the reusable scratch.
+  void compose_path_into(const lina::CMat& tu, const lina::CMat& tv,
+                         lina::CMat& out) const;
 
   MvmConfig cfg_;
   lina::Rng rng_;
@@ -160,6 +187,8 @@ class MvmEngine {
   phot::CoherentReceiver receiver_;
   phot::CwLaser laser_;
   MvmCounters counters_;
+  mutable lina::CMat scratch_path_;  ///< compose_path_into scratch
+  lina::CMat batch_fields_;          ///< multiply_batch encode scratch
 };
 
 }  // namespace aspen::core

@@ -164,7 +164,10 @@ bool CMat::is_unitary(double tol) const {
 double CMat::fidelity(const CMat& a, const CMat& b) {
   if (a.rows() != b.rows() || a.cols() != b.cols())
     throw std::invalid_argument("fidelity: shape mismatch");
-  const cplx t = (a.adjoint() * b).trace();
+  // tr(A^dagger B) = sum_ij conj(A_ij) B_ij — O(N^2), no product formed.
+  cplx t{0.0, 0.0};
+  for (std::size_t i = 0; i < a.data_.size(); ++i)
+    t += std::conj(a.data_[i]) * b.data_[i];
   const double na = a.frobenius();
   const double nb = b.frobenius();
   if (na == 0.0 || nb == 0.0) return 0.0;
@@ -218,6 +221,47 @@ void apply_two_mode_left(CMat& m, std::size_t i, std::size_t j, cplx a,
     m(i, col) = a * mi + b * mj;
     m(j, col) = c * mi + d * mj;
   }
+}
+
+void mul_into(CMat& out, const CMat& a, const CMat& b) {
+  if (a.cols() != b.rows())
+    throw std::invalid_argument("mul_into: shape mismatch");
+  assert(&out != &a && &out != &b);
+  out.resize(a.rows(), b.cols());
+  const cplx* adata = a.raw().data();
+  const cplx* bdata = b.raw().data();
+  cplx* odata = out.raw().data();
+  const std::size_t n = b.cols();
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const cplx aik = adata[i * a.cols() + k];
+      if (aik == cplx{0.0, 0.0}) continue;
+      const cplx* brow = &bdata[k * n];
+      cplx* orow = &odata[i * n];
+      for (std::size_t j = 0; j < n; ++j) orow[j] += aik * brow[j];
+    }
+  }
+}
+
+void mul_vec_into(CVec& out, const CMat& a, const CVec& x) {
+  if (a.cols() != x.size())
+    throw std::invalid_argument("mul_vec_into: shape mismatch");
+  assert(&out != &x);
+  out.resize(a.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    cplx s{0.0, 0.0};
+    const cplx* row = &a.raw()[i * a.cols()];
+    for (std::size_t j = 0; j < a.cols(); ++j) s += row[j] * x[j];
+    out[i] = s;
+  }
+}
+
+void adjoint_into(CMat& out, const CMat& a) {
+  assert(&out != &a);
+  out.resize(a.cols(), a.rows());
+  for (std::size_t r = 0; r < a.rows(); ++r)
+    for (std::size_t c = 0; c < a.cols(); ++c)
+      out(c, r) = std::conj(a(r, c));
 }
 
 void apply_two_mode_right(CMat& m, std::size_t i, std::size_t j, cplx a,

@@ -24,6 +24,10 @@ class CVec {
   explicit CVec(std::size_t n) : data_(n, cplx{0.0, 0.0}) {}
   CVec(std::initializer_list<cplx> xs) : data_(xs) {}
 
+  /// Reshape to `n` entries, zero-filled. Keeps the allocation when the
+  /// capacity suffices (scratch-buffer reuse in hot loops).
+  void resize(std::size_t n) { data_.assign(n, cplx{0.0, 0.0}); }
+
   [[nodiscard]] std::size_t size() const { return data_.size(); }
   [[nodiscard]] cplx& operator[](std::size_t i) { return data_[i]; }
   [[nodiscard]] const cplx& operator[](std::size_t i) const { return data_[i]; }
@@ -51,6 +55,14 @@ class CMat {
   CMat() = default;
   CMat(std::size_t rows, std::size_t cols)
       : rows_(rows), cols_(cols), data_(rows * cols, cplx{0.0, 0.0}) {}
+
+  /// Reshape to rows x cols, zero-filled. Keeps the allocation when the
+  /// capacity suffices (scratch-buffer reuse in hot loops).
+  void resize(std::size_t rows, std::size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, cplx{0.0, 0.0});
+  }
 
   /// Identity matrix of size n.
   [[nodiscard]] static CMat identity(std::size_t n);
@@ -122,5 +134,19 @@ void apply_two_mode_left(CMat& m, std::size_t i, std::size_t j, cplx a,
 /// Right-multiplies columns (i, j) of `m` in place by [[a, b], [c, d]].
 void apply_two_mode_right(CMat& m, std::size_t i, std::size_t j, cplx a,
                           cplx b, cplx c, cplx d);
+
+// -- Allocation-free in-place kernels -------------------------------------
+// The batched MVM/GEMM pipeline and the mesh transfer cache call these in
+// tight loops; `out` is resized in place (no allocation once warm) and must
+// not alias an input.
+
+/// out = a * b (same ikj kernel and summation order as operator*).
+void mul_into(CMat& out, const CMat& a, const CMat& b);
+
+/// out = a * x (same summation order as operator*).
+void mul_vec_into(CVec& out, const CMat& a, const CVec& x);
+
+/// out = conj(transpose(a)).
+void adjoint_into(CMat& out, const CMat& a);
 
 }  // namespace aspen::lina

@@ -49,7 +49,10 @@ namespace {
 /// (absorbs symmetric-cell global phases and redundant-column residues).
 void fold_diagonal_residue(PhysicalMesh& mesh, const CMat& target) {
   const CMat e = mesh.ideal_transfer();
-  const CMat residue = target * e.adjoint();
+  CMat e_adj;
+  lina::adjoint_into(e_adj, e);
+  CMat residue;
+  lina::mul_into(residue, target, e_adj);
   // Verify the residue is diagonal enough to absorb.
   const std::size_t n = residue.rows();
   double offdiag = 0.0;

@@ -60,8 +60,6 @@ CalibrationReport calibrate(PhysicalMesh& mesh, const CMat& target,
 
   // Calibrate in the continuous phase domain; requantize on exit.
   const std::optional<phot::PcmCellConfig> pcm_cfg = mesh.pcm_config();
-  const double drift = 0.0;  // drift applies after programming, not during
-  (void)drift;
   if (pcm_cfg.has_value()) mesh.disable_pcm();
 
   const double target_norm = target.frobenius();
@@ -76,9 +74,13 @@ CalibrationReport calibrate(PhysicalMesh& mesh, const CMat& target,
       for (std::size_t k = 0; k < nph; ++k)
         mesh.set_phase(k, rng.uniform(0.0, kTwoPi));
     }
-    CMat m = mesh.transfer();
-    double mesh_norm = m.frobenius();
-    cplx cur = overlap(target, m);
+    // Coordinate ascent over phase slots. Phase slots are ordered by mesh
+    // column, so the sweep below drives the mesh's column-factored cache
+    // entirely through its O(N^2) incremental path: every trial transfer
+    // re-evaluates one column and applies a handful of rank-one updates
+    // instead of recomposing all O(columns) of them.
+    double mesh_norm = mesh.transfer().frobenius();
+    cplx cur = overlap(target, mesh.transfer());
     double prev_sweep_fid = fidelity_from_overlap(cur, target_norm, mesh_norm);
 
     const std::vector<bool> half = half_angle_slots(mesh.layout());
@@ -99,6 +101,10 @@ CalibrationReport calibrate(PhysicalMesh& mesh, const CMat& target,
           const cplx c1 = 0.5 * (t0 - tpi);
           if (std::abs(c1) < 1e-15) {
             mesh.set_phase(k, old);
+            // Settle the restored column now, while it is still the only
+            // dirty one — otherwise the next slot in a different column
+            // would force a full cache rebuild.
+            (void)mesh.transfer();
             continue;
           }
           cand = std::arg(c0) - std::arg(c1);
@@ -138,11 +144,13 @@ CalibrationReport calibrate(PhysicalMesh& mesh, const CMat& target,
           cur = tnew;
         } else {
           mesh.set_phase(k, old);
+          // Settle the restored column incrementally (see above): keeps a
+          // rejection from pushing the sweep off the O(N^2) fast path.
+          (void)mesh.transfer();
         }
       }
-      m = mesh.transfer();
-      mesh_norm = m.frobenius();
-      cur = overlap(target, m);
+      mesh_norm = mesh.transfer().frobenius();
+      cur = overlap(target, mesh.transfer());
       const double fid = fidelity_from_overlap(cur, target_norm, mesh_norm);
       if (fid - prev_sweep_fid < opt.tol) {
         prev_sweep_fid = fid;

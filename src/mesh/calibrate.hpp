@@ -11,6 +11,11 @@
 /// Powers the "with recalibration" series of experiment E2 and the only
 /// programming path for the Fldzhyan architecture (which has no analytic
 /// decomposition).
+///
+/// The sweep visits phase slots in column order, so every trial transfer
+/// rides PhysicalMesh's column-factored cache: O(N^2) per probe instead
+/// of an O(columns * N^2) rebuild, making a full sweep O(phases * N^2)
+/// rather than O(phases * columns * N^2).
 
 #include "lina/complex_matrix.hpp"
 #include "lina/random.hpp"

@@ -7,6 +7,18 @@
 ///
 /// Fabrication imperfections are sampled once at construction (a "die");
 /// reprogramming the phases models the heaters / PCM writes on that die.
+///
+/// The transfer is column-factored and cached: every mesh column c is a
+/// block-diagonal matrix C_c (2x2 cell blocks + per-port scalars), and the
+/// chip transfer is T = C_{K-1} ... C_1 C_0. The cache keeps the per-column
+/// matrices together with prefix products R_c = C_{c-1}...C_0 and suffix
+/// products L_c = C_{K-1}...C_{c+1}, so after set_phase() dirties a single
+/// column c the new transfer is
+///     T' = T + L_c (C_c' - C_c) R_c,
+/// a sum of a handful of rank-one updates (C_c' - C_c has O(1) nonzero
+/// entries) costing O(N^2) instead of the O(columns * N^2) from-scratch
+/// rebuild. Coordinate-descent calibration — which tweaks one phase at a
+/// time, in column order — runs entirely on this fast path.
 
 #include <cstdint>
 #include <optional>
@@ -58,7 +70,9 @@ class PhysicalMesh {
   void program(const std::vector<double>& phases);
   [[nodiscard]] std::size_t phase_count() const { return phases_.size(); }
   [[nodiscard]] double phase(std::size_t i) const { return phases_.at(i); }
-  void set_phase(std::size_t i, double v) { phases_.at(i) = v; }
+  /// Set one programmable phase. Dirties only the owning mesh column; the
+  /// next transfer() refreshes incrementally in O(N^2).
+  void set_phase(std::size_t i, double v);
   [[nodiscard]] const std::vector<double>& phases() const { return phases_; }
 
   /// Route all programmable phases through a PCM phase map (multilevel
@@ -72,15 +86,26 @@ class PhysicalMesh {
     return pcm_cfg_;
   }
   /// Time since the PCM weights were written (drift model input).
-  void set_drift_time(double seconds) { drift_time_s_ = seconds; }
+  void set_drift_time(double seconds);
 
   /// Carrier detuning from the design wavelength (DWDM channels); shifts
   /// every coupler by dispersion * detuning.
-  void set_wavelength_detuning_nm(double nm) { detuning_nm_ = nm; }
+  void set_wavelength_detuning_nm(double nm);
   [[nodiscard]] double wavelength_detuning_nm() const { return detuning_nm_; }
 
-  /// Full N x N transfer with all imperfections.
-  [[nodiscard]] lina::CMat transfer() const;
+  /// Full N x N transfer with all imperfections. Served from the
+  /// column-factored cache; the returned reference is invalidated by any
+  /// subsequent mutation of the mesh (copy it if you need it to persist).
+  [[nodiscard]] const lina::CMat& transfer() const;
+  /// From-scratch reference evaluation of the same transfer, bypassing the
+  /// cache entirely — the ground truth the incremental path is verified
+  /// against (and a debugging aid).
+  [[nodiscard]] lina::CMat transfer_uncached() const;
+  /// Transfer seen by a carrier detuned `nm` from the design wavelength,
+  /// evaluated from scratch. Does not touch the mesh's own detuning state
+  /// (or its transfer cache) — detuning is an explicit argument here, not
+  /// hidden mutable state.
+  [[nodiscard]] lina::CMat transfer_at(double detuning_nm) const;
   /// Transfer of the same phases on a perfect, lossless die.
   [[nodiscard]] lina::CMat ideal_transfer() const;
   /// Propagate one input field vector.
@@ -93,13 +118,43 @@ class PhysicalMesh {
   [[nodiscard]] const MeshLayout& layout() const { return layout_; }
   [[nodiscard]] const MeshErrorModel& errors() const { return errors_; }
 
+  /// Mesh column owning programmable phase slot `i` (cache diagnostics,
+  /// calibration scheduling).
+  [[nodiscard]] std::size_t column_of_phase(std::size_t i) const {
+    return phase_col_.at(i);
+  }
+
   /// Evaluate a layout + phases on a perfect die (static convenience used
   /// by the decomposition tests).
   [[nodiscard]] static lina::CMat ideal_of(const MeshLayout& layout,
                                            const std::vector<double>& phases);
 
  private:
-  [[nodiscard]] lina::CMat evaluate(bool with_errors) const;
+  /// One mesh column as a compact block-diagonal matrix: 2x2 blocks at the
+  /// cell positions, per-port scalars everywhere else. All error terms
+  /// (losses, offsets, crosstalk, PCM, routing) are folded in.
+  struct ColumnMatrix {
+    struct Block {
+      std::size_t top = 0;
+      lina::cplx a, b, c, d;
+    };
+    std::vector<Block> blocks;
+    std::vector<lina::cplx> diag;          ///< scalar for each uncovered port
+    std::vector<unsigned char> covered;    ///< 1 when a block owns the port
+  };
+
+  /// m <- C * m (block-sparse left application, O(N^2)).
+  static void column_apply_left(const ColumnMatrix& cm, lina::CMat& m);
+  /// m <- m * C (block-sparse right application, O(N^2)).
+  static void column_apply_right(lina::CMat& m, const ColumnMatrix& cm);
+
+  [[nodiscard]] lina::CMat evaluate(bool with_errors, double detuning_nm) const;
+  void build_column(std::size_t c, bool with_errors, double detuning_nm,
+                    ColumnMatrix& out) const;
+  void rebuild_cache() const;      ///< full O(columns * N^2) refresh
+  void invalidate_cache() const;   ///< global-parameter change
+  /// Apply the single-dirty-column rank update; false -> full rebuild.
+  [[nodiscard]] bool try_incremental_update() const;
 
   MeshLayout layout_;
   MeshErrorModel errors_;
@@ -112,6 +167,25 @@ class PhysicalMesh {
   std::optional<phot::PcmCellConfig> pcm_cfg_;
   double drift_time_s_ = 0.0;
   double detuning_nm_ = 0.0;
+
+  // Static layout indexing, computed once in the constructor.
+  std::vector<std::size_t> phase_col_;    ///< owning column per phase slot
+  std::vector<std::size_t> col_phase0_;   ///< first phase slot per column
+  std::vector<std::size_t> col_coup0_;    ///< first coupler index per column
+
+  // -- Column-factored transfer cache (logically const) ------------------
+  mutable std::vector<ColumnMatrix> cols_;   ///< per-column matrices
+  mutable std::vector<lina::CMat> prefix_;   ///< prefix_[c] = C_{c-1}...C_0
+  mutable std::vector<lina::CMat> suffix_;   ///< suffix_[c] = C_{K-1}...C_{c+1}
+  mutable lina::CMat t_cache_;
+  mutable bool cache_ready_ = false;         ///< cols_/t_cache_ coherent
+  mutable std::ptrdiff_t dirty_col_ = -1;    ///< single stale column, -1 none
+  mutable std::size_t prefix_valid_ = 0;     ///< prefix_[0..prefix_valid_] valid
+  mutable std::size_t suffix_valid_ = 0;     ///< suffix_[suffix_valid_..] valid
+  mutable int rank_updates_ = 0;  ///< low-rank steps since last full rebuild
+  // Reusable scratch (kills the per-column allocations in evaluate()).
+  mutable ColumnMatrix scratch_col_;
+  mutable std::vector<double> scratch_th_, scratch_ph_;
 };
 
 }  // namespace aspen::mesh

@@ -32,9 +32,13 @@ Matrix PhotonicBackend::matmul(const Matrix& w, const Matrix& x) {
   const std::size_t tiles_r = (out_dim + n - 1) / n;
   const std::size_t tiles_k = (in_dim + n - 1) / n;
 
+  // Tile scratch hoisted out of the loops; resize() reuses the storage
+  // (and re-zeros it, which doubles as the zero padding).
+  CMat xt;
+  CMat wt;
   for (std::size_t kt = 0; kt < tiles_k; ++kt) {
     // Input tile (zero-padded) as complex columns.
-    CMat xt(n, batch);
+    xt.resize(n, batch);
     for (std::size_t r = 0; r < n; ++r) {
       const std::size_t src = kt * n + r;
       if (src >= in_dim) break;
@@ -42,7 +46,7 @@ Matrix PhotonicBackend::matmul(const Matrix& w, const Matrix& x) {
         xt(r, b) = cplx{x(src, b) * inv, 0.0};
     }
     for (std::size_t rt = 0; rt < tiles_r; ++rt) {
-      CMat wt(n, n);
+      wt.resize(n, n);
       bool nonzero = false;
       for (std::size_t r = 0; r < n; ++r) {
         const std::size_t wr = rt * n + r;

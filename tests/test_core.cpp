@@ -2,7 +2,9 @@
 // scheduler (TDM/WDM), energy/area model.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "core/energy_model.hpp"
 #include "core/gemm_core.hpp"
@@ -385,6 +387,101 @@ TEST(EnergyModelTest, ReckAndClementsSameCellCountSameArea) {
   // But Reck's deeper triangle pays more optical loss.
   EXPECT_GT(evaluate_accelerator(b).insertion_loss_db,
             evaluate_accelerator(a).insertion_loss_db);
+}
+
+TEST(MvmEngineTest, MultiplyBatchMatchesLoopedMultiply) {
+  // Batched propagation is one GEMM, but the noise draws are consumed in
+  // the same order as a multiply() loop — results agree up to FP
+  // reassociation even with every noise source enabled (default config).
+  MvmConfig cfg;
+  cfg.ports = 8;
+  MvmEngine batched(cfg);
+  MvmEngine looped(cfg);
+  Rng rng(71);
+  const CMat w = aspen::lina::random_real(8, 8, rng);
+  batched.set_matrix(w);
+  looped.set_matrix(w);
+
+  const std::size_t m = 12;
+  CMat x(8, m);
+  for (std::size_t r = 0; r < 8; ++r)
+    for (std::size_t c = 0; c < m; ++c)
+      x(r, c) = cplx{rng.uniform(-1.0, 1.0), 0.0};
+
+  const CMat yb = batched.multiply_batch(x);
+  for (std::size_t c = 0; c < m; ++c) {
+    const CVec yl = looped.multiply(x.col(c));
+    for (std::size_t r = 0; r < 8; ++r)
+      EXPECT_LT(std::abs(yb(r, c) - yl[r]), 1e-9) << "r=" << r << " c=" << c;
+  }
+  EXPECT_EQ(batched.counters().mvm_ops, looped.counters().mvm_ops);
+  EXPECT_DOUBLE_EQ(batched.counters().busy_time_s,
+                   looped.counters().busy_time_s);
+}
+
+TEST(MvmEngineTest, TransferAtDetuningIsLogicallyConst) {
+  MvmConfig cfg;
+  cfg.ports = 6;
+  cfg.errors.coupler_sigma = 0.02;
+  const MvmEngine eng(cfg);  // const: must compile and not mutate
+  const CMat before = eng.physical_transfer();
+  const CMat t1 = eng.transfer_at_detuning(2.0);
+  const CMat t2 = eng.transfer_at_detuning(2.0);
+  EXPECT_LT(t1.max_abs_diff(t2), 1e-15) << "must be repeatable";
+  EXPECT_LT(eng.physical_transfer().max_abs_diff(before), 1e-15)
+      << "engine state untouched";
+  // At zero detuning it reproduces the calibrated design-wavelength path.
+  EXPECT_LT(eng.transfer_at_detuning(0.0).max_abs_diff(before), 1e-12);
+}
+
+TEST(GemmCoreTest, BatchedPipelineMatchesStagedPerColumnLoop) {
+  // The GEMM rewrite must reproduce the per-column staged pipeline
+  // (encode -> propagate -> leak-mix -> detect -> rescale) including the
+  // noise stream order.
+  GemmConfig gc;
+  gc.mvm.ports = 6;
+  gc.wdm_channels = 3;
+  gc.channel_isolation_db = 20.0;
+  GemmCore gemm(gc);
+  GemmCore ref(gc);
+  Rng rng(72);
+  const CMat w = aspen::lina::random_real(6, 6, rng);
+  gemm.set_weights(w);
+  ref.set_weights(w);
+
+  const std::size_t m = 7;  // ragged: last group has a single channel
+  CMat x(6, m);
+  for (std::size_t r = 0; r < 6; ++r)
+    for (std::size_t c = 0; c < m; ++c)
+      x(r, c) = cplx{rng.uniform(-1.0, 1.0), 0.0};
+
+  const CMat got = gemm.multiply(x);
+
+  // Reference: the pre-batching algorithm on the staged per-vector API.
+  const double leak = std::pow(10.0, -gc.channel_isolation_db / 20.0);
+  MvmEngine& eng = ref.engine();
+  CMat expected(6, m);
+  for (std::size_t first = 0; first < m; first += 3) {
+    const std::size_t count = std::min<std::size_t>(3, m - first);
+    std::vector<CVec> outputs(count);
+    for (std::size_t c = 0; c < count; ++c)
+      outputs[c] = eng.propagate_fields(eng.encode(x.col(first + c)));
+    std::vector<CVec> mixed = outputs;
+    if (count > 1) {
+      for (std::size_t c = 0; c < count; ++c)
+        for (std::size_t p = 0; p < 6; ++p) {
+          cplx leakage{0.0, 0.0};
+          if (c > 0) leakage += outputs[c - 1][p];
+          if (c + 1 < count) leakage += outputs[c + 1][p];
+          mixed[c][p] += leak * leakage;
+        }
+    }
+    for (std::size_t c = 0; c < count; ++c) {
+      const CVec y = eng.rescale(eng.detect(mixed[c]));
+      for (std::size_t r = 0; r < 6; ++r) expected(r, first + c) = y[r];
+    }
+  }
+  EXPECT_LT(got.max_abs_diff(expected), 1e-9);
 }
 
 }  // namespace

@@ -303,4 +303,51 @@ TEST(RngTest, RandomStateIsNormalized) {
   EXPECT_NEAR(v.norm(), 1.0, 1e-12);
 }
 
+TEST(InPlaceKernelTest, MulIntoMatchesOperator) {
+  Rng rng(11);
+  const CMat a = aspen::lina::ginibre(5, 7, rng);
+  const CMat b = aspen::lina::ginibre(7, 4, rng);
+  CMat out;
+  aspen::lina::mul_into(out, a, b);
+  EXPECT_LT(out.max_abs_diff(a * b), 1e-15);
+  // Reuse with a different shape: storage is recycled, result exact.
+  const CMat c = aspen::lina::ginibre(4, 6, rng);
+  aspen::lina::mul_into(out, b, c);
+  EXPECT_LT(out.max_abs_diff(b * c), 1e-15);
+}
+
+TEST(InPlaceKernelTest, MulIntoShapeMismatchThrows) {
+  const CMat a(3, 4), b(5, 2);
+  CMat out;
+  EXPECT_THROW(aspen::lina::mul_into(out, a, b), std::invalid_argument);
+}
+
+TEST(InPlaceKernelTest, MulVecIntoMatchesOperator) {
+  Rng rng(12);
+  const CMat a = aspen::lina::ginibre(6, 3, rng);
+  const CVec x = aspen::lina::random_state(3, rng);
+  CVec out;
+  aspen::lina::mul_vec_into(out, a, x);
+  EXPECT_LT(aspen::lina::max_abs_diff(out, a * x), 1e-15);
+}
+
+TEST(InPlaceKernelTest, AdjointIntoMatchesAdjoint) {
+  Rng rng(13);
+  const CMat a = aspen::lina::ginibre(4, 6, rng);
+  CMat out;
+  aspen::lina::adjoint_into(out, a);
+  EXPECT_LT(out.max_abs_diff(a.adjoint()), 1e-15);
+}
+
+TEST(InPlaceKernelTest, ResizeZeroFills) {
+  CMat m(2, 2);
+  m(0, 0) = cplx{3.0, -1.0};
+  m.resize(3, 3);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 3u);
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 3; ++c)
+      EXPECT_EQ(m(r, c), (cplx{0.0, 0.0}));
+}
+
 }  // namespace
