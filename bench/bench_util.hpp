@@ -42,8 +42,9 @@ inline void show(lina::Table& t) {
 /// One machine-readable microbenchmark result row.
 struct BenchRow {
   std::string name;   ///< kernel identifier, stable across PRs
-  double ns_per_op;   ///< wall time per operation [ns]
+  double ns_per_op;   ///< measured value (unit below, ns/op by default)
   int ports;          ///< problem size (0 when not size-parameterized)
+  std::string unit = "ns/op";  ///< measurement unit (e.g. "x" for ratios)
 };
 
 /// Write benchmark rows as a JSON array (e.g. BENCH_mesh.json) so CI can
@@ -56,7 +57,8 @@ inline void json_report(const std::string& path,
   for (std::size_t i = 0; i < rows.size(); ++i) {
     os << "  {\"name\": \"" << rows[i].name
        << "\", \"ns_per_op\": " << rows[i].ns_per_op
-       << ", \"ports\": " << rows[i].ports << "}"
+       << ", \"ports\": " << rows[i].ports
+       << ", \"unit\": \"" << rows[i].unit << "\"}"
        << (i + 1 < rows.size() ? "," : "") << "\n";
   }
   os << "]\n";

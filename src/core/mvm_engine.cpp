@@ -194,6 +194,10 @@ CVec MvmEngine::detect(const CVec& fields) {
 }
 
 CVec MvmEngine::rescale(const CVec& detected) const {
+  // Zero weight matrix: the reference scale sigma_max is 0, the optical
+  // path is fully attenuated, and the rescaled output is identically 0
+  // (avoids 0 * inf under finite-math complex division).
+  if (sigma_max_ <= 0.0) return CVec(detected.size());
   const double launch =
       std::sqrt(cfg_.laser.power_w / static_cast<double>(cfg_.ports));
   const cplx scale =
@@ -243,6 +247,10 @@ void MvmEngine::detect_batch(CMat& fields) {
 }
 
 void MvmEngine::rescale_batch(CMat& detected) const {
+  if (sigma_max_ <= 0.0) {  // zero weights -> zero output; see rescale()
+    for (auto& v : detected.raw()) v = cplx{0.0, 0.0};
+    return;
+  }
   const double launch =
       std::sqrt(cfg_.laser.power_w / static_cast<double>(cfg_.ports));
   const cplx scale =
@@ -284,14 +292,50 @@ std::vector<double> MvmEngine::multiply_real(const std::vector<double>& x) {
 }
 
 CVec MvmEngine::multiply_noiseless(const CVec& x) const {
+  CVec out;
+  multiply_noiseless_into(x, out);
+  return out;
+}
+
+void MvmEngine::multiply_noiseless_into(const CVec& x, CVec& out) const {
   // Device (systematic) errors only: exact encoding, no RIN/shot/ADC.
+  // Same expressions and evaluation order as the allocating path.
   const double launch =
       std::sqrt(cfg_.laser.power_w / static_cast<double>(cfg_.ports));
-  CVec fields(x.size());
+  scratch_noiseless_.resize(x.size());
   for (std::size_t i = 0; i < x.size(); ++i)
-    fields[i] = launch * modulator_.amplitude_scale() * x[i];
-  const CVec out = t_phys_ * fields;
-  return rescale(out);
+    scratch_noiseless_[i] = launch * modulator_.amplitude_scale() * x[i];
+  lina::mul_vec_into(out, t_phys_, scratch_noiseless_);
+  if (sigma_max_ <= 0.0) {  // zero weights -> zero output; see rescale()
+    for (std::size_t i = 0; i < out.size(); ++i) out[i] = cplx{0.0, 0.0};
+    return;
+  }
+  const cplx scale =
+      gain_ * launch * modulator_.amplitude_scale() / sigma_max_;
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = out[i] / scale;
+}
+
+void MvmEngine::multiply_noiseless_batch_into(const CMat& x,
+                                              CMat& out) const {
+  const double launch =
+      std::sqrt(cfg_.laser.power_w / static_cast<double>(cfg_.ports));
+  scratch_noiseless_batch_.resize(x.rows(), x.cols());
+  const cplx* xin = x.raw().data();
+  cplx* fields = scratch_noiseless_batch_.raw().data();
+  for (std::size_t i = 0; i < x.raw().size(); ++i)
+    fields[i] = launch * modulator_.amplitude_scale() * xin[i];
+  lina::mul_into(out, t_phys_, scratch_noiseless_batch_);
+  if (sigma_max_ <= 0.0) {  // zero weights -> zero output; see rescale()
+    for (auto& v : out.raw()) v = cplx{0.0, 0.0};
+    return;
+  }
+  // One reciprocal instead of a division per element (the whole tile
+  // shares the scale; agrees with the per-column path to ~1 ulp, well
+  // inside the Q3.12 conversion at the SPM boundary).
+  const cplx inv_scale =
+      cplx{1.0, 0.0} /
+      (gain_ * launch * modulator_.amplitude_scale() / sigma_max_);
+  for (auto& v : out.raw()) v *= inv_scale;
 }
 
 double MvmEngine::symbol_time_s() const {

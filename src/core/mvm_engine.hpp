@@ -99,6 +99,17 @@ class MvmEngine {
   /// Deterministic device-error-only result (no shot/RIN/ADC noise):
   /// isolates systematic from stochastic error in the analyses.
   [[nodiscard]] lina::CVec multiply_noiseless(const lina::CVec& x) const;
+  /// Allocation-free variant writing into `out` (identical values; the
+  /// memory-mapped accelerator's deterministic path streams tiles
+  /// through this without per-column heap churn).
+  void multiply_noiseless_into(const lina::CVec& x, lina::CVec& out) const;
+  /// Whole-tile noiseless evaluation as one matrix product. Accumulation
+  /// order matches the per-column path (k-major), but the final rescale
+  /// multiplies by one shared reciprocal instead of dividing per
+  /// element, so results agree with multiply_noiseless() to ~1 ulp —
+  /// compare with a tolerance, not bitwise.
+  void multiply_noiseless_batch_into(const lina::CMat& x,
+                                     lina::CMat& out) const;
 
   // -- Lower-level stages (used by the WDM GeMM scheduler) --------------
   /// DAC + modulator encoding into field amplitudes (per-port).
@@ -189,6 +200,8 @@ class MvmEngine {
   MvmCounters counters_;
   mutable lina::CMat scratch_path_;  ///< compose_path_into scratch
   lina::CMat batch_fields_;          ///< multiply_batch encode scratch
+  mutable lina::CVec scratch_noiseless_;  ///< multiply_noiseless_into fields
+  mutable lina::CMat scratch_noiseless_batch_;  ///< batch variant fields
 };
 
 }  // namespace aspen::core

@@ -1,6 +1,7 @@
 #include "sysim/accelerator.hpp"
 
 #include <cmath>
+#include <cstring>
 #include <stdexcept>
 
 namespace aspen::sys {
@@ -16,12 +17,14 @@ std::uint32_t spm_bytes(std::size_t elems) {
 }  // namespace
 
 PhotonicAccelerator::PhotonicAccelerator(AcceleratorConfig cfg)
+    // SPM latency mirrors the device access_latency() so the memories
+    // can be bus-attached directly without changing cycle accounting.
     : cfg_(cfg),
       gemm_(cfg.gemm),
       spm_w_("spm-w",
-             spm_bytes(cfg.gemm.mvm.ports * cfg.gemm.mvm.ports), 1),
-      spm_x_("spm-x", spm_bytes(cfg.gemm.mvm.ports * cfg.max_cols), 1),
-      spm_y_("spm-y", spm_bytes(cfg.gemm.mvm.ports * cfg.max_cols), 1) {
+             spm_bytes(cfg.gemm.mvm.ports * cfg.gemm.mvm.ports), 2),
+      spm_x_("spm-x", spm_bytes(cfg.gemm.mvm.ports * cfg.max_cols), 2),
+      spm_y_("spm-y", spm_bytes(cfg.gemm.mvm.ports * cfg.max_cols), 2) {
   if (cfg_.max_cols == 0 || cfg_.clock_hz <= 0.0)
     throw std::invalid_argument("PhotonicAccelerator: bad config");
   if (spm_bytes(cfg.gemm.mvm.ports * cfg.max_cols) > 0x1000)
@@ -109,6 +112,19 @@ void PhotonicAccelerator::write(std::uint32_t offset, std::uint32_t value,
   }
 }
 
+namespace {
+/// Q3.12 element load: straight off the raw span while no stuck-at
+/// faults are armed (identical little-endian value to read(off, 2)),
+/// through the fault-masking read() otherwise.
+std::int16_t spm_fixed_at(Memory& spm, const BusDevice::DirectSpan& span,
+                          std::size_t elem) {
+  if (span.data != nullptr)
+    return static_cast<std::int16_t>(load_le(span.data + 2 * elem, 2));
+  return static_cast<std::int16_t>(
+      spm.read(static_cast<std::uint32_t>(2 * elem), 2));
+}
+}  // namespace
+
 void PhotonicAccelerator::start_operation(std::uint32_t ctrl) {
   pending_op_ = ctrl;
   const std::size_t n = cfg_.gemm.mvm.ports;
@@ -116,39 +132,42 @@ void PhotonicAccelerator::start_operation(std::uint32_t ctrl) {
 
   if (ctrl & kCtrlLoadWeights) {
     CMat w(n, n);
+    const BusDevice::DirectSpan ws = spm_w_.direct_span();
     for (std::size_t r = 0; r < n; ++r)
-      for (std::size_t c = 0; c < n; ++c) {
-        const auto raw = static_cast<std::int16_t>(
-            spm_w_.read(static_cast<std::uint32_t>(2 * (r * n + c)), 2));
-        w(r, c) = cplx{from_fixed(raw), 0.0};
-      }
+      for (std::size_t c = 0; c < n; ++c)
+        w(r, c) = cplx{from_fixed(spm_fixed_at(spm_w_, ws, r * n + c)), 0.0};
     gemm_.set_weights(w);
     op_seconds += gemm_.engine().program_time_s();
   }
 
   if (ctrl & kCtrlStart) {
     const std::size_t m = cols_;
-    CMat x(n, m);
-    for (std::size_t c = 0; c < m; ++c)
-      for (std::size_t r = 0; r < n; ++r) {
-        const auto raw = static_cast<std::int16_t>(
-            spm_x_.read(static_cast<std::uint32_t>(2 * (c * n + r)), 2));
-        x(r, c) = cplx{from_fixed(raw), 0.0};
-      }
-
-    CMat y(n, m);
-    if (cfg_.deterministic) {
-      for (std::size_t c = 0; c < m; ++c) {
-        const CVec out = gemm_.engine().multiply_noiseless(x.col(c));
-        for (std::size_t r = 0; r < n; ++r) y(r, c) = out[r];
-      }
-    } else {
-      y = gemm_.multiply(x);
-    }
+    scratch_x_.resize(n, m);
+    const BusDevice::DirectSpan xs = spm_x_.direct_span();
     for (std::size_t c = 0; c < m; ++c)
       for (std::size_t r = 0; r < n; ++r)
-        spm_y_.write(static_cast<std::uint32_t>(2 * (c * n + r)),
-                     static_cast<std::uint16_t>(to_fixed(y(r, c).real())), 2);
+        scratch_x_(r, c) =
+            cplx{from_fixed(spm_fixed_at(spm_x_, xs, c * n + r)), 0.0};
+
+    if (cfg_.deterministic) {
+      gemm_.engine().multiply_noiseless_batch_into(scratch_x_, scratch_y_);
+    } else {
+      scratch_y_ = gemm_.multiply(scratch_x_);
+    }
+    // Direct span writeback unless a master caches state derived from
+    // this SPM (then write() must run so its observer fires).
+    const BusDevice::DirectSpan ys =
+        spm_y_.observed() ? BusDevice::DirectSpan{} : spm_y_.direct_span();
+    for (std::size_t c = 0; c < m; ++c)
+      for (std::size_t r = 0; r < n; ++r) {
+        const auto fixed =
+            static_cast<std::uint16_t>(to_fixed(scratch_y_(r, c).real()));
+        if (ys.data != nullptr) {
+          std::memcpy(ys.data + 2 * (c * n + r), &fixed, 2);
+        } else {
+          spm_y_.write(static_cast<std::uint32_t>(2 * (c * n + r)), fixed, 2);
+        }
+      }
 
     const auto k = static_cast<std::size_t>(
         std::max(1, cfg_.gemm.wdm_channels));
@@ -170,6 +189,12 @@ void PhotonicAccelerator::finish_operation() {
 void PhotonicAccelerator::tick() {
   if (busy_cycles_ == 0) return;
   if (--busy_cycles_ == 0) finish_operation();
+}
+
+void PhotonicAccelerator::skip_cycles(std::uint64_t n) {
+  if (busy_cycles_ == 0 || n == 0) return;
+  busy_cycles_ -= n < busy_cycles_ ? n : busy_cycles_;
+  if (busy_cycles_ == 0) finish_operation();
 }
 
 void PhotonicAccelerator::inject_phase_fault(std::size_t phase_index,

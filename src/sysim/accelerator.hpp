@@ -50,13 +50,26 @@ class PhotonicAccelerator final : public BusDevice {
   void write(std::uint32_t offset, std::uint32_t value, unsigned size) override;
   [[nodiscard]] unsigned access_latency() const override { return 2; }
   [[nodiscard]] std::string name() const override { return "photonic-dsa"; }
+  /// Only CTRL writes start operations; SPM data and the remaining MMRs
+  /// (STATUS clear, COLS) change no tick()-observable behavior.
+  [[nodiscard]] bool write_is_activating(std::uint32_t offset) const override {
+    return offset == kRegCtrl;
+  }
 
   /// Advance one system clock cycle.
   void tick();
+  /// Advance `n` cycles at once (event-driven scheduling): the busy
+  /// countdown has no per-cycle side effects, so skipping is exact —
+  /// completion (DONE/IRQ) fires iff the countdown reaches zero.
+  void skip_cycles(std::uint64_t n);
 
   [[nodiscard]] bool irq_pending() const { return irq_; }
   void clear_irq() { irq_ = false; }
   [[nodiscard]] bool busy() const { return busy_cycles_ > 0; }
+  /// Cycles until the running operation completes (0 when idle).
+  [[nodiscard]] std::uint64_t busy_cycles_remaining() const {
+    return busy_cycles_;
+  }
 
   /// Direct SPM access for fault injection campaigns.
   [[nodiscard]] Memory& spm_w() { return spm_w_; }
@@ -111,6 +124,9 @@ class PhotonicAccelerator final : public BusDevice {
   std::uint64_t total_busy_cycles_ = 0;
   std::uint32_t last_op_cycles_ = 0;
   std::uint32_t pending_op_ = 0;  ///< latched CTRL of the running op
+  // start_operation marshalling scratch (tiles stream through every op).
+  lina::CMat scratch_x_;
+  lina::CMat scratch_y_;
 };
 
 }  // namespace aspen::sys

@@ -1,5 +1,6 @@
 #include "sysim/bus.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace aspen::sys {
@@ -17,8 +18,19 @@ void Bus::attach(std::uint32_t base, std::uint32_t size, BusDevice* dev) {
 }
 
 const Bus::Region* Bus::find(std::uint32_t addr) const {
-  for (const auto& r : regions_)
-    if (addr >= r.base && addr < r.base + r.size) return &r;
+  // MRU hit first: the unsigned subtraction folds the two range checks
+  // (addr >= base && addr < base + size) into one compare.
+  if (mru_ < regions_.size()) {
+    const Region& m = regions_[mru_];
+    if (addr - m.base < m.size) return &m;
+  }
+  for (std::size_t i = 0; i < regions_.size(); ++i) {
+    const Region& r = regions_[i];
+    if (addr - r.base < r.size) {
+      mru_ = i;
+      return &r;
+    }
+  }
   return nullptr;
 }
 
@@ -49,7 +61,26 @@ Bus::Access Bus::write(std::uint32_t addr, std::uint32_t value,
   }
   r->dev->write(addr - r->base, value, size);
   a.latency = bus_latency_ + r->dev->access_latency();
+  a.activating = r->dev->write_is_activating(addr - r->base);
   return a;
+}
+
+Bus::DirectWindow Bus::direct_window(std::uint32_t addr) const {
+  DirectWindow w;
+  const Region* r = find(addr);
+  if (r == nullptr) return w;
+  // Region metadata is filled in even when the device exposes no span:
+  // masters cache that as a negative entry and stop re-querying MMIO
+  // regions on every access.
+  w.base = r->base;
+  w.size = r->size;
+  w.latency = bus_latency_ + r->dev->access_latency();
+  w.dev = r->dev;
+  const BusDevice::DirectSpan span = r->dev->direct_span();
+  if (span.data == nullptr || span.size == 0) return w;
+  w.size = std::min(r->size, span.size);
+  w.data = span.data;
+  return w;
 }
 
 }  // namespace aspen::sys

@@ -41,6 +41,10 @@ void DmaEngine::write(std::uint32_t offset, std::uint32_t value,
   }
 }
 
+void DmaEngine::skip_cycles(std::uint64_t n) {
+  while (busy_ && n-- > 0) tick();
+}
+
 void DmaEngine::tick() {
   if (!busy_) return;
   unsigned moved = 0;

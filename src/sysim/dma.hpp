@@ -27,9 +27,18 @@ class DmaEngine final : public BusDevice {
   void write(std::uint32_t offset, std::uint32_t value, unsigned size) override;
   [[nodiscard]] unsigned access_latency() const override { return 2; }
   [[nodiscard]] std::string name() const override { return "dma"; }
+  /// Only CTRL writes start transfers; SRC/DST/LEN programming and
+  /// STATUS clears are passive.
+  [[nodiscard]] bool write_is_activating(std::uint32_t offset) const override {
+    return offset == kRegCtrl;
+  }
 
   /// Advance one cycle (moves data while busy).
   void tick();
+  /// Advance `n` cycles at once. The engine issues bus transactions on
+  /// every busy cycle, so bulk skipping is only free while idle; a busy
+  /// engine falls back to per-cycle ticking to stay bit-identical.
+  void skip_cycles(std::uint64_t n);
 
   [[nodiscard]] bool irq_pending() const { return irq_; }
   void clear_irq() { irq_ = false; }

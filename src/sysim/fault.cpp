@@ -1,5 +1,6 @@
 #include "sysim/fault.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace aspen::sys {
@@ -110,13 +111,11 @@ Outcome FaultCampaign::run_one(const FaultSpec& spec) {
   (void)golden();  // ensure reference exists
   auto system = factory_();
 
-  // Run to the injection point, inject, then run to completion.
-  while (!system->cpu().halted() && system->now() < spec.cycle &&
-         system->now() < max_cycles_)
-    system->tick();
+  // Run to the exact injection cycle (event-driven under the hood),
+  // inject, then run to completion.
+  system->run_until(std::min(spec.cycle, max_cycles_));
   inject(*system, spec);
-  while (!system->cpu().halted() && system->now() < max_cycles_)
-    system->tick();
+  system->run_until(max_cycles_);
 
   if (!system->cpu().halted()) return Outcome::kDueHang;
   const rv::Halt h = system->cpu().halt_reason();

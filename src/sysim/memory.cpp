@@ -26,7 +26,9 @@ std::uint32_t Memory::read(std::uint32_t offset, unsigned size) {
   // Bus-facing access: a region-boundary-crossing transaction (possible
   // under injected faults) reads as zero rather than killing the
   // simulation; host-side load/read_block stay strict.
-  if (offset + size > bytes_.size()) return 0;
+  if (offset > bytes_.size() || size > bytes_.size() - offset) return 0;
+  // Little-endian block copy instead of the per-byte assembly loop.
+  if (stuck_.empty()) return load_le(bytes_.data() + offset, size);
   std::uint32_t v = 0;
   for (unsigned i = 0; i < size; ++i)
     v |= static_cast<std::uint32_t>(read_byte(offset + i)) << (8 * i);
@@ -34,15 +36,17 @@ std::uint32_t Memory::read(std::uint32_t offset, unsigned size) {
 }
 
 void Memory::write(std::uint32_t offset, std::uint32_t value, unsigned size) {
-  if (offset + size > bytes_.size()) return;  // see read()
-  for (unsigned i = 0; i < size; ++i)
-    bytes_[offset + i] = static_cast<std::uint8_t>(value >> (8 * i));
+  if (offset > bytes_.size() || size > bytes_.size() - offset)
+    return;  // see read()
+  store_le(bytes_.data() + offset, value, size);
+  notify(offset, size);
 }
 
 void Memory::load(std::uint32_t offset, const void* src, std::size_t n) {
   if (offset + n > bytes_.size())
     throw std::out_of_range(name_ + ": load past end");
   std::memcpy(bytes_.data() + offset, src, n);
+  notify(offset, static_cast<std::uint32_t>(n));
 }
 
 void Memory::read_block(std::uint32_t offset, void* dst, std::size_t n) const {
@@ -53,20 +57,28 @@ void Memory::read_block(std::uint32_t offset, void* dst, std::size_t n) const {
 
 void Memory::fill(std::uint8_t value) {
   std::fill(bytes_.begin(), bytes_.end(), value);
+  notify(0, size());
 }
 
 void Memory::flip_bit(std::uint32_t offset, unsigned bit) {
   if (offset >= bytes_.size() || bit > 7)
     throw std::out_of_range(name_ + ": flip_bit out of range");
   bytes_[offset] ^= static_cast<std::uint8_t>(1u << bit);
+  notify(offset, 1);
 }
 
 void Memory::set_stuck_bit(std::uint32_t offset, unsigned bit, bool value) {
   if (offset >= bytes_.size() || bit > 7)
     throw std::out_of_range(name_ + ": set_stuck_bit out of range");
   stuck_.push_back({offset, static_cast<std::uint8_t>(bit), value});
+  // The read transform changed: the whole span must be treated as dirty
+  // (and direct_span() is revoked until the faults are cleared).
+  notify(0, size());
 }
 
-void Memory::clear_faults() { stuck_.clear(); }
+void Memory::clear_faults() {
+  stuck_.clear();
+  notify(0, size());
+}
 
 }  // namespace aspen::sys

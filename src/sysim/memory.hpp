@@ -4,6 +4,13 @@
 /// scratchpads (SPMs — "these two types of memories occupy the largest
 /// part of the area of many accelerators", paper Section 5). Supports the
 /// permanent stuck-at fault hooks used by the reliability campaigns.
+///
+/// Fast path: while no stuck-at faults are armed the raw byte store is
+/// exported through `direct_span()`, letting bus masters (the CPU's DRAM
+/// fast path) bypass the virtual read/write calls. Every out-of-band
+/// mutation — bus writes, host loads, bit flips, stuck-bit changes — is
+/// reported to the registered BusWriteObserver so derived caches
+/// (predecoded instructions) stay coherent.
 
 #include <cstdint>
 #include <string>
@@ -21,6 +28,24 @@ class Memory final : public BusDevice {
   void write(std::uint32_t offset, std::uint32_t value, unsigned size) override;
   [[nodiscard]] unsigned access_latency() const override { return latency_; }
   [[nodiscard]] std::string name() const override { return name_; }
+
+  /// Raw store, exported only while reads are transform-free (no stuck
+  /// bits): a revoked span forces masters back onto read(), which applies
+  /// the fault masks.
+  [[nodiscard]] DirectSpan direct_span() override {
+    if (!stuck_.empty()) return {};
+    return {bytes_.data(), size()};
+  }
+  void set_write_observer(BusWriteObserver* observer) override {
+    observer_ = observer;
+  }
+  /// Pure storage: writes never schedule device activity.
+  [[nodiscard]] bool write_is_activating(std::uint32_t) const override {
+    return false;
+  }
+  /// True while a master caches state derived from this memory; direct
+  /// span writers must then go through write() so the observer fires.
+  [[nodiscard]] bool observed() const { return observer_ != nullptr; }
 
   [[nodiscard]] std::uint32_t size() const {
     return static_cast<std::uint32_t>(bytes_.size());
@@ -41,10 +66,14 @@ class Memory final : public BusDevice {
 
  private:
   [[nodiscard]] std::uint8_t read_byte(std::uint32_t offset) const;
+  void notify(std::uint32_t offset, std::uint32_t bytes) {
+    if (observer_ != nullptr) observer_->bus_memory_written(this, offset, bytes);
+  }
 
   std::string name_;
   std::vector<std::uint8_t> bytes_;
   unsigned latency_;
+  BusWriteObserver* observer_ = nullptr;
   struct Stuck {
     std::uint32_t offset;
     std::uint8_t bit;

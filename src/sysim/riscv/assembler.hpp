@@ -33,6 +33,8 @@ inline constexpr std::uint32_t kCsrMcause = 0x342;
 inline constexpr std::uint32_t kCsrMip = 0x344;
 inline constexpr std::uint32_t kCsrMcycle = 0xB00;
 inline constexpr std::uint32_t kCsrMinstret = 0xB02;
+inline constexpr std::uint32_t kCsrMcycleH = 0xB80;
+inline constexpr std::uint32_t kCsrMinstretH = 0xB82;
 
 class Assembler {
  public:

@@ -1,5 +1,6 @@
 #include "sysim/riscv/cpu.hpp"
 
+#include <cstring>
 #include <stdexcept>
 
 #include "sysim/riscv/assembler.hpp"  // CSR number constants
@@ -18,8 +19,16 @@ std::int32_t sign_extend(std::uint32_t v, unsigned bits) {
 }
 }  // namespace
 
-Cpu::Cpu(Bus& bus, CpuConfig cfg) : bus_(bus), cfg_(cfg), pc_(cfg.reset_pc) {
+Cpu::Cpu(Bus& bus, CpuConfig cfg)
+    : bus_(bus), cfg_(cfg), pc_(cfg.reset_pc), icache_(kICacheEntries) {
   stuck_and_.fill(0xFFFFFFFFu);
+}
+
+Cpu::~Cpu() {
+  if (observed_devs_[0] != nullptr)
+    observed_devs_[0]->set_write_observer(nullptr);
+  if (observed_devs_[1] != nullptr && observed_devs_[1] != observed_devs_[0])
+    observed_devs_[1]->set_write_observer(nullptr);
 }
 
 void Cpu::reset() {
@@ -31,9 +40,13 @@ void Cpu::reset() {
   wfi_ = false;
   halt_ = Halt::kRunning;
   mstatus_ = mie_ = mip_ = mtvec_ = mscratch_ = mepc_ = mcause_ = 0;
+  icache_flush();
 }
 
 std::uint32_t Cpu::read_reg(int i) const {
+  // x0 stays 0 in regs_ (write_reg guards it), so the fault-free fast
+  // path is a single load.
+  if (!reg_faults_armed_) return regs_[static_cast<std::size_t>(i)];
   if (i == 0) return 0;
   return (regs_[static_cast<std::size_t>(i)] |
           stuck_or_[static_cast<std::size_t>(i)]) &
@@ -57,11 +70,13 @@ void Cpu::set_reg_stuck_bit(int reg, unsigned bit, bool value) {
     stuck_or_[static_cast<std::size_t>(reg)] |= (1u << bit);
   else
     stuck_and_[static_cast<std::size_t>(reg)] &= ~(1u << bit);
+  reg_faults_armed_ = true;
 }
 
 void Cpu::clear_faults() {
   stuck_or_.fill(0);
   stuck_and_.fill(0xFFFFFFFFu);
+  reg_faults_armed_ = false;
 }
 
 std::uint32_t Cpu::read_csr(std::uint32_t addr) const {
@@ -74,7 +89,9 @@ std::uint32_t Cpu::read_csr(std::uint32_t addr) const {
     case kCsrMepc: return mepc_;
     case kCsrMcause: return mcause_;
     case kCsrMcycle: return static_cast<std::uint32_t>(cycles_);
+    case kCsrMcycleH: return static_cast<std::uint32_t>(cycles_ >> 32);
     case kCsrMinstret: return static_cast<std::uint32_t>(instret_);
+    case kCsrMinstretH: return static_cast<std::uint32_t>(instret_ >> 32);
     default: return 0;
   }
 }
@@ -142,14 +159,588 @@ void Cpu::tick() {
     return;
   }
 
-  const Bus::Access fetch = bus_.read(pc_, 4);
+  if (cfg_.legacy_decode) {
+    const Bus::Access fetch = bus_.read(pc_, 4);
+    if (fetch.fault) {
+      mem_fault(1);  // instruction access fault
+      return;
+    }
+    stall_ += cfg_.fetch_latency;
+    exec(fetch.value);
+    return;
+  }
+  step();
+}
+
+void Cpu::skip_cycles(std::uint64_t n) {
+  if (halt_ != Halt::kRunning || n == 0) return;
+  cycles_ += n;
+  const auto burn =
+      static_cast<unsigned>(n < stall_ ? n : static_cast<std::uint64_t>(stall_));
+  stall_ -= burn;
+}
+
+Cpu::BurstResult Cpu::run_burst(std::uint64_t budget) {
+  BurstResult r;
+  // The interrupt line is low for the whole window (caller-guaranteed),
+  // so MEIP stays clear and no asynchronous trap can fire: the per-tick
+  // irq/WFI/trap prologue reduces to this one mip update.
+  mip_ &= ~kMeip;
+  // bus_access_ latches only on burst-ending events (activating writes,
+  // slow fetches, faults), so one reset serves the whole burst.
+  bus_access_ = false;
+  while (budget > 0) {
+    ++cycles_;
+    --budget;
+    ++r.cycles;
+    step();
+    if (bus_access_ || halt_ != Halt::kRunning || wfi_) {
+      r.bus_access = bus_access_;
+      break;
+    }
+    if (stall_ > 0) {
+      const std::uint64_t burn =
+          stall_ < budget ? static_cast<std::uint64_t>(stall_) : budget;
+      cycles_ += burn;
+      budget -= burn;
+      r.cycles += burn;
+      stall_ -= static_cast<unsigned>(burn);
+      if (stall_ > 0) break;  // budget exhausted mid-stall
+    }
+  }
+  return r;
+}
+
+// ------------------------------------------------ direct-memory fast path
+
+void Cpu::set_window(std::size_t slot, std::uint32_t addr) {
+  win_[slot] = bus_.direct_window(addr);
+  BusDevice* const dev = win_[slot].dev;
+  BusDevice*& cur = observed_devs_[slot];
+  if (cur != dev) {
+    BusDevice* const other = observed_devs_[1 - slot];
+    if (cur != nullptr && cur != other) cur->set_write_observer(nullptr);
+    if (dev != nullptr && dev != other) dev->set_write_observer(this);
+    cur = dev;
+  }
+}
+
+const Bus::DirectWindow* Cpu::lookup_window(std::uint32_t addr, unsigned size,
+                                            std::size_t slot) {
+  if (covers(win_[0], addr, size))
+    return win_[0].data != nullptr ? &win_[0] : nullptr;
+  if (covers(win_[1], addr, size))
+    return win_[1].data != nullptr ? &win_[1] : nullptr;
+  set_window(slot, addr);
+  const Bus::DirectWindow& w = win_[slot];
+  if (covers(w, addr, size) && w.data != nullptr) return &w;
+  return nullptr;
+}
+
+bool Cpu::fast_read(std::uint32_t addr, unsigned size, std::uint32_t& value) {
+  const Bus::DirectWindow* w = lookup_window(addr, size, 1);
+  if (w == nullptr) return false;
+  value = load_le(w->data + (addr - w->base), size);
+  stall_ += w->latency;
+  return true;
+}
+
+bool Cpu::fast_write(std::uint32_t addr, std::uint32_t value, unsigned size) {
+  const Bus::DirectWindow* w = lookup_window(addr, size, 1);
+  if (w == nullptr) return false;
+  store_le(w->data + (addr - w->base), value, size);
+  stall_ += w->latency;
+  icache_invalidate(addr, size);  // self-modifying code support
+  return true;
+}
+
+void Cpu::icache_flush() {
+  for (auto& e : icache_) e.tag = kInvalidTag;
+  icache_lo_ = 0xFFFFFFFFu;
+  icache_hi_ = 0;
+}
+
+void Cpu::icache_invalidate(std::uint32_t addr, std::uint32_t bytes) {
+  if (icache_lo_ > icache_hi_ || bytes == 0) return;  // cache empty
+  // An instruction with tag t occupies bytes [t, t+4), so a store over
+  // [addr, addr+bytes) overlaps tags in [addr-3, addr+bytes). Tags are
+  // not necessarily word-aligned (JALR/MRET may target any even — or
+  // via a software-written mepc even odd — address), so probe
+  // byte-granular; the cached-PC range check makes data stores free.
+  if (addr > icache_hi_ + 3 ||
+      static_cast<std::uint64_t>(addr) + bytes <= icache_lo_)
+    return;
+  const std::uint32_t first = addr >= 3 ? addr - 3 : 0;
+  const std::uint32_t last = addr + bytes - 1;
+  if (last - first >= 4 * kICacheEntries) {
+    icache_flush();
+    return;
+  }
+  for (std::uint32_t a = first;; ++a) {
+    ICacheEntry& e = icache_[(a >> 2) & (kICacheEntries - 1)];
+    if (e.tag == a) e.tag = kInvalidTag;
+    if (a == last) break;
+  }
+}
+
+void Cpu::bus_memory_written(BusDevice* dev, std::uint32_t offset,
+                             std::uint32_t bytes) {
+  const bool has_span = dev->direct_span().data != nullptr;
+  for (auto& w : win_) {
+    if (w.dev != dev) continue;
+    if (w.data != nullptr) {
+      icache_invalidate(w.base + offset, bytes);
+      // A revoked span (stuck-at faults armed) forces every access back
+      // onto the virtual read path, where the fault masks are applied.
+      if (!has_span) w = Bus::DirectWindow{};
+    } else if (has_span) {
+      // Stale negative entry: the device re-granted its span (faults
+      // cleared) — drop it so the next access resolves positively.
+      w = Bus::DirectWindow{};
+    }
+  }
+}
+
+// ---------------------------------------------------- predecoded dispatch
+
+Cpu::MicroOp Cpu::decode(std::uint32_t inst) {
+  MicroOp u;
+  const unsigned opcode = inst & 0x7F;
+  u.rd = static_cast<std::uint8_t>((inst >> 7) & 0x1F);
+  const unsigned funct3 = (inst >> 12) & 0x7;
+  u.rs1 = static_cast<std::uint8_t>((inst >> 15) & 0x1F);
+  u.rs2 = static_cast<std::uint8_t>((inst >> 20) & 0x1F);
+  const unsigned funct7 = inst >> 25;
+
+  switch (opcode) {
+    case 0x37:
+      u.op = MicroOp::kLui;
+      u.imm = inst & 0xFFFFF000u;
+      break;
+    case 0x17:
+      u.op = MicroOp::kAuipc;
+      u.imm = inst & 0xFFFFF000u;
+      break;
+    case 0x6F: {
+      const std::uint32_t imm =
+          (((inst >> 31) & 1u) << 20) | (((inst >> 12) & 0xFFu) << 12) |
+          (((inst >> 20) & 1u) << 11) | (((inst >> 21) & 0x3FFu) << 1);
+      u.op = MicroOp::kJal;
+      u.imm = static_cast<std::uint32_t>(sign_extend(imm, 21));
+      break;
+    }
+    case 0x67:
+      u.op = MicroOp::kJalr;
+      u.imm = static_cast<std::uint32_t>(sign_extend(inst >> 20, 12));
+      break;
+    case 0x63: {
+      const std::uint32_t imm =
+          (((inst >> 31) & 1u) << 12) | (((inst >> 7) & 1u) << 11) |
+          (((inst >> 25) & 0x3Fu) << 5) | (((inst >> 8) & 0xFu) << 1);
+      u.imm = static_cast<std::uint32_t>(sign_extend(imm, 13));
+      switch (funct3) {
+        case 0: u.op = MicroOp::kBeq; break;
+        case 1: u.op = MicroOp::kBne; break;
+        case 4: u.op = MicroOp::kBlt; break;
+        case 5: u.op = MicroOp::kBge; break;
+        case 6: u.op = MicroOp::kBltu; break;
+        case 7: u.op = MicroOp::kBgeu; break;
+        default: u.op = MicroOp::kIllegal; break;
+      }
+      break;
+    }
+    case 0x03:
+      u.imm = static_cast<std::uint32_t>(sign_extend(inst >> 20, 12));
+      // The seed interpreter treats unknown load funct3 as a plain byte
+      // load without sign extension, i.e. LBU; preserved bit-exactly.
+      switch (funct3) {
+        case 0: u.op = MicroOp::kLb; break;
+        case 1: u.op = MicroOp::kLh; break;
+        case 2: u.op = MicroOp::kLw; break;
+        case 5: u.op = MicroOp::kLhu; break;
+        default: u.op = MicroOp::kLbu; break;
+      }
+      break;
+    case 0x23:
+      u.imm = static_cast<std::uint32_t>(
+          sign_extend(((inst >> 25) << 5) | ((inst >> 7) & 0x1Fu), 12));
+      // Unknown store funct3 degrades to a byte store, as in the seed.
+      switch (funct3) {
+        case 1: u.op = MicroOp::kSh; break;
+        case 2: u.op = MicroOp::kSw; break;
+        default: u.op = MicroOp::kSb; break;
+      }
+      break;
+    case 0x13:
+      switch (funct3) {
+        case 0: u.op = MicroOp::kAddi; break;
+        case 1: u.op = MicroOp::kSlli; break;
+        case 2: u.op = MicroOp::kSlti; break;
+        case 3: u.op = MicroOp::kSltiu; break;
+        case 4: u.op = MicroOp::kXori; break;
+        case 5: u.op = (funct7 & 0x20) ? MicroOp::kSrai : MicroOp::kSrli; break;
+        case 6: u.op = MicroOp::kOri; break;
+        default: u.op = MicroOp::kAndi; break;
+      }
+      if (funct3 == 1 || funct3 == 5)
+        u.imm = (inst >> 20) & 0x1F;  // shamt
+      else
+        u.imm = static_cast<std::uint32_t>(sign_extend(inst >> 20, 12));
+      break;
+    case 0x33:
+      if (funct7 == 0x01) {
+        switch (funct3) {
+          case 0: u.op = MicroOp::kMul; break;
+          case 1: u.op = MicroOp::kMulh; break;
+          case 2: u.op = MicroOp::kMulhsu; break;
+          case 3: u.op = MicroOp::kMulhu; break;
+          case 4: u.op = MicroOp::kDiv; break;
+          case 5: u.op = MicroOp::kDivu; break;
+          case 6: u.op = MicroOp::kRem; break;
+          default: u.op = MicroOp::kRemu; break;
+        }
+      } else {
+        // The seed ignores funct7 apart from bit 5 (SUB/SRA selection).
+        switch (funct3) {
+          case 0: u.op = (funct7 & 0x20) ? MicroOp::kSub : MicroOp::kAdd; break;
+          case 1: u.op = MicroOp::kSll; break;
+          case 2: u.op = MicroOp::kSlt; break;
+          case 3: u.op = MicroOp::kSltu; break;
+          case 4: u.op = MicroOp::kXor; break;
+          case 5: u.op = (funct7 & 0x20) ? MicroOp::kSra : MicroOp::kSrl; break;
+          case 6: u.op = MicroOp::kOr; break;
+          default: u.op = MicroOp::kAnd; break;
+        }
+      }
+      break;
+    case 0x0F:
+      u.op = MicroOp::kFence;
+      break;
+    case 0x73:
+      if (inst == 0x00000073u) {
+        u.op = MicroOp::kEcall;
+      } else if (inst == 0x00100073u) {
+        u.op = MicroOp::kEbreak;
+      } else if (inst == 0x10500073u) {
+        u.op = MicroOp::kWfi;
+      } else if (inst == 0x30200073u) {
+        u.op = MicroOp::kMret;
+      } else {
+        u.imm = inst >> 20;  // CSR number
+        switch (funct3) {
+          case 1: u.op = MicroOp::kCsrrw; break;
+          case 2: u.op = MicroOp::kCsrrs; break;
+          case 3: u.op = MicroOp::kCsrrc; break;
+          case 5: u.op = MicroOp::kCsrrwi; break;
+          case 6: u.op = MicroOp::kCsrrsi; break;
+          case 7: u.op = MicroOp::kCsrrci; break;
+          default: u.op = MicroOp::kIllegal; break;
+        }
+      }
+      break;
+    default:
+      u.op = MicroOp::kIllegal;
+      break;
+  }
+  return u;
+}
+
+void Cpu::step() {
+  const std::uint32_t pc = pc_;
+  const Bus::DirectWindow* w = nullptr;
+  if (covers(win_[0], pc, 4)) {
+    if (win_[0].data != nullptr) w = &win_[0];
+  } else {
+    // Fetch owns slot 0; a miss (first fetch, revoked span, or region
+    // change) re-resolves it — negatively for MMIO-resident code.
+    BusDevice* const prev_dev = win_[0].data != nullptr ? win_[0].dev : nullptr;
+    set_window(0, pc);
+    // Entries decoded from a previous fetch device would no longer be
+    // invalidated on writes to it: drop them when the device changes.
+    if (prev_dev != nullptr && win_[0].dev != prev_dev) icache_flush();
+    if (covers(win_[0], pc, 4) && win_[0].data != nullptr) w = &win_[0];
+  }
+  if (w != nullptr) {
+    ICacheEntry& e = icache_[(pc >> 2) & (kICacheEntries - 1)];
+    if (e.tag != pc) {
+      std::uint32_t word;
+      std::memcpy(&word, w->data + (pc - w->base), 4);
+      e.uop = decode(word);
+      e.tag = pc;
+      if (pc < icache_lo_) icache_lo_ = pc;
+      if (pc > icache_hi_) icache_hi_ = pc;
+    }
+    stall_ += cfg_.fetch_latency;
+    exec_op(e.uop);
+    return;
+  }
+  // Slow fetch (MMIO-resident code, spans revoked by stuck-at faults,
+  // window-edge accesses): decode every time, exactly like the seed.
+  bus_access_ = true;
+  const Bus::Access fetch = bus_.read(pc, 4);
   if (fetch.fault) {
     mem_fault(1);  // instruction access fault
     return;
   }
   stall_ += cfg_.fetch_latency;
-  exec(fetch.value);
+  const MicroOp u = decode(fetch.value);
+  exec_op(u);
 }
+
+void Cpu::exec_op(const MicroOp& u) {
+  const int rd = u.rd;
+  const int rs1 = u.rs1;
+  std::uint32_t next_pc = pc_ + 4;
+
+  const std::uint32_t a = read_reg(rs1);
+  const std::uint32_t b = read_reg(u.rs2);
+
+  switch (u.op) {
+    case MicroOp::kLui:
+      write_reg(rd, u.imm);
+      break;
+    case MicroOp::kAuipc:
+      write_reg(rd, pc_ + u.imm);
+      break;
+    case MicroOp::kJal:
+      write_reg(rd, pc_ + 4);
+      next_pc = pc_ + u.imm;
+      ++stall_;  // taken-control-flow penalty
+      break;
+    case MicroOp::kJalr:
+      write_reg(rd, pc_ + 4);
+      next_pc = (a + u.imm) & ~1u;
+      ++stall_;
+      break;
+    case MicroOp::kBeq:
+    case MicroOp::kBne:
+    case MicroOp::kBlt:
+    case MicroOp::kBge:
+    case MicroOp::kBltu:
+    case MicroOp::kBgeu: {
+      bool taken = false;
+      switch (u.op) {
+        case MicroOp::kBeq: taken = a == b; break;
+        case MicroOp::kBne: taken = a != b; break;
+        case MicroOp::kBlt: taken = static_cast<std::int32_t>(a) <
+                                    static_cast<std::int32_t>(b); break;
+        case MicroOp::kBge: taken = static_cast<std::int32_t>(a) >=
+                                    static_cast<std::int32_t>(b); break;
+        case MicroOp::kBltu: taken = a < b; break;
+        default: taken = a >= b; break;
+      }
+      if (taken) {
+        next_pc = pc_ + u.imm;
+        ++stall_;
+      }
+      break;
+    }
+    case MicroOp::kLb:
+    case MicroOp::kLh:
+    case MicroOp::kLw:
+    case MicroOp::kLbu:
+    case MicroOp::kLhu: {
+      const std::uint32_t addr = a + u.imm;
+      unsigned size = 1;
+      if (u.op == MicroOp::kLh || u.op == MicroOp::kLhu) size = 2;
+      if (u.op == MicroOp::kLw) size = 4;
+      std::uint32_t v;
+      if (!fast_read(addr, size, v)) {
+        // MMIO reads are pure (BusDevice contract), so a burst may keep
+        // running through them; only a fault forces the caller's hand.
+        const Bus::Access acc = bus_.read(addr, size);
+        if (acc.fault) {
+          bus_access_ = true;
+          mem_fault(5);  // load access fault
+          return;
+        }
+        stall_ += acc.latency;
+        v = acc.value;
+      }
+      if (u.op == MicroOp::kLb)
+        v = static_cast<std::uint32_t>(sign_extend(v, 8));
+      if (u.op == MicroOp::kLh)
+        v = static_cast<std::uint32_t>(sign_extend(v, 16));
+      write_reg(rd, v);
+      break;
+    }
+    case MicroOp::kSb:
+    case MicroOp::kSh:
+    case MicroOp::kSw: {
+      const std::uint32_t addr = a + u.imm;
+      unsigned size = 1;
+      if (u.op == MicroOp::kSh) size = 2;
+      if (u.op == MicroOp::kSw) size = 4;
+      if (!fast_write(addr, b, size)) {
+        const Bus::Access acc = bus_.write(addr, b, size);
+        if (acc.fault) {
+          bus_access_ = true;
+          mem_fault(7);  // store access fault
+          return;
+        }
+        // Writes that can start a device (CTRL registers) end the
+        // burst so the device phase of this cycle runs; passive stores
+        // (SPM data, DMA descriptors) keep the burst going.
+        bus_access_ = bus_access_ || acc.activating;
+        stall_ += acc.latency;
+      }
+      break;
+    }
+    case MicroOp::kAddi: write_reg(rd, a + u.imm); break;
+    case MicroOp::kSlti:
+      write_reg(rd, static_cast<std::int32_t>(a) <
+                            static_cast<std::int32_t>(u.imm)
+                        ? 1
+                        : 0);
+      break;
+    case MicroOp::kSltiu: write_reg(rd, a < u.imm ? 1 : 0); break;
+    case MicroOp::kXori: write_reg(rd, a ^ u.imm); break;
+    case MicroOp::kOri: write_reg(rd, a | u.imm); break;
+    case MicroOp::kAndi: write_reg(rd, a & u.imm); break;
+    case MicroOp::kSlli: write_reg(rd, a << u.imm); break;
+    case MicroOp::kSrli: write_reg(rd, a >> u.imm); break;
+    case MicroOp::kSrai:
+      write_reg(rd, static_cast<std::uint32_t>(
+                        static_cast<std::int32_t>(a) >> u.imm));
+      break;
+    case MicroOp::kAdd: write_reg(rd, a + b); break;
+    case MicroOp::kSub: write_reg(rd, a - b); break;
+    case MicroOp::kSll: write_reg(rd, a << (b & 0x1F)); break;
+    case MicroOp::kSlt:
+      write_reg(rd,
+                static_cast<std::int32_t>(a) < static_cast<std::int32_t>(b)
+                    ? 1
+                    : 0);
+      break;
+    case MicroOp::kSltu: write_reg(rd, a < b ? 1 : 0); break;
+    case MicroOp::kXor: write_reg(rd, a ^ b); break;
+    case MicroOp::kSrl: write_reg(rd, a >> (b & 0x1F)); break;
+    case MicroOp::kSra:
+      write_reg(rd, static_cast<std::uint32_t>(
+                        static_cast<std::int32_t>(a) >> (b & 0x1F)));
+      break;
+    case MicroOp::kOr: write_reg(rd, a | b); break;
+    case MicroOp::kAnd: write_reg(rd, a & b); break;
+    case MicroOp::kMul:
+    case MicroOp::kMulh:
+    case MicroOp::kMulhsu:
+    case MicroOp::kMulhu:
+    case MicroOp::kDiv:
+    case MicroOp::kDivu:
+    case MicroOp::kRem:
+    case MicroOp::kRemu: {
+      const auto sa = static_cast<std::int64_t>(static_cast<std::int32_t>(a));
+      const auto sb = static_cast<std::int64_t>(static_cast<std::int32_t>(b));
+      const auto ua = static_cast<std::uint64_t>(a);
+      const auto ub = static_cast<std::uint64_t>(b);
+      switch (u.op) {
+        case MicroOp::kMul:
+          write_reg(rd, static_cast<std::uint32_t>(sa * sb));
+          break;
+        case MicroOp::kMulh:
+          write_reg(rd, static_cast<std::uint32_t>((sa * sb) >> 32));
+          break;
+        case MicroOp::kMulhsu:
+          write_reg(rd, static_cast<std::uint32_t>(
+                            (sa * static_cast<std::int64_t>(ub)) >> 32));
+          break;
+        case MicroOp::kMulhu:
+          write_reg(rd, static_cast<std::uint32_t>((ua * ub) >> 32));
+          break;
+        case MicroOp::kDiv:
+          if (b == 0)
+            write_reg(rd, 0xFFFFFFFFu);
+          else if (a == 0x80000000u && b == 0xFFFFFFFFu)
+            write_reg(rd, 0x80000000u);
+          else
+            write_reg(rd, static_cast<std::uint32_t>(
+                              static_cast<std::int32_t>(a) /
+                              static_cast<std::int32_t>(b)));
+          break;
+        case MicroOp::kDivu:
+          write_reg(rd, b == 0 ? 0xFFFFFFFFu : a / b);
+          break;
+        case MicroOp::kRem:
+          if (b == 0)
+            write_reg(rd, a);
+          else if (a == 0x80000000u && b == 0xFFFFFFFFu)
+            write_reg(rd, 0);
+          else
+            write_reg(rd, static_cast<std::uint32_t>(
+                              static_cast<std::int32_t>(a) %
+                              static_cast<std::int32_t>(b)));
+          break;
+        default:
+          write_reg(rd, b == 0 ? a : a % b);
+          break;
+      }
+      stall_ += (u.op <= MicroOp::kMulhu) ? cfg_.mul_latency - 1
+                                          : cfg_.div_latency - 1;
+      break;
+    }
+    case MicroOp::kFence:  // no-op on this single-hart platform
+      break;
+    case MicroOp::kEcall:
+      if (read_reg(17) == 93) {  // exit syscall convention (a7 = 93)
+        halt_ = Halt::kEcallExit;
+        return;
+      }
+      if (mtvec_ != 0) {
+        take_trap(11, pc_);  // environment call from M-mode
+        return;
+      }
+      halt_ = Halt::kIllegal;
+      return;
+    case MicroOp::kEbreak:
+      halt_ = Halt::kEbreak;
+      return;
+    case MicroOp::kWfi:
+      wfi_ = true;
+      return;  // pc advances when an interrupt becomes pending
+    case MicroOp::kMret:
+      if (mstatus_ & kMstatusMpie)
+        mstatus_ |= kMstatusMie;
+      else
+        mstatus_ &= ~kMstatusMie;
+      mstatus_ |= kMstatusMpie;
+      next_pc = mepc_;
+      ++stall_;
+      break;
+    case MicroOp::kCsrrw:
+    case MicroOp::kCsrrs:
+    case MicroOp::kCsrrc:
+    case MicroOp::kCsrrwi:
+    case MicroOp::kCsrrsi:
+    case MicroOp::kCsrrci: {
+      const std::uint32_t csr = u.imm;
+      const std::uint32_t old = read_csr(csr);
+      const auto zimm = static_cast<std::uint32_t>(rs1);
+      switch (u.op) {
+        case MicroOp::kCsrrw: write_csr(csr, a); break;
+        case MicroOp::kCsrrs:
+          if (rs1 != 0) write_csr(csr, old | a);
+          break;
+        case MicroOp::kCsrrc:
+          if (rs1 != 0) write_csr(csr, old & ~a);
+          break;
+        case MicroOp::kCsrrwi: write_csr(csr, zimm); break;
+        case MicroOp::kCsrrsi: write_csr(csr, old | zimm); break;
+        default: write_csr(csr, old & ~zimm); break;
+      }
+      write_reg(rd, old);
+      break;
+    }
+    case MicroOp::kIllegal:
+    default:
+      mem_fault(2);  // illegal instruction
+      return;
+  }
+
+  ++instret_;
+  pc_ = next_pc;
+}
+
+// --------------------------------------------- legacy decode-every-fetch
 
 void Cpu::exec(std::uint32_t inst) {
   const unsigned opcode = inst & 0x7F;

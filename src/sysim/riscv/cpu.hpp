@@ -4,16 +4,29 @@
 /// processor of the platform (paper Section 5: gem5-SALAM "ported to
 /// support the RISC-V ISA"). Machine mode only, bare metal:
 ///  - full RV32I + M extension
-///  - machine CSRs (mstatus/mie/mip/mtvec/mepc/mcause/mscratch/mcycle)
+///  - machine CSRs (mstatus/mie/mip/mtvec/mepc/mcause/mscratch,
+///    mcycle/mcycleh, minstret/minstreth)
 ///  - external interrupt line, WFI, MRET
 ///  - timing: base CPI 1, configurable multiply/divide latencies, memory
 ///    latency from the bus, +1 cycle on taken branches
 ///  - microarchitecture-level fault hooks on the register file (transient
 ///    bit flips and permanent stuck-at bits) for the gem5-MARVEL-style
 ///    reliability campaigns.
+///
+/// Execution core: each fetched word is decoded once into a compact
+/// micro-op (dense handler tag + pre-extracted fields) stored in a
+/// direct-mapped cache keyed by PC, and dispatched through a dense switch
+/// in step(). Fetch/load/store to DRAM resolve through a raw-span fast
+/// path (Bus::direct_window) instead of the virtual BusDevice call. DRAM
+/// stores — from this CPU, the DMA engine, the host, or injected faults —
+/// invalidate overlapping cache entries, so self-modifying code and
+/// fault flips behave exactly like the decode-every-fetch interpreter,
+/// which remains available via CpuConfig::legacy_decode for differential
+/// testing. Cycle counts are bit-identical between the two paths.
 
 #include <array>
 #include <cstdint>
+#include <vector>
 
 #include "sysim/bus.hpp"
 
@@ -27,6 +40,10 @@ struct CpuConfig {
   /// instruction memory / perfect i-cache (fetch overlapped with
   /// execute); data accesses always pay the full bus + device latency.
   unsigned fetch_latency = 0;
+  /// Use the seed's decode-every-fetch interpreter instead of the
+  /// predecoded micro-op cache + DRAM fast path. Kept for differential
+  /// testing and before/after benchmarking; results are bit-identical.
+  bool legacy_decode = false;
 };
 
 enum class Halt {
@@ -37,12 +54,36 @@ enum class Halt {
   kIllegal,      ///< illegal instruction, no handler
 };
 
-class Cpu {
+class Cpu final : public BusWriteObserver {
  public:
   Cpu(Bus& bus, CpuConfig cfg = {});
+  ~Cpu() override;
 
   /// Advance one clock cycle (may retire at most one instruction).
   void tick();
+
+  /// Advance the cycle counter through `n` guaranteed-idle cycles in one
+  /// call — the event-driven System::run() replacement for ticking
+  /// stall/WFI cycles one by one. Contract: n <= stall_remaining()
+  /// unless the CPU is waiting in WFI (where any n is idle).
+  void skip_cycles(std::uint64_t n);
+
+  struct BurstResult {
+    std::uint64_t cycles = 0;  ///< cycles consumed (instructions + stalls)
+    bool bus_access = false;   ///< last instruction reached the bus (MMIO)
+  };
+  /// Execute instructions back-to-back for up to `budget` (>= 1) cycles,
+  /// bypassing the per-cycle System loop. Caller guarantees: not halted,
+  /// not in WFI, no pending stall, the external interrupt line low and
+  /// unable to rise for the window (all devices idle), and the
+  /// predecoded engine active. Exits early when the CPU halts, parks on
+  /// WFI, or an instruction performs an activating MMIO write, a slow
+  /// fetch, or a faulting access — the caller must then run the device
+  /// phase of that final cycle, since the write may have started a
+  /// device. Pure MMIO reads and passive stores (SPM data, DMA
+  /// descriptors) do not end the burst. Architectural state evolves
+  /// exactly as under per-cycle tick().
+  BurstResult run_burst(std::uint64_t budget);
 
   [[nodiscard]] bool halted() const { return halt_ != Halt::kRunning; }
   [[nodiscard]] Halt halt_reason() const { return halt_; }
@@ -56,6 +97,18 @@ class Cpu {
   void write_reg(int i, std::uint32_t v);
   [[nodiscard]] std::uint64_t cycles() const { return cycles_; }
   [[nodiscard]] std::uint64_t instret() const { return instret_; }
+  /// Remaining stall cycles before the next instruction can issue.
+  [[nodiscard]] unsigned stall_remaining() const { return stall_; }
+  /// True while parked on a WFI with no pending interrupt.
+  [[nodiscard]] bool waiting_for_interrupt() const { return wfi_; }
+
+  /// Checkpoint/testing hook: preset the 64-bit counter CSRs so guest
+  /// reads of mcycleh/minstreth can be exercised without 2^32 real
+  /// cycles.
+  void set_counters(std::uint64_t cycles, std::uint64_t instret) {
+    cycles_ = cycles;
+    instret_ = instret;
+  }
 
   void reset();
 
@@ -64,12 +117,77 @@ class Cpu {
   void set_reg_stuck_bit(int reg, unsigned bit, bool value);
   void clear_faults();
 
+  /// BusWriteObserver: DRAM mutated behind the CPU's back (DMA, host
+  /// load, injected fault) — drop derived state covering the range.
+  void bus_memory_written(BusDevice* dev, std::uint32_t offset,
+                          std::uint32_t bytes) override;
+
  private:
-  void exec(std::uint32_t inst);
+  /// Decoded micro-operation: one fetched word reduced to a dense
+  /// handler tag plus pre-extracted register indices and a pre-extended
+  /// immediate (shamt / CSR number reuse the imm slot).
+  struct MicroOp {
+    enum Op : std::uint8_t {
+      kLui, kAuipc, kJal, kJalr,
+      kBeq, kBne, kBlt, kBge, kBltu, kBgeu,
+      kLb, kLh, kLw, kLbu, kLhu,
+      kSb, kSh, kSw,
+      kAddi, kSlti, kSltiu, kXori, kOri, kAndi, kSlli, kSrli, kSrai,
+      kAdd, kSub, kSll, kSlt, kSltu, kXor, kSrl, kSra, kOr, kAnd,
+      kMul, kMulh, kMulhsu, kMulhu, kDiv, kDivu, kRem, kRemu,
+      kFence, kEcall, kEbreak, kWfi, kMret,
+      kCsrrw, kCsrrs, kCsrrc, kCsrrwi, kCsrrsi, kCsrrci,
+      kIllegal,
+    };
+    std::uint8_t op = kIllegal;
+    std::uint8_t rd = 0;
+    std::uint8_t rs1 = 0;
+    std::uint8_t rs2 = 0;
+    std::uint32_t imm = 0;
+  };
+  struct ICacheEntry {
+    std::uint32_t tag = kInvalidTag;
+    MicroOp uop;
+  };
+  /// A 4-byte in-window fetch needs base + size > pc + 3, so the top of
+  /// the 32-bit address space can never be a cached tag.
+  static constexpr std::uint32_t kInvalidTag = 0xFFFFFFFFu;
+  static constexpr std::uint32_t kICacheEntries = 4096;  // direct-mapped
+
+  [[nodiscard]] static MicroOp decode(std::uint32_t inst);
+  /// Fetch (icache / DRAM fast path / bus fallback) and dispatch one
+  /// instruction.
+  void step();
+  void exec_op(const MicroOp& u);
+  void exec(std::uint32_t inst);  ///< legacy decode-every-fetch path
   void take_trap(std::uint32_t cause, std::uint32_t epc);
   [[nodiscard]] std::uint32_t read_csr(std::uint32_t addr) const;
   void write_csr(std::uint32_t addr, std::uint32_t value);
   void mem_fault(std::uint32_t cause);
+
+  // -- Direct-memory fast path ---------------------------------------------
+  // Two cached windows: slot 0 is resolved by instruction fetch (the
+  // DRAM code+data region), slot 1 by data accesses (typically an SPM
+  // window during copy loops). Windows whose device refuses a span are
+  // cached negatively (data == nullptr, region metadata set) so MMIO
+  // regions are not re-queried on every access.
+  [[nodiscard]] static bool covers(const Bus::DirectWindow& w,
+                                   std::uint32_t addr, unsigned size) {
+    return size <= w.size && addr - w.base <= w.size - size;
+  }
+  /// Window serving [addr, addr+size) directly, resolving slot `slot` on
+  /// a full miss; nullptr when the access must use the bus.
+  const Bus::DirectWindow* lookup_window(std::uint32_t addr, unsigned size,
+                                         std::size_t slot);
+  /// Re-resolve slot `slot` for `addr`, keeping the write-observer
+  /// registration in `observed_devs_` in sync (both positive and
+  /// negative windows are observed, so span revocation and re-grant —
+  /// stuck-at faults armed/cleared — always reach bus_memory_written).
+  void set_window(std::size_t slot, std::uint32_t addr);
+  bool fast_read(std::uint32_t addr, unsigned size, std::uint32_t& value);
+  bool fast_write(std::uint32_t addr, std::uint32_t value, unsigned size);
+  void icache_invalidate(std::uint32_t addr, std::uint32_t bytes);
+  void icache_flush();
 
   Bus& bus_;
   CpuConfig cfg_;
@@ -82,7 +200,19 @@ class Cpu {
   unsigned stall_ = 0;
   bool irq_ = false;
   bool wfi_ = false;
+  bool bus_access_ = false;  ///< set by the slow paths during step()
   Halt halt_ = Halt::kRunning;
+
+  std::array<Bus::DirectWindow, 2> win_{};  ///< [0] fetch, [1] data
+  /// Devices this CPU is registered on as write observer, per slot.
+  /// Tracked separately from win_ because a revoked window loses its
+  /// device pointer while the registration must persist (and be torn
+  /// down in the destructor).
+  std::array<BusDevice*, 2> observed_devs_{};
+  bool reg_faults_armed_ = false;  ///< any stuck bits on the register file
+  std::vector<ICacheEntry> icache_;
+  std::uint32_t icache_lo_ = 0xFFFFFFFFu;  ///< cached-PC range for cheap
+  std::uint32_t icache_hi_ = 0;            ///< store-invalidation rejects
 
   // Machine CSRs.
   std::uint32_t mstatus_ = 0;

@@ -4,7 +4,12 @@
 /// DMA engine + a cluster of photonic DSA processing elements (PEs), with
 /// interrupt lines from DMA and every PE OR-ed into the CPU's external
 /// interrupt. Synchronous cycle stepping: every tick advances the CPU and
-/// all devices by one system clock cycle.
+/// all devices by one system clock cycle. run()/run_until() are
+/// event-driven by default: stretches where no component does visible
+/// work — the CPU stalled on a memory/multiplier latency or parked in
+/// WFI, the DMA engine quiescent, PEs counting down their optical
+/// busy time — are skipped in bulk via the per-component skip_cycles()
+/// hooks, at bit-identical cycle counts to per-cycle ticking.
 ///
 /// Address map:
 ///   0x8000_0000  DRAM (code + data)
@@ -35,6 +40,10 @@ struct SystemConfig {
   AcceleratorConfig accel;  ///< configuration shared by all PEs
   rv::CpuConfig cpu;
   std::uint64_t max_cycles = 200'000'000ULL;
+  /// Skip idle stretches in bulk inside run()/run_until(). Per-cycle
+  /// ticking (false) is kept for differential testing and benchmarking;
+  /// results are bit-identical either way.
+  bool event_driven = true;
 };
 
 class System {
@@ -49,6 +58,12 @@ class System {
 
   /// Advance one cycle.
   void tick();
+
+  /// Advance until the CPU halts or the absolute cycle `target` is
+  /// reached — event-driven unless cfg.event_driven is false. This is
+  /// the exact-cycle entry point fault campaigns use to hit their
+  /// injection points: on return (unless halted) now() == target.
+  void run_until(std::uint64_t target);
 
   struct RunResult {
     std::uint64_t cycles = 0;
@@ -70,6 +85,15 @@ class System {
   [[nodiscard]] std::uint64_t now() const { return cycle_; }
 
  private:
+  /// Cycles that can elapse from the current state without any component
+  /// doing observable work (0 when the next tick must be stepped).
+  [[nodiscard]] std::uint64_t skippable_cycles() const;
+  /// True when the CPU can free-run instructions without per-cycle
+  /// device ticking (all devices idle, interrupt line low).
+  [[nodiscard]] bool can_burst() const;
+  /// Advance every clock by `n` guaranteed-idle cycles at once.
+  void skip_cycles(std::uint64_t n);
+
   SystemConfig cfg_;
   Bus bus_;
   std::unique_ptr<Memory> dram_;

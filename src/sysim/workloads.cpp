@@ -15,21 +15,34 @@ void emit_exit(Assembler& as) {
   as.ecall();
 }
 
-/// Word-copy loop: copies `bytes` from the address in `src_reg` to the
-/// address in `dst_reg` (both preserved), clobbering t0-t3.
+/// Word-copy: copies `bytes` from the address in `src_reg` to the
+/// address in `dst_reg` (both preserved), clobbering t0-t3. Pointer
+/// cursors with a 4x-unrolled body (plus a straight-line word tail)
+/// keep the loop overhead per word low, as hand-written bare-metal
+/// copies do.
 void emit_copy_words(Assembler& as, int src_reg, int dst_reg,
                      std::uint32_t bytes, const std::string& tag) {
   if (bytes % 4 != 0)
     throw std::invalid_argument("emit_copy_words: bytes % 4 != 0");
-  as.li(t0, 0);
-  as.li(t1, bytes);
-  as.label(tag);
-  as.add(t2, src_reg, t0);
-  as.lw(t3, t2, 0);
-  as.add(t2, dst_reg, t0);
-  as.sw(t3, t2, 0);
-  as.addi(t0, t0, 4);
-  as.blt(t0, t1, tag);
+  constexpr std::uint32_t kUnroll = 32;  // bytes per unrolled iteration
+  as.addi(t0, src_reg, 0);
+  as.addi(t1, dst_reg, 0);
+  if (bytes >= kUnroll) {
+    as.li(t2, bytes - bytes % kUnroll);
+    as.add(t2, t2, t0);  // end of the unrolled region
+    as.label(tag);
+    for (std::uint32_t off = 0; off < kUnroll; off += 4) {
+      as.lw(t3, t0, static_cast<std::int32_t>(off));
+      as.sw(t3, t1, static_cast<std::int32_t>(off));
+    }
+    as.addi(t0, t0, static_cast<std::int32_t>(kUnroll));
+    as.addi(t1, t1, static_cast<std::int32_t>(kUnroll));
+    as.bltu(t0, t2, tag);
+  }
+  for (std::uint32_t off = 0; off < bytes % kUnroll; off += 4) {
+    as.lw(t3, t0, static_cast<std::int32_t>(off));
+    as.sw(t3, t1, static_cast<std::int32_t>(off));
+  }
 }
 
 /// Wait for STATUS bit1 (DONE) on the device whose base is in `base_reg`,
@@ -170,6 +183,81 @@ std::vector<std::uint32_t> build_gemm_offload(const GemmWorkload& wl,
   return as.assemble();
 }
 
+std::vector<std::uint32_t> build_gemm_offload_stream(const GemmWorkload& wl,
+                                                     const SystemConfig& sys,
+                                                     OffloadPath path,
+                                                     std::size_t batches,
+                                                     std::size_t pe_index) {
+  if (batches == 0)
+    throw std::invalid_argument("build_gemm_offload_stream: zero batches");
+  Assembler as(sys.dram_base);
+  const auto n = static_cast<std::uint32_t>(wl.n);
+  const auto m = static_cast<std::uint32_t>(wl.m);
+  const std::uint32_t pe_base =
+      sys.accel_base + static_cast<std::uint32_t>(pe_index) * sys.accel_stride;
+  const std::uint32_t bytes_w = n * n * 2;
+  const std::uint32_t chunk = n * m * 2;
+  if (chunk >= 0x800)
+    throw std::invalid_argument(
+        "build_gemm_offload_stream: tile too large for addi cursor bump");
+  const bool irq = path != OffloadPath::kMmrPolling;
+  const std::uint32_t irq_bit = irq ? PhotonicAccelerator::kCtrlIrqEn : 0u;
+
+  as.li(s0, pe_base);
+  as.li(a0, sys.dram_base + wl.a_offset);
+  as.li(a1, sys.dram_base + wl.x_offset);  // X tile cursor
+  as.li(a2, sys.dram_base + wl.y_offset);  // Y tile cursor
+  as.li(s4, pe_base + PhotonicAccelerator::kSpmWBase);
+  as.li(s5, pe_base + PhotonicAccelerator::kSpmXBase);
+  as.li(s6, pe_base + PhotonicAccelerator::kSpmYBase);
+  as.li(t0, m);
+  as.sw(t0, s0, PhotonicAccelerator::kRegCols);
+  if (path == OffloadPath::kDmaInterrupt) as.li(s7, sys.dma_base);
+
+  const auto dma_move = [&](int src, int dst, std::uint32_t bytes,
+                            const std::string& tag) {
+    as.sw(src, s7, DmaEngine::kRegSrc);
+    as.sw(dst, s7, DmaEngine::kRegDst);
+    as.li(t0, bytes);
+    as.sw(t0, s7, DmaEngine::kRegLen);
+    as.li(t0, DmaEngine::kCtrlStart | DmaEngine::kCtrlIrqEn);
+    as.sw(t0, s7, DmaEngine::kRegCtrl);
+    emit_wait_done(as, s7, DmaEngine::kRegStatus, /*use_wfi=*/true, tag);
+  };
+
+  // Program the weights exactly once.
+  if (path == OffloadPath::kDmaInterrupt)
+    dma_move(a0, s4, bytes_w, "dma_a");
+  else
+    emit_copy_words(as, a0, s4, bytes_w, "copy_a");
+  as.li(t0, PhotonicAccelerator::kCtrlLoadWeights | irq_bit);
+  as.sw(t0, s0, PhotonicAccelerator::kRegCtrl);
+  emit_wait_done(as, s0, PhotonicAccelerator::kRegStatus, irq, "load_wait");
+
+  // Stream the input tiles (the copy/wait bodies are emitted once; the
+  // batch loop runs them with advancing cursors).
+  as.li(s8, 0);
+  as.li(s9, static_cast<std::uint32_t>(batches));
+  as.label("batch");
+  if (path == OffloadPath::kDmaInterrupt)
+    dma_move(a1, s5, chunk, "dma_x");
+  else
+    emit_copy_words(as, a1, s5, chunk, "copy_x");
+  as.li(t0, PhotonicAccelerator::kCtrlStart | irq_bit);
+  as.sw(t0, s0, PhotonicAccelerator::kRegCtrl);
+  emit_wait_done(as, s0, PhotonicAccelerator::kRegStatus, irq, "accel_wait");
+  if (path == OffloadPath::kDmaInterrupt)
+    dma_move(s6, a2, chunk, "dma_y");
+  else
+    emit_copy_words(as, s6, a2, chunk, "copy_y");
+  as.addi(a1, a1, static_cast<std::int32_t>(chunk));
+  as.addi(a2, a2, static_cast<std::int32_t>(chunk));
+  as.addi(s8, s8, 1);
+  as.blt(s8, s9, "batch");
+  emit_exit(as);
+  return as.assemble();
+}
+
 std::vector<std::uint32_t> build_gemm_multi_pe(const GemmWorkload& wl,
                                                const SystemConfig& sys) {
   const auto pes = static_cast<std::uint32_t>(sys.num_pes);
@@ -262,6 +350,32 @@ std::vector<std::int16_t> read_gemm_result(System& system,
   std::vector<std::int16_t> y(wl.n * wl.m);
   system.read_dram(wl.y_offset, y.data(), y.size() * 2);
   return y;
+}
+
+std::vector<std::uint32_t> build_counter_probe(const SystemConfig& sys,
+                                               std::uint32_t out_offset) {
+  Assembler as(sys.dram_base);
+  as.li(a0, sys.dram_base + out_offset);
+
+  // mcycle: high, low, high — retry if the low word wrapped in between.
+  as.label("cycle_retry");
+  as.csrrs(t0, kCsrMcycleH, zero);
+  as.csrrs(t1, kCsrMcycle, zero);
+  as.csrrs(t2, kCsrMcycleH, zero);
+  as.bne(t0, t2, "cycle_retry");
+  as.sw(t1, a0, 0);
+  as.sw(t0, a0, 4);
+
+  as.label("instret_retry");
+  as.csrrs(t0, kCsrMinstretH, zero);
+  as.csrrs(t1, kCsrMinstret, zero);
+  as.csrrs(t2, kCsrMinstretH, zero);
+  as.bne(t0, t2, "instret_retry");
+  as.sw(t1, a0, 8);
+  as.sw(t0, a0, 12);
+
+  emit_exit(as);
+  return as.assemble();
 }
 
 std::vector<std::int16_t> golden_gemm(const GemmWorkload& wl,

@@ -47,6 +47,16 @@ enum class OffloadPath {
 [[nodiscard]] std::vector<std::uint32_t> build_gemm_multi_pe(
     const GemmWorkload& wl, const SystemConfig& sys);
 
+/// Streaming offload: weights are programmed once, then `batches` input
+/// tiles of `wl.m` columns each are pushed through the PE back to back —
+/// the steady-state inference-serving pattern non-volatile photonic
+/// weights enable (weights persist, only activations move). Tile b reads
+/// X from `x_offset + b * n*m*2` and writes Y to `y_offset + b * n*m*2`;
+/// stage data with a GemmWorkload whose m is `wl.m * batches`.
+[[nodiscard]] std::vector<std::uint32_t> build_gemm_offload_stream(
+    const GemmWorkload& wl, const SystemConfig& sys, OffloadPath path,
+    std::size_t batches, std::size_t pe_index = 0);
+
 /// Stage A and X matrices (Q3.12) into DRAM for a workload.
 void stage_gemm_data(System& system, const GemmWorkload& wl,
                      const std::vector<std::int16_t>& a,
@@ -60,5 +70,12 @@ void stage_gemm_data(System& system, const GemmWorkload& wl,
 [[nodiscard]] std::vector<std::int16_t> golden_gemm(
     const GemmWorkload& wl, const std::vector<std::int16_t>& a,
     const std::vector<std::int16_t>& x);
+
+/// Read the 64-bit mcycle and minstret counter pairs with the standard
+/// high/low/high re-read loop and store {mcycle_lo, mcycle_hi,
+/// minstret_lo, minstret_hi} at DRAM offset `out_offset`; exercises the
+/// mcycleh/minstreth CSRs guest code uses for long campaign timing.
+[[nodiscard]] std::vector<std::uint32_t> build_counter_probe(
+    const SystemConfig& sys, std::uint32_t out_offset);
 
 }  // namespace aspen::sys

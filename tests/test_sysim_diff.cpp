@@ -1,0 +1,469 @@
+// Differential suite for the event-driven sysim rebuild: every workload
+// program plus interrupt/WFI, self-modifying-code and fault-injection
+// scenarios run through BOTH execution paths —
+//   legacy: decode-every-fetch interpreter + per-cycle System ticking
+//   fast:   predecoded micro-op cache + DRAM fast path + bulk cycle
+//           skipping (the defaults)
+// — asserting bit-identical cycles, instret, halt reason, exit code,
+// final register file and final DRAM image. This is the contract that
+// lets the fault campaigns trust the optimized simulator.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <functional>
+
+#include "sysim/fault.hpp"
+#include "sysim/system.hpp"
+#include "sysim/workloads.hpp"
+
+namespace {
+
+using namespace aspen::sys;
+using namespace aspen::sys::rv;
+
+std::vector<std::int16_t> random_fixed(std::size_t count, std::uint64_t seed) {
+  aspen::lina::Rng rng(seed);
+  std::vector<std::int16_t> v(count);
+  for (auto& x : v) x = PhotonicAccelerator::to_fixed(rng.uniform(-0.9, 0.9));
+  return v;
+}
+
+/// Everything architecturally observable after a run.
+struct Capture {
+  System::RunResult result;
+  std::uint64_t system_cycle = 0;
+  std::array<std::uint32_t, 32> regs{};
+  std::vector<std::uint8_t> dram;
+};
+
+SystemConfig with_mode(SystemConfig sc, bool legacy) {
+  sc.event_driven = !legacy;
+  sc.cpu.legacy_decode = legacy;
+  return sc;
+}
+
+Capture run_mode(const SystemConfig& sc_base, bool legacy,
+                 const std::vector<std::uint32_t>& program,
+                 const std::function<void(System&)>& stage = {}) {
+  System system(with_mode(sc_base, legacy));
+  if (stage) stage(system);
+  system.load_program(program);
+  Capture c;
+  c.result = system.run();
+  c.system_cycle = system.now();
+  for (int i = 0; i < 32; ++i)
+    c.regs[static_cast<std::size_t>(i)] = system.cpu().read_reg(i);
+  c.dram.resize(system.config().dram_size);
+  system.read_dram(0, c.dram.data(), c.dram.size());
+  return c;
+}
+
+void expect_identical(const Capture& legacy, const Capture& fast,
+                      const char* what) {
+  EXPECT_EQ(legacy.result.cycles, fast.result.cycles) << what;
+  EXPECT_EQ(legacy.result.instret, fast.result.instret) << what;
+  EXPECT_EQ(legacy.result.halt, fast.result.halt) << what;
+  EXPECT_EQ(legacy.result.exit_code, fast.result.exit_code) << what;
+  EXPECT_EQ(legacy.result.timed_out, fast.result.timed_out) << what;
+  EXPECT_EQ(legacy.system_cycle, fast.system_cycle) << what;
+  EXPECT_EQ(legacy.regs, fast.regs) << what << ": register file differs";
+  EXPECT_EQ(legacy.dram == fast.dram, true) << what << ": DRAM image differs";
+}
+
+void diff_program(const SystemConfig& sc,
+                  const std::vector<std::uint32_t>& program, const char* what,
+                  const std::function<void(System&)>& stage = {}) {
+  const Capture legacy = run_mode(sc, /*legacy=*/true, program, stage);
+  const Capture fast = run_mode(sc, /*legacy=*/false, program, stage);
+  expect_identical(legacy, fast, what);
+}
+
+AcceleratorConfig small_accel() {
+  AcceleratorConfig cfg;
+  cfg.gemm.mvm.ports = 8;
+  cfg.max_cols = 16;
+  return cfg;
+}
+
+std::function<void(System&)> gemm_stager(const GemmWorkload& wl,
+                                         std::uint64_t seed) {
+  const auto a = random_fixed(wl.n * wl.n, seed);
+  const auto x = random_fixed(wl.n * wl.m, seed + 1);
+  return [wl, a, x](System& s) { stage_gemm_data(s, wl, a, x); };
+}
+
+// ------------------------------------------------- workload programs
+
+TEST(SysimDiffTest, SoftwareGemm) {
+  SystemConfig sc;
+  sc.accel = small_accel();
+  GemmWorkload wl;
+  wl.n = 8;
+  wl.m = 4;
+  diff_program(sc, build_gemm_software(wl, sc), "software gemm",
+               gemm_stager(wl, 301));
+}
+
+class DiffOffloadTest : public ::testing::TestWithParam<OffloadPath> {};
+
+TEST_P(DiffOffloadTest, OffloadPathsIdentical) {
+  SystemConfig sc;
+  sc.accel = small_accel();
+  GemmWorkload wl;
+  wl.n = 8;
+  wl.m = 8;
+  diff_program(sc, build_gemm_offload(wl, sc, GetParam()), "offload",
+               gemm_stager(wl, 311));
+}
+
+INSTANTIATE_TEST_SUITE_P(Paths, DiffOffloadTest,
+                         ::testing::Values(OffloadPath::kMmrPolling,
+                                           OffloadPath::kMmrInterrupt,
+                                           OffloadPath::kDmaInterrupt));
+
+TEST(SysimDiffTest, OffloadThermoOpticLongBusyWindow) {
+  // Thermo-optic programming parks the CPU for ~10k cycles — the bulk
+  // skip's best case must still land DONE/IRQ on the exact same cycle.
+  SystemConfig sc;
+  sc.accel = small_accel();
+  sc.accel.gemm.mvm.weights = aspen::core::WeightTechnology::kThermoOptic;
+  GemmWorkload wl;
+  wl.n = 8;
+  wl.m = 8;
+  diff_program(sc, build_gemm_offload(wl, sc, OffloadPath::kDmaInterrupt),
+               "thermo offload", gemm_stager(wl, 321));
+}
+
+TEST(SysimDiffTest, StreamingOffload) {
+  // Weights once + 8 tiles back to back: long CPU bursts interleaved
+  // with device-busy windows and WFI wakes.
+  SystemConfig sc;
+  sc.accel = small_accel();
+  GemmWorkload tile;
+  tile.n = 8;
+  tile.m = 4;
+  GemmWorkload full = tile;
+  full.m = tile.m * 8;
+  diff_program(sc,
+               build_gemm_offload_stream(tile, sc, OffloadPath::kMmrInterrupt,
+                                         8),
+               "streaming offload", gemm_stager(full, 361));
+  diff_program(sc,
+               build_gemm_offload_stream(tile, sc, OffloadPath::kDmaInterrupt,
+                                         8),
+               "streaming offload dma", gemm_stager(full, 362));
+  diff_program(sc,
+               build_gemm_offload_stream(tile, sc, OffloadPath::kMmrPolling,
+                                         8),
+               "streaming offload polling", gemm_stager(full, 363));
+}
+
+TEST(SysimDiffTest, MultiPe) {
+  SystemConfig sc;
+  sc.accel = small_accel();
+  sc.num_pes = 2;
+  GemmWorkload wl;
+  wl.n = 8;
+  wl.m = 8;
+  diff_program(sc, build_gemm_multi_pe(wl, sc), "multi-pe",
+               gemm_stager(wl, 331));
+}
+
+TEST(SysimDiffTest, CounterProbe) {
+  SystemConfig sc;
+  sc.accel = small_accel();
+  diff_program(sc, build_counter_probe(sc, 0x40000), "counter probe");
+}
+
+// --------------------------------------- interrupt / WFI / timeout
+
+TEST(SysimDiffTest, WfiDeadlockTimesOutAtSameCycle) {
+  SystemConfig sc;
+  sc.accel = small_accel();
+  sc.max_cycles = 5000;  // nothing will ever wake the CPU
+  Assembler as(sc.dram_base);
+  as.nop();
+  as.wfi();
+  as.ebreak();
+  const auto program = as.assemble();
+  const Capture legacy = run_mode(sc, true, program);
+  const Capture fast = run_mode(sc, false, program);
+  EXPECT_TRUE(fast.result.timed_out);
+  expect_identical(legacy, fast, "wfi deadlock");
+}
+
+TEST(SysimDiffTest, DmaInterruptTrapHandler) {
+  // Spin loop + asynchronous DMA-completion interrupt through mtvec:
+  // the trap must be taken at the identical instruction boundary.
+  SystemConfig sc;
+  sc.accel = small_accel();
+  Assembler as(sc.dram_base);
+  as.li(t0, sc.dram_base + 256);  // handler
+  as.csrrw(zero, kCsrMtvec, t0);
+  as.li(t0, 1u << 11);  // MEIE
+  as.csrrw(zero, kCsrMie, t0);
+  as.li(t0, 1u << 3);  // MIE
+  as.csrrs(zero, kCsrMstatus, t0);
+  as.li(s7, sc.dma_base);
+  as.li(t1, sc.dram_base + 0x10000);
+  as.sw(t1, s7, DmaEngine::kRegSrc);
+  as.li(t1, sc.dram_base + 0x11000);
+  as.sw(t1, s7, DmaEngine::kRegDst);
+  as.li(t1, 256);
+  as.sw(t1, s7, DmaEngine::kRegLen);
+  as.li(t1, DmaEngine::kCtrlStart | DmaEngine::kCtrlIrqEn);
+  as.sw(t1, s7, DmaEngine::kRegCtrl);
+  as.label("spin");
+  as.j("spin");
+  while (as.current_address() < sc.dram_base + 256) as.nop();
+  as.label("handler");
+  as.csrrs(a1, kCsrMcause, zero);
+  as.li(t0, DmaEngine::kStatusDone);
+  as.sw(t0, s7, DmaEngine::kRegStatus);
+  as.li(a0, 7);
+  as.li(a7, 93);
+  as.ecall();
+  const auto program = as.assemble();
+  const auto stage = [](System& s) {
+    std::vector<std::uint8_t> src(256);
+    for (std::size_t i = 0; i < src.size(); ++i)
+      src[i] = static_cast<std::uint8_t>(i * 3 + 1);
+    s.write_dram(0x10000, src.data(), src.size());
+  };
+  const Capture legacy = run_mode(sc, true, program, stage);
+  const Capture fast = run_mode(sc, false, program, stage);
+  EXPECT_EQ(fast.result.halt, Halt::kEcallExit);
+  EXPECT_EQ(fast.regs[11], 0x8000000Bu);  // mcause: machine external irq
+  expect_identical(legacy, fast, "dma interrupt trap");
+}
+
+// ------------------------------------------------ self-modifying code
+
+TEST(SysimDiffTest, SelfModifyingCodeReexecutesPatchedWord) {
+  SystemConfig sc;
+  sc.accel = small_accel();
+
+  // Encoding of the replacement instruction.
+  Assembler enc(sc.dram_base);
+  enc.addi(a0, zero, 77);
+  const std::uint32_t patched_word = enc.assemble()[0];
+
+  // The li expansion length depends on the patch address, which depends
+  // on the layout: iterate to a fixed point.
+  std::uint32_t patch_addr = sc.dram_base;
+  std::vector<std::uint32_t> program;
+  for (int iter = 0; iter < 4; ++iter) {
+    Assembler as(sc.dram_base);
+    as.li(t0, patch_addr);
+    as.li(t1, patched_word);
+    as.li(s0, 0);
+    as.li(s1, 2);
+    as.label("loop");
+    as.label("patch");
+    as.addi(a0, zero, 11);
+    as.sw(t1, t0, 0);  // overwrite the instruction just executed
+    as.addi(s0, s0, 1);
+    as.blt(s0, s1, "loop");
+    as.ebreak();
+    const std::uint32_t found = as.address_of("patch");
+    program = as.assemble();
+    if (found == patch_addr) break;
+    patch_addr = found;
+  }
+
+  const Capture legacy = run_mode(sc, true, program);
+  const Capture fast = run_mode(sc, false, program);
+  EXPECT_EQ(fast.result.halt, Halt::kEbreak);
+  EXPECT_EQ(fast.regs[10], 77u)
+      << "second loop iteration must execute the patched instruction";
+  expect_identical(legacy, fast, "self-modifying code");
+}
+
+// ------------------------------------------------------ fault flips
+
+struct FaultScenario {
+  const char* what;
+  FaultSpec spec;
+};
+
+class DiffFaultTest : public ::testing::TestWithParam<FaultScenario> {};
+
+TEST_P(DiffFaultTest, InjectedRunsIdentical) {
+  SystemConfig sc;
+  sc.accel = small_accel();
+  GemmWorkload wl;
+  wl.n = 8;
+  wl.m = 4;
+  const auto stage = gemm_stager(wl, 341);
+  const auto program = build_gemm_offload(wl, sc, OffloadPath::kMmrPolling);
+  const FaultSpec& spec = GetParam().spec;
+  constexpr std::uint64_t kMax = 500000;
+
+  Capture caps[2];
+  for (const bool legacy : {true, false}) {
+    System system(with_mode(sc, legacy));
+    stage(system);
+    system.load_program(program);
+    system.run_until(std::min<std::uint64_t>(spec.cycle, kMax));
+    switch (spec.target) {
+      case FaultTarget::kCpuRegfile:
+        if (spec.model == FaultModel::kTransientFlip)
+          system.cpu().flip_reg_bit(static_cast<int>(spec.index), spec.bit);
+        else
+          system.cpu().set_reg_stuck_bit(static_cast<int>(spec.index),
+                                         spec.bit,
+                                         spec.model == FaultModel::kStuckAt1);
+        break;
+      case FaultTarget::kDramData:
+        if (spec.model == FaultModel::kTransientFlip)
+          system.dram().flip_bit(spec.index, spec.bit);
+        else
+          system.dram().set_stuck_bit(spec.index, spec.bit,
+                                      spec.model == FaultModel::kStuckAt1);
+        break;
+      case FaultTarget::kAccelSpmW:
+        system.pe(0).spm_w().set_stuck_bit(spec.index, spec.bit, true);
+        break;
+      default:
+        system.pe(0).inject_phase_fault(spec.index, spec.phase_delta_rad);
+        break;
+    }
+    system.run_until(kMax);
+    Capture& c = caps[legacy ? 0 : 1];
+    c.result.cycles = system.cpu().cycles();
+    c.result.instret = system.cpu().instret();
+    c.result.halt = system.cpu().halt_reason();
+    c.result.exit_code = system.cpu().halted() ? system.cpu().exit_code() : 0;
+    c.result.timed_out = !system.cpu().halted();
+    c.system_cycle = system.now();
+    for (int i = 0; i < 32; ++i)
+      c.regs[static_cast<std::size_t>(i)] = system.cpu().read_reg(i);
+    c.dram.resize(system.config().dram_size);
+    system.read_dram(0, c.dram.data(), c.dram.size());
+  }
+  expect_identical(caps[0], caps[1], GetParam().what);
+}
+
+FaultScenario scenario(const char* what, FaultTarget target, FaultModel model,
+                       std::uint64_t cycle, std::uint32_t index,
+                       unsigned bit) {
+  FaultScenario s;
+  s.what = what;
+  s.spec.target = target;
+  s.spec.model = model;
+  s.spec.cycle = cycle;
+  s.spec.index = index;
+  s.spec.bit = bit;
+  return s;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Scenarios, DiffFaultTest,
+    ::testing::Values(
+        scenario("reg transient flip", FaultTarget::kCpuRegfile,
+                 FaultModel::kTransientFlip, 200, 10, 3),
+        scenario("reg stuck-at-1", FaultTarget::kCpuRegfile,
+                 FaultModel::kStuckAt1, 150, 6, 0),
+        // Data-region flip: exercises icache-range rejection.
+        scenario("dram data flip", FaultTarget::kDramData,
+                 FaultModel::kTransientFlip, 300, 0x20004, 5),
+        // Code-region flip: the cached micro-op must be re-decoded.
+        scenario("dram code flip", FaultTarget::kDramData,
+                 FaultModel::kTransientFlip, 250, 24, 1),
+        // Code-region stuck-at: revokes the DRAM direct span mid-run.
+        scenario("dram code stuck-at-1", FaultTarget::kDramData,
+                 FaultModel::kStuckAt1, 220, 16, 6),
+        scenario("spm-w stuck-at-1", FaultTarget::kAccelSpmW,
+                 FaultModel::kStuckAt1, 1, 3, 6),
+        scenario("phase fault", FaultTarget::kAccelPhase,
+                 FaultModel::kTransientFlip, 400, 5, 0)),
+    [](const ::testing::TestParamInfo<FaultScenario>& info) {
+      std::string name = info.param.what;
+      for (auto& ch : name)
+        if (!std::isalnum(static_cast<unsigned char>(ch))) ch = '_';
+      return name;
+    });
+
+TEST(SysimDiffTest, StuckArmThenClearMidRun) {
+  // Arm a stuck-at bit on the DRAM code region mid-run (revoking the
+  // direct span), then clear it again later: the fast engine must fall
+  // back to masked reads and recover the fast path, matching the
+  // per-cycle interpreter cycle for cycle.
+  SystemConfig sc;
+  sc.accel = small_accel();
+  GemmWorkload wl;
+  wl.n = 8;
+  wl.m = 4;
+  const auto stage = gemm_stager(wl, 371);
+  const auto program = build_gemm_software(wl, sc);
+
+  Capture caps[2];
+  for (const bool legacy : {true, false}) {
+    System system(with_mode(sc, legacy));
+    stage(system);
+    system.load_program(program);
+    system.run_until(300);
+    system.dram().set_stuck_bit(16, 1, true);  // code region
+    system.run_until(600);
+    system.dram().clear_faults();
+    system.run_until(500000);
+    Capture& c = caps[legacy ? 0 : 1];
+    c.result.cycles = system.cpu().cycles();
+    c.result.instret = system.cpu().instret();
+    c.result.halt = system.cpu().halt_reason();
+    c.result.exit_code = system.cpu().halted() ? system.cpu().exit_code() : 0;
+    c.result.timed_out = !system.cpu().halted();
+    c.system_cycle = system.now();
+    for (int i = 0; i < 32; ++i)
+      c.regs[static_cast<std::size_t>(i)] = system.cpu().read_reg(i);
+    c.dram.resize(system.config().dram_size);
+    system.read_dram(0, c.dram.data(), c.dram.size());
+  }
+  expect_identical(caps[0], caps[1], "stuck arm + clear mid-run");
+}
+
+TEST(SysimDiffTest, CampaignVerdictsIdentical) {
+  SystemConfig sc;
+  sc.accel = small_accel();
+  GemmWorkload wl;
+  wl.n = 8;
+  wl.m = 4;
+  const auto a = random_fixed(wl.n * wl.n, 351);
+  const auto x = random_fixed(wl.n * wl.m, 352);
+  const auto program = build_gemm_offload(wl, sc, OffloadPath::kMmrPolling);
+  const auto read_y = [wl](System& s) {
+    const auto y = read_gemm_result(s, wl);
+    std::vector<std::uint8_t> bytes(y.size() * 2);
+    memcpy(bytes.data(), y.data(), bytes.size());
+    return bytes;
+  };
+
+  const auto campaign_counts = [&](bool legacy) {
+    const SystemConfig mode_sc = with_mode(sc, legacy);
+    FaultCampaign campaign(
+        [&, mode_sc]() {
+          auto system = std::make_unique<System>(mode_sc);
+          stage_gemm_data(*system, wl, a, x);
+          system->load_program(program);
+          return system;
+        },
+        read_y, 500000);
+    aspen::lina::Rng rng(353);  // same draw sequence in both modes
+    CampaignResult res;
+    for (const FaultTarget target :
+         {FaultTarget::kCpuRegfile, FaultTarget::kDramData}) {
+      const auto part = campaign.run_campaign(
+          target, FaultModel::kTransientFlip, 15, rng);
+      for (const auto& [o, n] : part.counts) res.counts[o] += n;
+      res.total += part.total;
+    }
+    return res;
+  };
+
+  const CampaignResult legacy = campaign_counts(true);
+  const CampaignResult fast = campaign_counts(false);
+  EXPECT_EQ(legacy.total, fast.total);
+  EXPECT_EQ(legacy.counts, fast.counts);
+}
+
+}  // namespace
