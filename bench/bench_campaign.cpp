@@ -1,0 +1,179 @@
+// Fault-campaign throughput benchmark: per-trial setup cost and trial
+// sharding across a worker pool. PR 3 left e7-style campaigns floored by
+// per-trial System construction (DRAM allocation + SVD/Clements weight
+// programming); the snapshot/restore path stages the platform once and
+// restores it per trial (~a DRAM memcpy), and FaultCampaign::run_trials
+// shards the restored trials across threads. Serial and parallel runs
+// are verified bit-identical here (per-trial verdicts, not just the
+// distribution) before any number is reported.
+//
+// Standalone (chrono-based); emits BENCH_campaign.json for CI artifacts.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+
+#include "bench_util.hpp"
+#include "lina/random.hpp"
+#include "sysim/fault.hpp"
+#include "sysim/system.hpp"
+#include "sysim/workloads.hpp"
+
+namespace {
+
+using namespace aspen;
+using namespace aspen::sys;
+using Clock = std::chrono::steady_clock;
+
+std::vector<bench::BenchRow> rows;
+
+std::vector<std::int16_t> random_fixed(std::size_t count, std::uint64_t seed) {
+  lina::Rng rng(seed);
+  std::vector<std::int16_t> v(count);
+  for (auto& x : v) x = PhotonicAccelerator::to_fixed(rng.uniform(-0.9, 0.9));
+  return v;
+}
+
+void push_row(const char* name, double value, const char* unit) {
+  std::printf("%-36s %12.1f %s\n", name, value, unit);
+  rows.push_back({name, value, 8, unit});
+}
+
+/// The PR 3 trial: construct the full system, run, classify — using the
+/// campaign's own injection/classification logic so this baseline can
+/// never drift from what FaultCampaign measures.
+Outcome rebuild_trial(const FaultCampaign::SystemFactory& factory,
+                      const FaultCampaign::OutputReader& read_output,
+                      const std::vector<std::uint8_t>& golden,
+                      std::uint64_t max_cycles, const FaultSpec& spec) {
+  auto system = factory();
+  system->run_until(std::min(spec.cycle, max_cycles));
+  FaultCampaign::inject(*system, spec);
+  system->run_until(max_cycles);
+  return FaultCampaign::classify(*system, read_output, golden);
+}
+
+}  // namespace
+
+int main() {
+  bench::header(
+      "BENCH campaign — snapshot/restore + thread-parallel fault trials",
+      "Sec.5 reliability campaigns need thousands of trials; this tracks "
+      "per-trial setup (construct vs restore) and trials/sec scaling "
+      "across a worker pool, with serial==parallel verdicts asserted");
+
+  SystemConfig base;
+  base.accel.gemm.mvm.ports = 8;
+  base.accel.max_cols = 64;
+  base.dram_size = 1u << 18;  // the workload fits in 256 KiB
+  base.accel.gemm.mvm.weights = core::WeightTechnology::kThermoOptic;
+  GemmWorkload wl;
+  wl.n = 8;
+  wl.m = 8;
+  const auto a = random_fixed(wl.n * wl.n, 41);
+  const auto x = random_fixed(wl.n * wl.m, 42);
+  const auto program = build_gemm_offload(wl, base, OffloadPath::kMmrInterrupt);
+  constexpr std::uint64_t kMaxCycles = 500000;
+
+  const FaultCampaign::SystemFactory factory = [&]() {
+    auto system = std::make_unique<System>(base);
+    stage_gemm_data(*system, wl, a, x);
+    system->load_program(program);
+    return system;
+  };
+  const FaultCampaign::OutputReader read_y = [&](System& s) {
+    const auto y = read_gemm_result(s, wl);
+    std::vector<std::uint8_t> bytes(y.size() * 2);
+    std::memcpy(bytes.data(), y.data(), bytes.size());
+    return bytes;
+  };
+
+  FaultCampaign campaign(factory, read_y, kMaxCycles);
+  lina::Rng rng(77);
+  const int trials = bench::samples(160, 12);
+  // A mixed spec batch: register + DRAM + photonic-phase faults, the
+  // spread an e7 campaign sweeps.
+  std::vector<FaultSpec> specs;
+  for (const FaultTarget t : {FaultTarget::kCpuRegfile,
+                              FaultTarget::kDramData,
+                              FaultTarget::kAccelPhase}) {
+    const auto part =
+        campaign.sample_specs(t, FaultModel::kTransientFlip, trials / 3, rng);
+    specs.insert(specs.end(), part.begin(), part.end());
+  }
+
+  // -- Per-trial setup cost in isolation --------------------------------
+  {
+    const int reps = bench::samples(40, 4);
+    const auto t0 = Clock::now();
+    for (int i = 0; i < reps; ++i) {
+      auto system = factory();
+      (void)system->now();
+    }
+    const double construct_us =
+        std::chrono::duration<double>(Clock::now() - t0).count() / reps * 1e6;
+    push_row("trial_setup_construct", construct_us, "us");
+
+    auto system = factory();
+    const System::SystemSnapshot snap = system->snapshot();
+    const auto t1 = Clock::now();
+    for (int i = 0; i < reps; ++i) system->restore(snap);
+    const double restore_us =
+        std::chrono::duration<double>(Clock::now() - t1).count() / reps * 1e6;
+    push_row("trial_setup_restore", restore_us, "us");
+    push_row("trial_setup_speedup", construct_us / restore_us, "x");
+  }
+
+  // -- Campaign throughput ----------------------------------------------
+  const auto golden = campaign.golden();
+  const auto timed = [&](const char* name, const auto& fn) {
+    const auto t0 = Clock::now();
+    std::vector<Outcome> out = fn();
+    const double s = std::chrono::duration<double>(Clock::now() - t0).count();
+    const double tps = static_cast<double>(out.size()) / s;
+    push_row(name, tps, "trials/s");
+    return std::make_pair(out, tps);
+  };
+
+  const auto [rebuilt, rebuild_tps] = timed("campaign_rebuild_serial", [&] {
+    std::vector<Outcome> out;
+    out.reserve(specs.size());
+    for (const FaultSpec& spec : specs)
+      out.push_back(rebuild_trial(factory, read_y, golden, kMaxCycles, spec));
+    return out;
+  });
+  const auto [restored, restore_tps] = timed("campaign_restore_serial", [&] {
+    return campaign.run_trials(specs, 1);
+  });
+  if (rebuilt != restored) {
+    std::fprintf(stderr,
+                 "bench_campaign: restore path diverged from rebuild path\n");
+    return 1;
+  }
+
+  double best_parallel_tps = restore_tps;
+  for (const unsigned threads : {2u, 4u, 8u}) {
+    char name[48];
+    std::snprintf(name, sizeof name, "campaign_restore_t%u", threads);
+    const auto [par, par_tps] =
+        timed(name, [&] { return campaign.run_trials(specs, threads); });
+    if (par != restored) {
+      std::fprintf(stderr,
+                   "bench_campaign: %u-thread verdicts diverged from serial\n",
+                   threads);
+      return 1;
+    }
+    best_parallel_tps = std::max(best_parallel_tps, par_tps);
+  }
+
+  push_row("campaign_restore_speedup", restore_tps / rebuild_tps, "x");
+  push_row("campaign_t8_vs_rebuild_speedup", best_parallel_tps / rebuild_tps,
+           "x");
+  std::printf("(host threads available: %u)\n",
+              std::thread::hardware_concurrency());
+
+  bench::json_report("BENCH_campaign.json", rows);
+  std::printf("\nwrote BENCH_campaign.json (%zu rows)\n", rows.size());
+  return 0;
+}

@@ -74,6 +74,21 @@ class GemmCore {
   [[nodiscard]] const MvmEngine& engine() const { return engine_; }
   [[nodiscard]] const GemmConfig& config() const { return cfg_; }
 
+  // -- Snapshot / restore -------------------------------------------------
+  struct Snapshot {
+    MvmEngine::Snapshot engine;
+    GemmStats stats;
+    std::vector<lina::CMat> channel_transfer;
+  };
+  [[nodiscard]] Snapshot snapshot() const {
+    return {engine_.snapshot(), stats_, channel_transfer_};
+  }
+  void restore(const Snapshot& s) {
+    engine_.restore(s.engine);
+    stats_ = s.stats;
+    channel_transfer_ = s.channel_transfer;
+  }
+
  private:
   GemmConfig cfg_;
   MvmEngine engine_;

@@ -1,5 +1,6 @@
 #include "core/mvm_engine.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -49,11 +50,55 @@ MvmEngine::MvmEngine(MvmConfig cfg)
   set_matrix(CMat::identity(cfg_.ports));
 }
 
+void MvmEngine::account_programming() {
+  const std::size_t nph =
+      mesh_u_->phase_count() + mesh_v_->phase_count() + cfg_.ports;
+  if (cfg_.weights == WeightTechnology::kPcm) {
+    const auto& m = cfg_.pcm.material;
+    counters_.weight_write_energy_j +=
+        static_cast<double>(nph) * (m.reset_energy_j + 0.5 * m.set_energy_j);
+  } else {
+    counters_.weight_write_energy_j +=
+        static_cast<double>(nph) * (0.5 * cfg_.thermo.p_pi_w) *
+        cfg_.thermo.response_time_s;
+  }
+  ++counters_.program_ops;
+}
+
 void MvmEngine::set_matrix(const CMat& w) {
   if (w.rows() != cfg_.ports || w.cols() != cfg_.ports)
     throw std::invalid_argument("MvmEngine::set_matrix: shape mismatch");
+
+  // Unchanged-weights fast path: the meshes already hold exactly this
+  // program (no perturbation/drift since), so rewriting it changes no
+  // state — only the write cost is paid, as on hardware.
+  if (weights_clean_ && w.raw() == weight_.raw()) {
+    account_programming();
+    return;
+  }
+
   weight_ = w;
-  svd_ = lina::svd(w);
+
+  // Decomposition memo: SVD + mesh programming are pure functions of the
+  // weight bytes (per die), so a repeat matrix skips the expensive math
+  // and reprograms from the cached phases, bit-identically.
+  for (auto it = program_memo_.begin(); it != program_memo_.end(); ++it) {
+    if (it->key != w.raw()) continue;
+    svd_ = it->svd;
+    sigma_max_ = it->sigma_max;
+    attenuation_ = it->attenuation;
+    if (sigma_max_ > 0.0) {
+      mesh_u_->program(it->phases_u);
+      mesh_v_->program(it->phases_v);
+    }
+    std::rotate(program_memo_.begin(), it, it + 1);  // keep MRU first
+    account_programming();
+    weights_clean_ = true;
+    refresh_transfer();
+    return;
+  }
+
+  lina::svd(w, svd_, svd_ws_);
   sigma_max_ = svd_.sigma_max();
 
   for (std::size_t k = 0; k < cfg_.ports; ++k) {
@@ -70,24 +115,19 @@ void MvmEngine::set_matrix(const CMat& w) {
   mesh::CalibrationOptions opt;
   if (sigma_max_ > 0.0) {
     (void)mesh::program_for_target(cfg_.architecture, *mesh_u_, svd_.u,
-                                   cfg_.recalibrate, opt);
+                                   cfg_.recalibrate, opt, program_scratch_);
     (void)mesh::program_for_target(cfg_.architecture, *mesh_v_,
-                                   svd_.v.adjoint(), cfg_.recalibrate, opt);
+                                   svd_.v.adjoint(), cfg_.recalibrate, opt,
+                                   program_scratch_);
   }
 
-  // Programming cost accounting.
-  const std::size_t nph =
-      mesh_u_->phase_count() + mesh_v_->phase_count() + cfg_.ports;
-  if (cfg_.weights == WeightTechnology::kPcm) {
-    const auto& m = cfg_.pcm.material;
-    counters_.weight_write_energy_j +=
-        static_cast<double>(nph) * (m.reset_energy_j + 0.5 * m.set_energy_j);
-  } else {
-    counters_.weight_write_energy_j +=
-        static_cast<double>(nph) * (0.5 * cfg_.thermo.p_pi_w) *
-        cfg_.thermo.response_time_s;
-  }
-  ++counters_.program_ops;
+  program_memo_.insert(program_memo_.begin(),
+                       ProgramMemo{w.raw(), svd_, sigma_max_, attenuation_,
+                                   mesh_u_->phases(), mesh_v_->phases()});
+  if (program_memo_.size() > kProgramMemoCap) program_memo_.pop_back();
+
+  account_programming();
+  weights_clean_ = true;
   refresh_transfer();
 }
 
@@ -112,6 +152,7 @@ void MvmEngine::rebuild_physical_transfer() {
 void MvmEngine::set_pcm_drift_time(double seconds) {
   cfg_.pcm_drift_time_s = seconds;
   if (cfg_.weights != WeightTechnology::kPcm) return;
+  weights_clean_ = false;  // drifted state: a reprogram must recalibrate
   mesh_u_->set_drift_time(seconds);
   mesh_v_->set_drift_time(seconds);
   rebuild_physical_transfer();  // gain_ deliberately kept from program time
@@ -136,6 +177,7 @@ std::size_t MvmEngine::phase_state_size() const {
 void MvmEngine::perturb_phase(std::size_t index, double delta_rad) {
   if (index >= phase_state_size())
     throw std::out_of_range("MvmEngine::perturb_phase: index");
+  weights_clean_ = false;  // mesh no longer holds the programmed weights
   if (index < mesh_v_->phase_count()) {
     mesh_v_->set_phase(index, mesh_v_->phase(index) + delta_rad);
   } else {
@@ -336,6 +378,43 @@ void MvmEngine::multiply_noiseless_batch_into(const CMat& x,
       cplx{1.0, 0.0} /
       (gain_ * launch * modulator_.amplitude_scale() / sigma_max_);
   for (auto& v : out.raw()) v *= inv_scale;
+}
+
+MvmEngine::Snapshot MvmEngine::snapshot() const {
+  Snapshot s;
+  s.mesh_u = mesh_u_->snapshot();
+  s.mesh_v = mesh_v_->snapshot();
+  s.weight = weight_;
+  s.svd = svd_;
+  s.attenuation = attenuation_;
+  s.sigma_max = sigma_max_;
+  s.t_phys = t_phys_;
+  s.gain = gain_;
+  s.fidelity = fidelity_;
+  s.pcm_drift_time_s = cfg_.pcm_drift_time_s;
+  s.rng = rng_;
+  s.counters = counters_;
+  s.weights_clean = weights_clean_;
+  return s;
+}
+
+void MvmEngine::restore(const Snapshot& s) {
+  // Mesh restore is a no-op (cache kept) when the trial never touched the
+  // phases; the composed transfer and calibration are restored by value
+  // either way, so nothing is recomputed here.
+  mesh_u_->restore(s.mesh_u);
+  mesh_v_->restore(s.mesh_v);
+  weight_ = s.weight;
+  svd_ = s.svd;
+  attenuation_ = s.attenuation;
+  sigma_max_ = s.sigma_max;
+  t_phys_ = s.t_phys;
+  gain_ = s.gain;
+  fidelity_ = s.fidelity;
+  cfg_.pcm_drift_time_s = s.pcm_drift_time_s;
+  rng_ = s.rng;
+  counters_ = s.counters;
+  weights_clean_ = s.weights_clean;
 }
 
 double MvmEngine::symbol_time_s() const {

@@ -175,6 +175,28 @@ class MvmEngine {
   /// Worst-path optical insertion loss of the full path [dB].
   [[nodiscard]] double insertion_loss_db() const;
 
+  // -- Snapshot / restore -------------------------------------------------
+  /// Complete mutable engine state: mesh programs, calibrated transfer,
+  /// noise-stream position and cost counters. The decomposition memo is
+  /// a pure cache and deliberately excluded — it survives restore, which
+  /// is exactly what makes repeated fault-campaign trials cheap.
+  struct Snapshot {
+    mesh::PhysicalMesh::Snapshot mesh_u, mesh_v;
+    lina::CMat weight;
+    lina::SvdResult svd;
+    std::vector<double> attenuation;
+    double sigma_max = 1.0;
+    lina::CMat t_phys;
+    lina::cplx gain{1.0, 0.0};
+    double fidelity = 0.0;
+    double pcm_drift_time_s = 0.0;
+    lina::Rng rng;
+    MvmCounters counters;
+    bool weights_clean = false;
+  };
+  [[nodiscard]] Snapshot snapshot() const;
+  void restore(const Snapshot& s);
+
  private:
   void refresh_transfer();
   void rebuild_physical_transfer();
@@ -182,6 +204,25 @@ class MvmEngine {
   /// beyond the reusable scratch.
   void compose_path_into(const lina::CMat& tu, const lina::CMat& tv,
                          lina::CMat& out) const;
+  /// Weight-write cost bookkeeping shared by the full, memoized and
+  /// unchanged-weights set_matrix paths (hardware pays the write either
+  /// way; only the host-side math is skipped).
+  void account_programming();
+
+  /// Memoized pure weight-programming math, keyed by the exact weight
+  /// bytes: the SVD plus the final per-mesh phase programs (after any
+  /// recalibration) and the attenuator settings. A hit skips the
+  /// decomposition entirely; reprogramming from the cached phases is
+  /// bit-identical to the recomputed path. Per-engine and therefore
+  /// thread-private (campaign workers never share engines).
+  struct ProgramMemo {
+    std::vector<lina::cplx> key;
+    lina::SvdResult svd;
+    double sigma_max = 0.0;
+    std::vector<double> attenuation;
+    std::vector<double> phases_u, phases_v;
+  };
+  static constexpr std::size_t kProgramMemoCap = 8;
 
   MvmConfig cfg_;
   lina::Rng rng_;
@@ -202,6 +243,13 @@ class MvmEngine {
   lina::CMat batch_fields_;          ///< multiply_batch encode scratch
   mutable lina::CVec scratch_noiseless_;  ///< multiply_noiseless_into fields
   mutable lina::CMat scratch_noiseless_batch_;  ///< batch variant fields
+  std::vector<ProgramMemo> program_memo_;  ///< MRU-ordered, capped
+  /// True while the meshes hold exactly what the last set_matrix
+  /// programmed (no phase perturbation / drift advance since): lets
+  /// set_matrix of the identical matrix reduce to cost accounting.
+  bool weights_clean_ = false;
+  lina::SvdWorkspace svd_ws_;
+  mesh::ProgramScratch program_scratch_;
 };
 
 }  // namespace aspen::core

@@ -22,12 +22,16 @@ namespace {
 /// One-sided Jacobi for m x n with m >= n: orthogonalizes the columns of a
 /// working copy of M by right-multiplying complex plane rotations, which
 /// accumulate into V; at convergence column norms are the singular values
-/// and normalized columns form U.
-SvdResult svd_tall(const CMat& m_in, double tol) {
+/// and normalized columns form U. All storage lives in `ws`/`out`.
+void svd_tall(const CMat& m_in, double tol, SvdWorkspace& ws,
+              SvdResult& out) {
   const std::size_t rows = m_in.rows();
   const std::size_t n = m_in.cols();
-  CMat a = m_in;
-  CMat v = CMat::identity(n);
+  CMat& a = ws.a;
+  CMat& v = ws.v;
+  a = m_in;
+  v.resize(n, n);
+  for (std::size_t i = 0; i < n; ++i) v(i, i) = cplx{1.0, 0.0};
 
   const double fro = a.frobenius();
   const double off_tol = tol * std::max(fro, 1e-300);
@@ -82,64 +86,81 @@ SvdResult svd_tall(const CMat& m_in, double tol) {
   }
 
   // Column norms -> singular values; sort descending.
-  std::vector<double> sig(n);
-  for (std::size_t c = 0; c < n; ++c) sig[c] = a.col(c).norm();
-  std::vector<std::size_t> order(n);
+  std::vector<double>& sig = ws.sig;
+  sig.assign(n, 0.0);
+  for (std::size_t c = 0; c < n; ++c) {
+    double s = 0.0;
+    for (std::size_t r = 0; r < rows; ++r) s += std::norm(a(r, c));
+    sig[c] = std::sqrt(s);
+  }
+  std::vector<std::size_t>& order = ws.order;
+  order.resize(n);
   std::iota(order.begin(), order.end(), 0);
   std::sort(order.begin(), order.end(),
             [&](std::size_t x, std::size_t y) { return sig[x] > sig[y]; });
 
-  SvdResult out;
   out.sigma.resize(n);
-  out.u = CMat(rows, n);
-  out.v = CMat(n, n);
+  out.u.resize(rows, n);
+  out.v.resize(n, n);
   const double rank_tol = 1e-13 * std::max(1.0, fro);
-  std::vector<CVec> ucols;
-  ucols.reserve(n);
   for (std::size_t k = 0; k < n; ++k) {
     const std::size_t src = order[k];
     out.sigma[k] = sig[src];
-    out.v.set_col(k, v.col(src));
-    CVec uc = a.col(src);
+    for (std::size_t r = 0; r < n; ++r) out.v(r, k) = v(r, src);
     if (sig[src] > rank_tol) {
-      for (std::size_t r = 0; r < rows; ++r) uc[r] /= sig[src];
+      for (std::size_t r = 0; r < rows; ++r)
+        out.u(r, k) = a(r, src) / sig[src];
     } else {
       // Null column: complete an orthonormal basis so U keeps orthonormal
-      // columns even for rank-deficient input.
+      // columns even for rank-deficient input. Columns 0..k-1 of out.u
+      // are exactly the vectors accumulated so far.
       out.sigma[k] = 0.0;
+      CVec& cand = ws.cand;
       for (std::size_t seed = 0; seed < rows; ++seed) {
-        CVec cand(rows);
+        cand.resize(rows);
         cand[seed] = cplx{1.0, 0.0};
-        for (const CVec& prev : ucols) {
-          const cplx proj = dot(prev, cand);
-          for (std::size_t r = 0; r < rows; ++r) cand[r] -= proj * prev[r];
+        for (std::size_t j = 0; j < k; ++j) {
+          cplx proj{0.0, 0.0};
+          for (std::size_t r = 0; r < rows; ++r)
+            proj += std::conj(out.u(r, j)) * cand[r];
+          for (std::size_t r = 0; r < rows; ++r)
+            cand[r] -= proj * out.u(r, j);
         }
-        if (cand.norm() > 0.5) {
-          const double nv = cand.norm();
-          for (std::size_t r = 0; r < rows; ++r) cand[r] /= nv;
-          uc = cand;
+        double nsq = 0.0;
+        for (std::size_t r = 0; r < rows; ++r) nsq += std::norm(cand[r]);
+        const double nv = std::sqrt(nsq);
+        if (nv > 0.5) {
+          for (std::size_t r = 0; r < rows; ++r) out.u(r, k) = cand[r] / nv;
           break;
         }
       }
     }
-    ucols.push_back(uc);
-    out.u.set_col(k, uc);
   }
-  return out;
 }
 
 }  // namespace
 
-SvdResult svd(const CMat& m, double tol) {
+void svd(const CMat& m, SvdResult& out, SvdWorkspace& ws, double tol) {
   if (m.rows() == 0 || m.cols() == 0)
     throw std::invalid_argument("svd: empty matrix");
-  if (m.rows() >= m.cols()) return svd_tall(m, tol);
-  // Wide matrix: M = U S V^dagger  <=>  M^dagger = V S U^dagger.
-  SvdResult t = svd_tall(m.adjoint(), tol);
-  SvdResult out;
-  out.u = t.v;
-  out.v = t.u;
+  if (m.rows() >= m.cols()) {
+    svd_tall(m, tol, ws, out);
+    return;
+  }
+  // Wide matrix: M = U S V^dagger  <=>  M^dagger = V S U^dagger. Off the
+  // hot path (the photonic engines decompose square matrices), so the
+  // adjoint temporary is acceptable.
+  SvdResult t;
+  svd_tall(m.adjoint(), tol, ws, t);
+  out.u = std::move(t.v);
+  out.v = std::move(t.u);
   out.sigma = std::move(t.sigma);
+}
+
+SvdResult svd(const CMat& m, double tol) {
+  SvdResult out;
+  SvdWorkspace ws;
+  svd(m, out, ws, tol);
   return out;
 }
 

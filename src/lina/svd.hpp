@@ -33,4 +33,22 @@ struct SvdResult {
 /// `tol` bounds the relative off-diagonal residual at convergence.
 [[nodiscard]] SvdResult svd(const CMat& m, double tol = 1e-12);
 
+/// Reusable scratch for the workspace-based svd() overload: holds the
+/// Jacobi working copy and the bookkeeping vectors so repeated
+/// decompositions of same-shape matrices allocate nothing once warm
+/// (the photonic weight-programming path decomposes one N x N matrix
+/// per set_matrix miss).
+struct SvdWorkspace {
+  CMat a;                          ///< column-orthogonalized working copy
+  CMat v;                          ///< accumulated right rotations
+  std::vector<double> sig;         ///< column norms
+  std::vector<std::size_t> order;  ///< descending sort permutation
+  CVec cand;                       ///< null-space basis completion scratch
+};
+
+/// Workspace-reusing variant of svd(): identical results (same
+/// operations in the same order), writing into `out` and scratching in
+/// `ws` instead of allocating per call.
+void svd(const CMat& m, SvdResult& out, SvdWorkspace& ws, double tol = 1e-12);
+
 }  // namespace aspen::lina

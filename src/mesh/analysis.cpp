@@ -67,29 +67,31 @@ void fold_diagonal_residue(PhysicalMesh& mesh, const CMat& target) {
 }
 
 /// Program analytic phases for architectures that have a decomposition.
-void program_analytic(Architecture a, PhysicalMesh& mesh, const CMat& target) {
+void program_analytic(Architecture a, PhysicalMesh& mesh, const CMat& target,
+                      ProgramScratch& ws) {
   const std::size_t n = target.rows();
-  ProgrammedMesh pm;
+  ProgrammedMesh& pm = ws.pm;
   switch (a) {
     case Architecture::kReck:
-      pm = reck_decompose(target);
+      reck_decompose(target, phot::MziStyle::kStandard, ws.decompose, pm);
       mesh.program(pm.phases);
       break;
     case Architecture::kClements:
-      pm = clements_decompose(target);
+      clements_decompose(target, phot::MziStyle::kStandard, ws.decompose, pm);
       mesh.program(pm.phases);
       break;
     case Architecture::kClementsSym: {
-      pm = clements_decompose(target, phot::MziStyle::kSymmetric);
+      clements_decompose(target, phot::MziStyle::kSymmetric, ws.decompose, pm);
       mesh.program(pm.phases);
       break;
     }
     case Architecture::kRedundant: {
-      pm = clements_decompose(target);
+      clements_decompose(target, phot::MziStyle::kStandard, ws.decompose, pm);
       // Redundant layout = Clements columns + extra columns before the
       // output phases. Extra cells are parked in the bar state
       // (theta = pi) whose diagonal sign residue the fold below absorbs.
-      std::vector<double> phases(mesh.phase_count(), 0.0);
+      std::vector<double>& phases = ws.phases;
+      phases.assign(mesh.phase_count(), 0.0);
       const std::size_t clements_cells = 2 * pm.layout.mzi_count();
       for (std::size_t k = 0; k < clements_cells; ++k)
         phases[k] = pm.phases[k];
@@ -112,8 +114,16 @@ void program_analytic(Architecture a, PhysicalMesh& mesh, const CMat& target) {
 double program_for_target(Architecture a, PhysicalMesh& mesh,
                           const CMat& target, bool recalibrate,
                           const CalibrationOptions& opt) {
+  ProgramScratch scratch;
+  return program_for_target(a, mesh, target, recalibrate, opt, scratch);
+}
+
+double program_for_target(Architecture a, PhysicalMesh& mesh,
+                          const CMat& target, bool recalibrate,
+                          const CalibrationOptions& opt,
+                          ProgramScratch& scratch) {
   if (has_analytic_decomposition(a)) {
-    program_analytic(a, mesh, target);
+    program_analytic(a, mesh, target, scratch);
   } else {
     // Universality programming on an ideal twin (no fabrication errors),
     // then transfer the phases to the physical die.

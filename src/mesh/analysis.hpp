@@ -45,6 +45,23 @@ double program_for_target(Architecture a, PhysicalMesh& mesh,
                           const lina::CMat& target, bool recalibrate,
                           const CalibrationOptions& opt = {});
 
+/// Reusable scratch for the workspace-based program_for_target overload:
+/// decomposition workspace, the ProgrammedMesh holder (layout kept across
+/// same-architecture calls), and the redundant-layout phase expansion.
+struct ProgramScratch {
+  DecomposeScratch decompose;
+  ProgrammedMesh pm;
+  std::vector<double> phases;
+};
+
+/// Identical to program_for_target but scratching in `scratch` instead of
+/// allocating per call — the photonic engines program two meshes per
+/// weight matrix and reuse one scratch for both.
+double program_for_target(Architecture a, PhysicalMesh& mesh,
+                          const lina::CMat& target, bool recalibrate,
+                          const CalibrationOptions& opt,
+                          ProgramScratch& scratch);
+
 /// Fidelity statistics of an (architecture, size, error-model) point over
 /// `samples` Haar targets.
 struct EnsembleResult {

@@ -10,6 +10,7 @@ namespace aspen::mesh {
 
 using lina::CMat;
 using lina::cplx;
+using Op = DecomposeScratch::Op;
 
 namespace {
 
@@ -22,15 +23,11 @@ double wrap(double phase) {
   return p;
 }
 
-/// One decomposed cell in signal-encounter order.
-struct Op {
-  int top;      ///< Upper port of the pair the cell acts on.
-  double theta;
-  double phi;
-};
-
 /// Packs ops (encounter order) into columns and emits the flat phase
-/// vector matching the layout's phase-ordering convention.
+/// vector matching the layout's phase-ordering convention. The layout
+/// and the op-to-slot packing depend only on (ports, style, name) — they
+/// are kept from the previous call when they already match, so repeat
+/// decompositions of same-shape targets only rewrite phases.
 ///
 /// For symmetric (Bell-Walmsley / parallel-PS) cells the per-cell
 /// common-mode phase e^{-i(theta+phi)/2} is a *local* two-port screen, not
@@ -40,11 +37,12 @@ struct Op {
 ///   ports, with phi' = phi - xi_m + xi_{m+1},
 ///   mu = xi_{m+1} - (theta + phi') / 2, and xi_m = xi_{m+1} = mu after
 ///   the cell. The residual debt folds into the output phase screen.
-ProgrammedMesh assemble(std::size_t n, phot::MziStyle style,
-                        std::vector<Op> ops, std::vector<double> out_phases,
-                        const std::string& name) {
+void assemble(std::size_t n, phot::MziStyle style, DecomposeScratch& ws,
+              std::vector<Op>& ops, std::vector<double>& out_phases,
+              const std::string& name, ProgrammedMesh& pm) {
   if (style == phot::MziStyle::kSymmetric) {
-    std::vector<double> xi(n, 0.0);
+    ws.xi.assign(n, 0.0);
+    std::vector<double>& xi = ws.xi;
     for (auto& op : ops) {
       const auto m = static_cast<std::size_t>(op.top);
       // T_sym is 4*pi-periodic in (theta, phi) — wrapping a phase by 2*pi
@@ -61,45 +59,53 @@ ProgrammedMesh assemble(std::size_t n, phot::MziStyle style,
     for (std::size_t p = 0; p < n; ++p) out_phases[p] -= xi[p];
   }
 
-  ColumnPacker packer;
-  for (const auto& op : ops) packer.add_cell(op.top, n);
-  std::vector<MziColumn> cols = packer.columns();
+  const bool reusable = pm.layout.ports == n && pm.layout.style == style &&
+                        pm.layout.name == name && ws.cached_name == name &&
+                        ws.cached_style == style &&
+                        ws.cell_cols.size() == ops.size();
+  if (!reusable) {
+    ColumnPacker packer;
+    for (const auto& op : ops) packer.add_cell(op.top, n);
+    std::vector<MziColumn> cols = packer.columns();
 
-  ProgrammedMesh pm;
-  pm.layout.ports = n;
-  pm.layout.style = style;
-  pm.layout.name = name;
-  for (auto& c : cols) pm.layout.columns.emplace_back(std::move(c));
-  pm.layout.columns.emplace_back(PhaseColumn{});
-  pm.layout.validate();
+    pm.layout = MeshLayout{};
+    pm.layout.ports = n;
+    pm.layout.style = style;
+    pm.layout.name = name;
+    for (auto& c : cols) pm.layout.columns.emplace_back(std::move(c));
+    pm.layout.columns.emplace_back(PhaseColumn{});
+    pm.layout.validate();
 
-  // Phase-slot base offset of every column.
-  std::vector<std::size_t> base(pm.layout.columns.size());
-  std::size_t acc = 0;
-  for (std::size_t c = 0; c < pm.layout.columns.size(); ++c) {
-    base[c] = acc;
-    if (std::holds_alternative<MziColumn>(pm.layout.columns[c]))
-      acc += 2 * std::get<MziColumn>(pm.layout.columns[c]).top_ports.size();
-    else if (std::holds_alternative<PhaseColumn>(pm.layout.columns[c]))
-      acc += n;
+    // Phase-slot base offset of every column.
+    ws.base.assign(pm.layout.columns.size(), 0);
+    std::size_t acc = 0;
+    for (std::size_t c = 0; c < pm.layout.columns.size(); ++c) {
+      ws.base[c] = acc;
+      if (std::holds_alternative<MziColumn>(pm.layout.columns[c]))
+        acc += 2 * std::get<MziColumn>(pm.layout.columns[c]).top_ports.size();
+      else if (std::holds_alternative<PhaseColumn>(pm.layout.columns[c]))
+        acc += n;
+    }
+    ws.phase_total = acc;
+    ws.cell_cols = packer.cell_columns();
+    ws.cached_name = name;
+    ws.cached_style = style;
   }
-  pm.phases.assign(acc, 0.0);
+  pm.phases.assign(ws.phase_total, 0.0);
 
   // Scatter op phases to their slots.
-  const auto& cell_cols = packer.cell_columns();
   for (std::size_t k = 0; k < ops.size(); ++k) {
-    const std::size_t col = cell_cols[k];
+    const std::size_t col = ws.cell_cols[k];
     const auto& tops = std::get<MziColumn>(pm.layout.columns[col]).top_ports;
     std::size_t slot = 0;
     while (tops[slot] != ops[k].top) ++slot;
-    pm.phases[base[col] + 2 * slot] = wrap(ops[k].theta);
-    pm.phases[base[col] + 2 * slot + 1] = wrap(ops[k].phi);
+    pm.phases[ws.base[col] + 2 * slot] = wrap(ops[k].theta);
+    pm.phases[ws.base[col] + 2 * slot + 1] = wrap(ops[k].phi);
   }
   // Output phase screen.
-  const std::size_t out_base = base.back();
+  const std::size_t out_base = ws.base.back();
   for (std::size_t i = 0; i < n; ++i)
     pm.phases[out_base + i] = wrap(out_phases[i]);
-  return pm;
 }
 
 void require_unitary(const CMat& u, const char* who) {
@@ -111,13 +117,17 @@ void require_unitary(const CMat& u, const char* who) {
 
 }  // namespace
 
-ProgrammedMesh clements_decompose(const CMat& u_in, phot::MziStyle style) {
+void clements_decompose(const CMat& u_in, phot::MziStyle style,
+                        DecomposeScratch& ws, ProgrammedMesh& out) {
   require_unitary(u_in, "clements_decompose");
   const std::size_t n = u_in.rows();
-  CMat u = u_in;
+  CMat& u = ws.u;
+  u = u_in;
 
-  std::vector<Op> right_ops;  // recorded as U <- U * T^{-1}
-  std::vector<Op> left_ops;   // recorded as U <- T * U
+  std::vector<Op>& right_ops = ws.right_ops;  // recorded as U <- U * T^{-1}
+  std::vector<Op>& left_ops = ws.left_ops;    // recorded as U <- T * U
+  right_ops.clear();
+  left_ops.clear();
 
   for (std::size_t i = 1; i <= n - 1; ++i) {
     if (i % 2 == 1) {
@@ -168,11 +178,15 @@ ProgrammedMesh clements_decompose(const CMat& u_in, phot::MziStyle style) {
   //   T^{-1}(theta, phi) D = D' T(theta, phi'),
   //   phi' = arg(d_m / d_{m+1}),
   //   D'_m = -e^{-i(theta+phi)} d_{m+1},  D'_{m+1} = -e^{-i theta} d_{m+1}.
-  std::vector<cplx> d(n);
+  std::vector<cplx>& d = ws.d;
+  d.resize(n);
   for (std::size_t k = 0; k < n; ++k) d[k] = u(k, k);
 
-  std::vector<Op> commuted;  // encounter order: last-recorded first
-  commuted.reserve(left_ops.size());
+  // Signal-encounter order: right ops in recording order, then the
+  // commuted left ops (last-recorded first).
+  std::vector<Op>& ordered = ws.ordered;
+  ordered = right_ops;
+  ordered.reserve(right_ops.size() + left_ops.size());
   for (std::size_t k = left_ops.size(); k-- > 0;) {
     const Op& op = left_ops[k];
     const auto m = static_cast<std::size_t>(op.top);
@@ -180,27 +194,26 @@ ProgrammedMesh clements_decompose(const CMat& u_in, phot::MziStyle style) {
     const cplx d2 = d[m + 1];
     d[m] = -std::polar(1.0, -(op.theta + op.phi)) * d2;
     d[m + 1] = -std::polar(1.0, -op.theta) * d2;
-    commuted.push_back({op.top, op.theta, phi_new});
+    ordered.push_back({op.top, op.theta, phi_new});
   }
 
-  // Signal-encounter order: right ops in recording order, then commuted
-  // left ops (already reversed above).
-  std::vector<Op> ordered = right_ops;
-  ordered.insert(ordered.end(), commuted.begin(), commuted.end());
-
-  std::vector<double> out_phases(n);
+  std::vector<double>& out_phases = ws.out_phases;
+  out_phases.resize(n);
   for (std::size_t k = 0; k < n; ++k) out_phases[k] = std::arg(d[k]);
 
-  return assemble(n, style, ordered, out_phases,
-                  "clements-" + std::to_string(n));
+  assemble(n, style, ws, ordered, out_phases, "clements-" + std::to_string(n),
+           out);
 }
 
-ProgrammedMesh reck_decompose(const CMat& u_in, phot::MziStyle style) {
+void reck_decompose(const CMat& u_in, phot::MziStyle style,
+                    DecomposeScratch& ws, ProgrammedMesh& out) {
   require_unitary(u_in, "reck_decompose");
   const std::size_t n = u_in.rows();
-  CMat u = u_in;
+  CMat& u = ws.u;
+  u = u_in;
 
-  std::vector<Op> ops;
+  std::vector<Op>& ops = ws.ordered;
+  ops.clear();
   for (std::size_t row = n - 1; row >= 1; --row) {
     for (std::size_t m = 0; m < row; ++m) {
       const cplx a = u(row, m);
@@ -226,10 +239,25 @@ ProgrammedMesh reck_decompose(const CMat& u_in, phot::MziStyle style) {
     if (row == 1) break;
   }
 
-  std::vector<double> out_phases(n);
+  std::vector<double>& out_phases = ws.out_phases;
+  out_phases.resize(n);
   for (std::size_t k = 0; k < n; ++k) out_phases[k] = std::arg(u(k, k));
 
-  return assemble(n, style, ops, out_phases, "reck-" + std::to_string(n));
+  assemble(n, style, ws, ops, out_phases, "reck-" + std::to_string(n), out);
+}
+
+ProgrammedMesh clements_decompose(const CMat& u_in, phot::MziStyle style) {
+  DecomposeScratch ws;
+  ProgrammedMesh pm;
+  clements_decompose(u_in, style, ws, pm);
+  return pm;
+}
+
+ProgrammedMesh reck_decompose(const CMat& u_in, phot::MziStyle style) {
+  DecomposeScratch ws;
+  ProgrammedMesh pm;
+  reck_decompose(u_in, style, ws, pm);
+  return pm;
 }
 
 lina::CMat ideal_transfer(const ProgrammedMesh& pm) {

@@ -34,6 +34,36 @@ struct ProgrammedMesh {
 [[nodiscard]] ProgrammedMesh reck_decompose(
     const lina::CMat& u, phot::MziStyle style = phot::MziStyle::kStandard);
 
+/// Reusable scratch for the workspace-based decomposition overloads. The
+/// cell-to-column packing and the per-column phase-slot bases depend only
+/// on (ports, style, architecture), so they are cached across calls; the
+/// op streams and the working copy of `u` reuse their allocations.
+struct DecomposeScratch {
+  struct Op {
+    int top;  ///< upper port of the pair the cell acts on
+    double theta;
+    double phi;
+  };
+  lina::CMat u;                      ///< working copy being nulled
+  std::vector<Op> right_ops, left_ops, ordered;
+  std::vector<double> out_phases, xi;
+  std::vector<lina::cplx> d;         ///< diagonal residue
+  // Cached packing (keyed by the layout name, e.g. "clements-8").
+  std::string cached_name;
+  phot::MziStyle cached_style = phot::MziStyle::kStandard;
+  std::vector<std::size_t> cell_cols;  ///< owning column per op
+  std::vector<std::size_t> base;       ///< phase-slot base per column
+  std::size_t phase_total = 0;
+};
+
+/// Workspace-reusing variants: identical phases, writing into `out`
+/// (whose layout is kept when it already matches) instead of allocating
+/// a fresh ProgrammedMesh per call.
+void clements_decompose(const lina::CMat& u, phot::MziStyle style,
+                        DecomposeScratch& ws, ProgrammedMesh& out);
+void reck_decompose(const lina::CMat& u, phot::MziStyle style,
+                    DecomposeScratch& ws, ProgrammedMesh& out);
+
 /// Ideal (error-free, lossless) transfer matrix realized by a programmed
 /// mesh — the mathematical reference for fidelity metrics.
 [[nodiscard]] lina::CMat ideal_transfer(const ProgrammedMesh& pm);

@@ -109,6 +109,20 @@ void PhysicalMesh::invalidate_cache() const {
   dirty_col_ = -1;
 }
 
+void PhysicalMesh::restore(const Snapshot& s) {
+  if (s.phases.size() != phases_.size())
+    throw std::invalid_argument("PhysicalMesh::restore: phase count mismatch");
+  // Untouched mesh (the common fault-campaign trial): keep the column
+  // cache — restore is then free.
+  if (phases_ == s.phases && drift_time_s_ == s.drift_time_s &&
+      detuning_nm_ == s.detuning_nm)
+    return;
+  phases_ = s.phases;
+  drift_time_s_ = s.drift_time_s;
+  detuning_nm_ = s.detuning_nm;
+  invalidate_cache();
+}
+
 void PhysicalMesh::build_column(std::size_t ci, bool with_errors,
                                 double detuning_nm, ColumnMatrix& out) const {
   const std::size_t n = layout_.ports;

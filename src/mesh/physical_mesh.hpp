@@ -129,6 +129,21 @@ class PhysicalMesh {
   [[nodiscard]] static lina::CMat ideal_of(const MeshLayout& layout,
                                            const std::vector<double>& phases);
 
+  // -- Snapshot / restore -------------------------------------------------
+  /// Programmable state only: phases + drift clock + carrier detuning.
+  /// Die imperfections are construction-time constants and the transfer
+  /// cache is derived — restore() invalidates it (only when the restored
+  /// state actually differs) rather than copying it.
+  struct Snapshot {
+    std::vector<double> phases;
+    double drift_time_s = 0.0;
+    double detuning_nm = 0.0;
+  };
+  [[nodiscard]] Snapshot snapshot() const {
+    return {phases_, drift_time_s_, detuning_nm_};
+  }
+  void restore(const Snapshot& s);
+
  private:
   /// One mesh column as a compact block-diagonal matrix: 2x2 blocks at the
   /// cell positions, per-port scalars everywhere else. All error terms

@@ -202,4 +202,36 @@ void PhotonicAccelerator::inject_phase_fault(std::size_t phase_index,
   gemm_.engine().perturb_phase(phase_index, delta_rad);
 }
 
+PhotonicAccelerator::Snapshot PhotonicAccelerator::snapshot() const {
+  Snapshot s;
+  s.gemm = gemm_.snapshot();
+  s.spm_w = spm_w_.snapshot();
+  s.spm_x = spm_x_.snapshot();
+  s.spm_y = spm_y_.snapshot();
+  s.ctrl = ctrl_;
+  s.cols = cols_;
+  s.done = done_;
+  s.irq = irq_;
+  s.busy_cycles = busy_cycles_;
+  s.total_busy_cycles = total_busy_cycles_;
+  s.last_op_cycles = last_op_cycles_;
+  s.pending_op = pending_op_;
+  return s;
+}
+
+void PhotonicAccelerator::restore(const Snapshot& s) {
+  gemm_.restore(s.gemm);
+  spm_w_.restore(s.spm_w);
+  spm_x_.restore(s.spm_x);
+  spm_y_.restore(s.spm_y);
+  ctrl_ = s.ctrl;
+  cols_ = s.cols;
+  done_ = s.done;
+  irq_ = s.irq;
+  busy_cycles_ = s.busy_cycles;
+  total_busy_cycles_ = s.total_busy_cycles;
+  last_op_cycles_ = s.last_op_cycles;
+  pending_op_ = s.pending_op;
+}
+
 }  // namespace aspen::sys

@@ -86,6 +86,22 @@ class PhotonicAccelerator final : public BusDevice {
   [[nodiscard]] std::uint64_t total_busy_cycles() const {
     return total_busy_cycles_;
   }
+  /// The photonic compute unit behind the MMRs (engine inspection for
+  /// tests / benches: programmed transfer, counters, fidelity).
+  [[nodiscard]] const core::GemmCore& gemm() const { return gemm_; }
+
+  // -- Snapshot / restore -------------------------------------------------
+  /// MMR block + SPM images + the full photonic compute-unit state.
+  struct Snapshot {
+    core::GemmCore::Snapshot gemm;
+    Memory::Snapshot spm_w, spm_x, spm_y;
+    std::uint32_t ctrl = 0, cols = 1;
+    bool done = false, irq = false;
+    std::uint64_t busy_cycles = 0, total_busy_cycles = 0;
+    std::uint32_t last_op_cycles = 0, pending_op = 0;
+  };
+  [[nodiscard]] Snapshot snapshot() const;
+  void restore(const Snapshot& s);
 
   static constexpr std::uint32_t kMmrBase = 0x0000;
   static constexpr std::uint32_t kSpmWBase = 0x1000;

@@ -101,6 +101,13 @@ class BusDevice {
     std::uint32_t size = 0;
   };
   [[nodiscard]] virtual DirectSpan direct_span() { return {}; }
+  /// Report a bulk out-of-band mutation of the direct span (the DMA
+  /// engine's bulk fast path writes straight into the raw store): the
+  /// device must forward it to its registered write observer so derived
+  /// caches (predecoded instructions) stay coherent. No-op for devices
+  /// without a span.
+  virtual void direct_span_written(std::uint32_t /*offset*/,
+                                   std::uint32_t /*bytes*/) {}
   /// Register the (single) observer notified on out-of-band mutation of
   /// the backing store. Devices without a direct span ignore it.
   virtual void set_write_observer(BusWriteObserver* /*observer*/) {}

@@ -35,14 +35,35 @@ class DmaEngine final : public BusDevice {
 
   /// Advance one cycle (moves data while busy).
   void tick();
-  /// Advance `n` cycles at once. The engine issues bus transactions on
-  /// every busy cycle, so bulk skipping is only free while idle; a busy
-  /// engine falls back to per-cycle ticking to stay bit-identical.
+  /// Advance `n` cycles at once. While busy, the remaining beats are
+  /// bulk-moved in one memcpy when both endpoints resolve to direct
+  /// spans covering the rest of the transfer (DRAM<->DRAM, DRAM<->SPM) —
+  /// cursor progression, completion cycle and observer notifications are
+  /// bit-identical to per-cycle ticking. Otherwise (MMIO endpoint, spans
+  /// revoked by stuck-at faults, overlapping ranges) the engine falls
+  /// back to per-cycle ticking.
   void skip_cycles(std::uint64_t n);
+
+  /// Cycles until the running transfer completes, provided the remainder
+  /// is bulk-movable (see skip_cycles); 0 while idle or when the
+  /// transfer must tick per-cycle. The event-driven System uses this to
+  /// skip straight to the completion/IRQ edge.
+  [[nodiscard]] std::uint64_t bulk_cycles_remaining() const;
 
   [[nodiscard]] bool irq_pending() const { return irq_; }
   void clear_irq() { irq_ = false; }
   [[nodiscard]] bool busy() const { return busy_; }
+
+  /// Complete register/transfer state (no derived caches to invalidate).
+  struct Snapshot {
+    std::uint32_t src = 0, dst = 0, len = 0, ctrl = 0;
+    std::uint32_t cursor = 0;
+    bool busy = false, done = false, irq = false;
+  };
+  [[nodiscard]] Snapshot snapshot() const {
+    return {src_, dst_, len_, ctrl_, cursor_, busy_, done_, irq_};
+  }
+  void restore(const Snapshot& s);
 
   static constexpr std::uint32_t kRegSrc = 0x00;
   static constexpr std::uint32_t kRegDst = 0x04;
@@ -55,6 +76,23 @@ class DmaEngine final : public BusDevice {
   static constexpr std::uint32_t kStatusDone = 1u << 1;
 
  private:
+  /// Resolved bulk-move endpoints for the remaining [cursor_, len_) range.
+  struct BulkPath {
+    std::uint8_t* src = nullptr;
+    std::uint8_t* dst = nullptr;
+    BusDevice* dst_dev = nullptr;
+    std::uint32_t dst_dev_offset = 0;  ///< device-relative start of the move
+  };
+  /// Endpoints of the remaining transfer when every byte can be moved
+  /// through raw spans (both windows cover the remainder, ranges do not
+  /// overlap); nullptr data pointers otherwise.
+  [[nodiscard]] BulkPath resolve_bulk() const;
+  /// Advance `cursor` by exactly the bytes `ticks` busy cycles move
+  /// (pure arithmetic mirror of tick()'s beat loop); returns the cycles
+  /// actually consumed (< ticks when the transfer finishes early).
+  [[nodiscard]] std::uint64_t advance_cursor(std::uint32_t& cursor,
+                                             std::uint64_t ticks) const;
+
   Bus& bus_;
   unsigned beat_;
   std::uint32_t src_ = 0, dst_ = 0, len_ = 0, ctrl_ = 0;

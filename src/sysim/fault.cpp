@@ -1,7 +1,9 @@
 #include "sysim/fault.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <stdexcept>
+#include <thread>
 
 namespace aspen::sys {
 
@@ -47,14 +49,22 @@ FaultCampaign::FaultCampaign(SystemFactory factory, OutputReader read_output,
       read_output_(std::move(read_output)),
       max_cycles_(max_cycles) {}
 
+void FaultCampaign::ensure_staged() {
+  if (staged_ready_) return;
+  scratch_ = factory_();
+  staged_ = scratch_->snapshot();
+  staged_ready_ = true;
+}
+
 const std::vector<std::uint8_t>& FaultCampaign::golden() {
   if (!have_golden_) {
-    auto system = factory_();
-    const auto result = system->run();
+    ensure_staged();
+    scratch_->restore(staged_);
+    const auto result = scratch_->run();
     if (result.timed_out || result.halt == rv::Halt::kBusFault ||
         result.halt == rv::Halt::kIllegal)
       throw std::runtime_error("FaultCampaign: golden run failed");
-    golden_ = read_output_(*system);
+    golden_ = read_output_(*scratch_);
     golden_cycles_ = result.cycles;
     have_golden_ = true;
   }
@@ -107,37 +117,46 @@ void FaultCampaign::inject(System& system, const FaultSpec& spec) {
   }
 }
 
-Outcome FaultCampaign::run_one(const FaultSpec& spec) {
-  (void)golden();  // ensure reference exists
-  auto system = factory_();
+Outcome FaultCampaign::classify(System& system,
+                                const OutputReader& read_output,
+                                const std::vector<std::uint8_t>& golden) {
+  if (!system.cpu().halted()) return Outcome::kDueHang;
+  const rv::Halt h = system.cpu().halt_reason();
+  if (h == rv::Halt::kBusFault || h == rv::Halt::kIllegal)
+    return Outcome::kDueTrap;
+  return read_output(system) == golden ? Outcome::kMasked : Outcome::kSdc;
+}
+
+Outcome FaultCampaign::run_trial(System& system, const FaultSpec& spec) {
+  system.restore(staged_);
 
   // Run to the exact injection cycle (event-driven under the hood),
   // inject, then run to completion.
-  system->run_until(std::min(spec.cycle, max_cycles_));
-  inject(*system, spec);
-  system->run_until(max_cycles_);
-
-  if (!system->cpu().halted()) return Outcome::kDueHang;
-  const rv::Halt h = system->cpu().halt_reason();
-  if (h == rv::Halt::kBusFault || h == rv::Halt::kIllegal)
-    return Outcome::kDueTrap;
-  const std::vector<std::uint8_t> out = read_output_(*system);
-  return out == golden_ ? Outcome::kMasked : Outcome::kSdc;
+  system.run_until(std::min(spec.cycle, max_cycles_));
+  inject(system, spec);
+  system.run_until(max_cycles_);
+  return classify(system, read_output_, golden_);
 }
 
-CampaignResult FaultCampaign::run_campaign(FaultTarget target,
-                                           FaultModel model, int trials,
-                                           lina::Rng& rng,
-                                           std::uint32_t index_lo,
-                                           std::uint32_t index_hi) {
-  CampaignResult result;
+Outcome FaultCampaign::run_one(const FaultSpec& spec) {
+  (void)golden();  // ensure reference exists (also stages the snapshot)
+  return run_trial(*scratch_, spec);
+}
+
+std::vector<FaultSpec> FaultCampaign::sample_specs(FaultTarget target,
+                                                   FaultModel model,
+                                                   int trials, lina::Rng& rng,
+                                                   std::uint32_t index_lo,
+                                                   std::uint32_t index_hi) {
   const std::uint64_t window = golden_cycles();
-  // Probe one system to size the injectable structures.
-  auto probe = factory_();
+  // The staged template sizes the injectable structures.
+  System& probe = *scratch_;
   const auto default_hi = [&](std::uint32_t structure_size) {
     return index_hi != 0 ? index_hi : structure_size - 1;
   };
 
+  std::vector<FaultSpec> specs;
+  specs.reserve(static_cast<std::size_t>(trials > 0 ? trials : 0));
   for (int t = 0; t < trials; ++t) {
     FaultSpec spec;
     spec.target = target;
@@ -150,29 +169,88 @@ CampaignResult FaultCampaign::run_campaign(FaultTarget target,
         break;
       case FaultTarget::kDramData:
         spec.index = static_cast<std::uint32_t>(rng.uniform_int(
-            index_lo, default_hi(probe->config().dram_size)));
+            index_lo, default_hi(probe.config().dram_size)));
         spec.bit = static_cast<unsigned>(rng.uniform_int(0, 7));
         break;
       case FaultTarget::kAccelSpmW:
         spec.index = static_cast<std::uint32_t>(
-            rng.uniform_int(index_lo, default_hi(probe->pe(0).spm_w().size())));
+            rng.uniform_int(index_lo, default_hi(probe.pe(0).spm_w().size())));
         spec.bit = static_cast<unsigned>(rng.uniform_int(0, 7));
         break;
       case FaultTarget::kAccelSpmX:
         spec.index = static_cast<std::uint32_t>(
-            rng.uniform_int(index_lo, default_hi(probe->pe(0).spm_x().size())));
+            rng.uniform_int(index_lo, default_hi(probe.pe(0).spm_x().size())));
         spec.bit = static_cast<unsigned>(rng.uniform_int(0, 7));
         break;
       case FaultTarget::kAccelPhase: {
         const auto nph =
-            static_cast<std::uint32_t>(probe->pe(0).phase_state_size());
+            static_cast<std::uint32_t>(probe.pe(0).phase_state_size());
         spec.index = static_cast<std::uint32_t>(
             rng.uniform_int(0, nph > 1 ? nph - 1 : 0));
         spec.phase_delta_rad = rng.uniform(-1.5, 1.5);
         break;
       }
     }
-    ++result.counts[run_one(spec)];
+    specs.push_back(spec);
+  }
+  return specs;
+}
+
+std::vector<Outcome> FaultCampaign::run_trials(
+    const std::vector<FaultSpec>& specs, unsigned threads) {
+  (void)golden();
+  const std::size_t n = specs.size();
+  std::vector<Outcome> outcomes(n, Outcome::kMasked);
+  std::size_t workers = threads == 0 ? 1 : threads;
+  if (workers > n) workers = n > 0 ? n : 1;
+
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i)
+      outcomes[i] = run_trial(*scratch_, specs[i]);
+    return outcomes;
+  }
+
+  // Private replica per extra worker, constructed serially (the factory
+  // need not be thread-safe) and cached across run_trials calls; worker
+  // 0 reuses the template. Construction is paid once per worker for the
+  // campaign's lifetime — every trial itself starts from the shared
+  // snapshot.
+  while (replicas_.size() < workers - 1) replicas_.push_back(factory_());
+
+  std::atomic<std::size_t> next{0};
+  std::vector<std::exception_ptr> errors(workers);
+  const auto work = [&](System& system, std::size_t w) {
+    try {
+      for (std::size_t i; (i = next.fetch_add(1)) < n;)
+        outcomes[i] = run_trial(system, specs[i]);
+    } catch (...) {
+      errors[w] = std::current_exception();
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  for (std::size_t w = 1; w < workers; ++w)
+    pool.emplace_back(work, std::ref(*replicas_[w - 1]), w);
+  work(*scratch_, 0);
+  for (auto& t : pool) t.join();
+  for (auto& e : errors)
+    if (e) std::rethrow_exception(e);
+  return outcomes;
+}
+
+CampaignResult FaultCampaign::run_campaign(FaultTarget target,
+                                           FaultModel model, int trials,
+                                           lina::Rng& rng,
+                                           std::uint32_t index_lo,
+                                           std::uint32_t index_hi,
+                                           unsigned threads) {
+  const std::vector<FaultSpec> specs =
+      sample_specs(target, model, trials, rng, index_lo, index_hi);
+  const std::vector<Outcome> outcomes = run_trials(specs, threads);
+  CampaignResult result;
+  for (const Outcome o : outcomes) {
+    ++result.counts[o];
     ++result.total;
   }
   return result;

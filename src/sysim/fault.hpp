@@ -3,14 +3,23 @@
 /// Microarchitecture-level fault injection campaigns — the gem5-MARVEL
 /// capability the paper highlights (Section 5: "supports transient and
 /// permanent fault injections to all hardware structures"). A campaign
-/// repeatedly executes a workload on a fresh system, injects one fault
-/// per run (target structure, model, cycle, bit), and classifies the
-/// outcome against a golden run:
+/// stages a workload once, snapshots the fully constructed System, and
+/// then executes trials by restoring that snapshot (~a DRAM memcpy)
+/// instead of rebuilding the platform per run — the construction floor
+/// (DRAM allocation + photonic weight programming) is paid once. Each
+/// trial injects one fault (target structure, model, cycle, bit) and
+/// classifies the outcome against a golden run:
 ///
 ///   Masked   — run completed, architectural output identical
 ///   SDC      — run completed, output differs (silent data corruption)
 ///   DUE-trap — detected: CPU halted on an access/illegal fault
 ///   DUE-hang — detected: run exceeded the cycle budget (watchdog)
+///
+/// Trials are independent, so they shard across a worker pool: every
+/// worker owns a private factory-built System restored from the shared
+/// snapshot per trial. Fault specs are pre-drawn serially from the
+/// caller's Rng, so serial and parallel campaigns produce bit-identical
+/// per-trial verdicts (not merely equal distributions).
 
 #include <functional>
 #include <map>
@@ -62,6 +71,10 @@ class FaultCampaign {
  public:
   /// `factory` builds a fully staged system (program + data loaded);
   /// `read_output` extracts the architectural output after completion.
+  /// The factory is only ever invoked from the calling thread (worker
+  /// replicas are constructed serially before the pool starts);
+  /// `read_output` must be safe to call concurrently on distinct
+  /// Systems (a pure read of the passed system is).
   using SystemFactory = std::function<std::unique_ptr<System>()>;
   using OutputReader = std::function<std::vector<std::uint8_t>(System&)>;
 
@@ -73,25 +86,62 @@ class FaultCampaign {
   /// Cycle count of the golden run (for sampling injection times).
   [[nodiscard]] std::uint64_t golden_cycles();
 
-  /// Execute one faulted run.
+  /// Execute one faulted run (snapshot-restore under the hood).
   Outcome run_one(const FaultSpec& spec);
 
-  /// Random campaign over a target/model pair: injection cycles uniform
-  /// in the golden run's active window, indices/bits uniform over the
-  /// target structure. `index_lo`/`index_hi` restrict the sampled index
-  /// range (e.g. the workload's data region in DRAM); hi == 0 means the
-  /// whole structure.
+  /// Draw `trials` random fault specs for a target/model pair: injection
+  /// cycles uniform in the golden run's active window, indices/bits
+  /// uniform over the target structure. `index_lo`/`index_hi` restrict
+  /// the sampled index range (e.g. the workload's data region in DRAM);
+  /// hi == 0 means the whole structure. Drawing is always serial and on
+  /// the caller's rng, so the spec stream is independent of how the
+  /// trials are later executed.
+  [[nodiscard]] std::vector<FaultSpec> sample_specs(
+      FaultTarget target, FaultModel model, int trials, lina::Rng& rng,
+      std::uint32_t index_lo = 0, std::uint32_t index_hi = 0);
+
+  /// Execute a batch of trials, sharded across `threads` workers (1 =
+  /// serial on the calling thread). Per-trial outcomes are returned in
+  /// spec order and are bit-identical for every thread count: each trial
+  /// starts from the same restored snapshot whichever worker runs it.
+  [[nodiscard]] std::vector<Outcome> run_trials(
+      const std::vector<FaultSpec>& specs, unsigned threads = 1);
+
+  /// sample_specs + run_trials + outcome histogram in one call.
   CampaignResult run_campaign(FaultTarget target, FaultModel model,
                               int trials, lina::Rng& rng,
                               std::uint32_t index_lo = 0,
-                              std::uint32_t index_hi = 0);
+                              std::uint32_t index_hi = 0,
+                              unsigned threads = 1);
+
+  /// Apply one fault to a live system — the exact injection mapping the
+  /// campaign uses (public so benches/tests can drive it on their own
+  /// systems instead of duplicating it).
+  static void inject(System& system, const FaultSpec& spec);
+  /// Classify a finished run against a golden output (DUE-hang/-trap
+  /// from the halt state, Masked/SDC from the output comparison).
+  static Outcome classify(System& system, const OutputReader& read_output,
+                          const std::vector<std::uint8_t>& golden);
 
  private:
-  void inject(System& system, const FaultSpec& spec);
+  /// Build the template system and capture the staged snapshot.
+  void ensure_staged();
+  /// Restore `system` from the staged snapshot and execute one trial.
+  Outcome run_trial(System& system, const FaultSpec& spec);
 
   SystemFactory factory_;
   OutputReader read_output_;
   std::uint64_t max_cycles_;
+  /// Template system (worker 0 / serial trials run here) + the shared
+  /// staged snapshot every trial restores from.
+  std::unique_ptr<System> scratch_;
+  /// Per-worker replica systems, grown lazily to the largest thread
+  /// count seen and reused across run_trials calls (each trial restores
+  /// from the snapshot anyway, so replicas carry no state between
+  /// batches).
+  std::vector<std::unique_ptr<System>> replicas_;
+  System::SystemSnapshot staged_;
+  bool staged_ready_ = false;
   std::vector<std::uint8_t> golden_;
   std::uint64_t golden_cycles_ = 0;
   bool have_golden_ = false;

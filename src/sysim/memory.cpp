@@ -81,4 +81,15 @@ void Memory::clear_faults() {
   notify(0, size());
 }
 
+void Memory::restore(const Snapshot& s) {
+  if (s.bytes.size() != bytes_.size())
+    throw std::invalid_argument(name_ + ": restore size mismatch");
+  std::memcpy(bytes_.data(), s.bytes.data(), bytes_.size());
+  stuck_ = s.stuck;
+  // Contents and possibly the read transform changed: the whole span is
+  // dirty (this also re-grants / revokes direct_span() visibility for
+  // masters holding windows on this memory).
+  notify(0, size());
+}
+
 }  // namespace aspen::sys

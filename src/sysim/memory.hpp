@@ -39,6 +39,11 @@ class Memory final : public BusDevice {
   void set_write_observer(BusWriteObserver* observer) override {
     observer_ = observer;
   }
+  /// Bulk direct-span mutation (DMA fast path): forward to the observer.
+  void direct_span_written(std::uint32_t offset,
+                           std::uint32_t bytes) override {
+    notify(offset, bytes);
+  }
   /// Pure storage: writes never schedule device activity.
   [[nodiscard]] bool write_is_activating(std::uint32_t) const override {
     return false;
@@ -64,6 +69,23 @@ class Memory final : public BusDevice {
   void set_stuck_bit(std::uint32_t offset, unsigned bit, bool value);
   void clear_faults();
 
+  // -- Snapshot / restore -------------------------------------------------
+  struct Stuck {
+    std::uint32_t offset;
+    std::uint8_t bit;
+    bool value;
+  };
+  /// Full captured state: the byte image plus the armed stuck-at faults.
+  struct Snapshot {
+    std::vector<std::uint8_t> bytes;
+    std::vector<Stuck> stuck;
+  };
+  [[nodiscard]] Snapshot snapshot() const { return {bytes_, stuck_}; }
+  /// Restore a snapshot taken from an identically sized memory (throws
+  /// std::invalid_argument otherwise). One memcpy plus a full-span
+  /// observer notification so masters drop derived caches.
+  void restore(const Snapshot& s);
+
  private:
   [[nodiscard]] std::uint8_t read_byte(std::uint32_t offset) const;
   void notify(std::uint32_t offset, std::uint32_t bytes) {
@@ -74,11 +96,6 @@ class Memory final : public BusDevice {
   std::vector<std::uint8_t> bytes_;
   unsigned latency_;
   BusWriteObserver* observer_ = nullptr;
-  struct Stuck {
-    std::uint32_t offset;
-    std::uint8_t bit;
-    bool value;
-  };
   std::vector<Stuck> stuck_;
 };
 

@@ -43,6 +43,57 @@ void Cpu::reset() {
   icache_flush();
 }
 
+Cpu::Snapshot Cpu::snapshot() const {
+  Snapshot s;
+  s.regs = regs_;
+  s.stuck_or = stuck_or_;
+  s.stuck_and = stuck_and_;
+  s.reg_faults_armed = reg_faults_armed_;
+  s.pc = pc_;
+  s.cycles = cycles_;
+  s.instret = instret_;
+  s.stall = stall_;
+  s.irq = irq_;
+  s.wfi = wfi_;
+  s.halt = halt_;
+  s.mstatus = mstatus_;
+  s.mie = mie_;
+  s.mip = mip_;
+  s.mtvec = mtvec_;
+  s.mscratch = mscratch_;
+  s.mepc = mepc_;
+  s.mcause = mcause_;
+  return s;
+}
+
+void Cpu::restore(const Snapshot& s) {
+  regs_ = s.regs;
+  stuck_or_ = s.stuck_or;
+  stuck_and_ = s.stuck_and;
+  reg_faults_armed_ = s.reg_faults_armed;
+  pc_ = s.pc;
+  cycles_ = s.cycles;
+  instret_ = s.instret;
+  stall_ = s.stall;
+  irq_ = s.irq;
+  wfi_ = s.wfi;
+  halt_ = s.halt;
+  mstatus_ = s.mstatus;
+  mie_ = s.mie;
+  mip_ = s.mip;
+  mtvec_ = s.mtvec;
+  mscratch_ = s.mscratch;
+  mepc_ = s.mepc;
+  mcause_ = s.mcause;
+  bus_access_ = false;
+  // Derived caches re-resolve lazily against the restored memory image.
+  // Observer registrations in observed_devs_ stay in place: devices
+  // outlive the restore, and set_window keeps them in sync as windows
+  // repopulate.
+  win_ = {};
+  icache_flush();
+}
+
 std::uint32_t Cpu::read_reg(int i) const {
   // x0 stays 0 in regs_ (write_reg guards it), so the fault-free fast
   // path is a single load.

@@ -112,6 +112,29 @@ class Cpu final : public BusWriteObserver {
 
   void reset();
 
+  // -- Snapshot / restore --------------------------------------------------
+  /// Complete architectural + timing state. Derived execution state (the
+  /// predecoded micro-op cache, resolved bus windows) is deliberately
+  /// excluded: restore() invalidates it instead, and it repopulates
+  /// lazily at bit-identical cycle cost.
+  struct Snapshot {
+    std::array<std::uint32_t, 32> regs{};
+    std::array<std::uint32_t, 32> stuck_or{};
+    std::array<std::uint32_t, 32> stuck_and{};
+    bool reg_faults_armed = false;
+    std::uint32_t pc = 0;
+    std::uint64_t cycles = 0;
+    std::uint64_t instret = 0;
+    unsigned stall = 0;
+    bool irq = false;
+    bool wfi = false;
+    Halt halt = Halt::kRunning;
+    std::uint32_t mstatus = 0, mie = 0, mip = 0, mtvec = 0;
+    std::uint32_t mscratch = 0, mepc = 0, mcause = 0;
+  };
+  [[nodiscard]] Snapshot snapshot() const;
+  void restore(const Snapshot& s);
+
   // -- Fault hooks ---------------------------------------------------------
   void flip_reg_bit(int reg, unsigned bit);
   void set_reg_stuck_bit(int reg, unsigned bit, bool value);

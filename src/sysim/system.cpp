@@ -68,7 +68,6 @@ void System::tick() {
 
 std::uint64_t System::skippable_cycles() const {
   constexpr std::uint64_t kForever = std::numeric_limits<std::uint64_t>::max();
-  if (dma_->busy()) return 0;  // the DMA moves data on every busy cycle
   std::uint64_t cpu_idle;
   if (cpu_->stall_remaining() > 0) {
     cpu_idle = cpu_->stall_remaining();
@@ -82,9 +81,18 @@ std::uint64_t System::skippable_cycles() const {
   } else {
     return 0;  // an instruction issues next tick
   }
-  // Nearest device event: a PE completing its optical operation (the
-  // only per-cycle PE side effect is the final DONE/IRQ edge).
+  // Nearest device event: the DMA completing its transfer or a PE
+  // completing its optical operation (the only per-cycle side effects
+  // are the final DONE/IRQ edges). The DMA query runs only once the CPU
+  // is known idle: a busy DMA engine issues bus transactions every
+  // cycle, but when both endpoints resolve to raw memory spans those
+  // transactions are pure data movement nobody can observe while the
+  // CPU sleeps — the remaining beats bulk-move inside skip_cycles.
   std::uint64_t device_event = kForever;
+  if (dma_->busy()) {
+    device_event = dma_->bulk_cycles_remaining();
+    if (device_event == 0) return 0;  // MMIO endpoint or overlap: tick
+  }
   for (const auto& pe : pes_)
     if (pe->busy())
       device_event = std::min(device_event, pe->busy_cycles_remaining());
@@ -135,6 +143,31 @@ void System::run_until(std::uint64_t target) {
     }
     tick();
   }
+}
+
+System::SystemSnapshot System::snapshot() const {
+  SystemSnapshot s;
+  s.cycle = cycle_;
+  s.dram = dram_->snapshot();
+  s.dma = dma_->snapshot();
+  s.pes.reserve(pes_.size());
+  for (const auto& pe : pes_) s.pes.push_back(pe->snapshot());
+  s.cpu = cpu_->snapshot();
+  return s;
+}
+
+void System::restore(const SystemSnapshot& s) {
+  if (s.pes.size() != pes_.size() ||
+      s.dram.bytes.size() != dram_->size())
+    throw std::invalid_argument(
+        "System::restore: snapshot from a differently configured system");
+  // Memories first (their observer notifications run against the old CPU
+  // windows, which the CPU restore then drops wholesale anyway).
+  dram_->restore(s.dram);
+  dma_->restore(s.dma);
+  for (std::size_t i = 0; i < pes_.size(); ++i) pes_[i]->restore(s.pes[i]);
+  cpu_->restore(s.cpu);
+  cycle_ = s.cycle;
 }
 
 System::RunResult System::run() {

@@ -75,6 +75,26 @@ class System {
   /// Run until the CPU halts or max_cycles elapse.
   RunResult run();
 
+  /// Complete captured platform state, restorable into any System built
+  /// from the same SystemConfig. Component snapshots hold architectural
+  /// state only; derived caches (predecoded micro-ops, bus windows, mesh
+  /// transfer factorizations) are invalidated on restore and repopulate
+  /// lazily at bit-identical cycle cost. The fault campaigns stage a
+  /// workload once, snapshot, and restore per trial instead of paying
+  /// construction (DRAM allocation + weight programming) every run.
+  struct SystemSnapshot {
+    std::uint64_t cycle = 0;
+    Memory::Snapshot dram;
+    DmaEngine::Snapshot dma;
+    std::vector<PhotonicAccelerator::Snapshot> pes;
+    rv::Cpu::Snapshot cpu;
+  };
+  [[nodiscard]] SystemSnapshot snapshot() const;
+  /// Restore a snapshot taken from an identically configured System
+  /// (throws std::invalid_argument on a shape mismatch). Cost is
+  /// dominated by the DRAM memcpy.
+  void restore(const SystemSnapshot& s);
+
   [[nodiscard]] rv::Cpu& cpu() { return *cpu_; }
   [[nodiscard]] Memory& dram() { return *dram_; }
   [[nodiscard]] DmaEngine& dma() { return *dma_; }

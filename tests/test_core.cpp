@@ -189,6 +189,113 @@ TEST(MvmEngineTest, CountersAdvance) {
   EXPECT_NEAR(eng.counters().busy_time_s, 2.0 * eng.symbol_time_s(), 1e-18);
 }
 
+// -------------------------------------- weight-programming memoization
+
+// Raw (bitwise) equality of two complex matrices.
+bool bit_equal(const CMat& a, const CMat& b) {
+  return a.rows() == b.rows() && a.cols() == b.cols() && a.raw() == b.raw();
+}
+
+TEST(MvmEngineTest, RepeatedSetMatrixIsBitIdentical) {
+  MvmConfig cfg;
+  cfg.ports = 8;
+  cfg.errors.coupler_sigma = 0.02;
+  cfg.errors.phase_sigma = 0.02;
+  MvmEngine eng(cfg);
+  Rng rng(91);
+  const CMat w1 = aspen::lina::random_real(8, 8, rng);
+  const CMat w2 = aspen::lina::random_real(8, 8, rng);
+
+  eng.set_matrix(w1);
+  const CMat t1 = eng.physical_transfer();
+  const cplx g1 = eng.system_gain();
+  const double f1 = eng.programming_fidelity();
+
+  eng.set_matrix(w2);
+  ASSERT_FALSE(bit_equal(eng.physical_transfer(), t1));
+
+  // Memoized reprogram (decomposition skipped): every derived quantity
+  // must come back bit-identical, not merely close.
+  eng.set_matrix(w1);
+  EXPECT_TRUE(bit_equal(eng.physical_transfer(), t1));
+  EXPECT_EQ(eng.system_gain(), g1);
+  EXPECT_EQ(eng.programming_fidelity(), f1);
+
+  // Unchanged-weights fast path: state untouched, write cost still paid.
+  const auto ops_before = eng.counters().program_ops;
+  const double energy_before = eng.counters().weight_write_energy_j;
+  eng.set_matrix(w1);
+  EXPECT_TRUE(bit_equal(eng.physical_transfer(), t1));
+  EXPECT_EQ(eng.counters().program_ops, ops_before + 1);
+  EXPECT_GT(eng.counters().weight_write_energy_j, energy_before);
+}
+
+TEST(MvmEngineTest, ReprogramAfterPhaseFaultRestoresTransferExactly) {
+  MvmConfig cfg;
+  cfg.ports = 8;
+  cfg.errors.coupler_sigma = 0.02;
+  MvmEngine eng(cfg);
+  Rng rng(92);
+  const CMat w = aspen::lina::random_real(8, 8, rng);
+  eng.set_matrix(w);
+  const CMat t = eng.physical_transfer();
+
+  // A configuration upset dirties the mesh: the next set_matrix of the
+  // same weights must actually reprogram (no stale fast path) and land
+  // on the exact pre-fault transfer.
+  eng.perturb_phase(3, 0.7);
+  ASSERT_FALSE(bit_equal(eng.physical_transfer(), t));
+  eng.set_matrix(w);
+  EXPECT_TRUE(bit_equal(eng.physical_transfer(), t));
+}
+
+TEST(MvmEngineTest, MemoizedProgramMatchesWithRecalibrationAndPcm) {
+  MvmConfig cfg;
+  cfg.ports = 6;
+  cfg.errors.coupler_sigma = 0.03;
+  cfg.errors.phase_sigma = 0.03;
+  cfg.recalibrate = true;
+  cfg.weights = WeightTechnology::kPcm;
+  MvmEngine eng(cfg);
+  Rng rng(93);
+  const CMat w1 = aspen::lina::random_real(6, 6, rng);
+  const CMat w2 = aspen::lina::random_real(6, 6, rng);
+  eng.set_matrix(w1);
+  const CMat t1 = eng.physical_transfer();
+  const cplx g1 = eng.system_gain();
+  eng.set_matrix(w2);
+  eng.set_matrix(w1);
+  EXPECT_TRUE(bit_equal(eng.physical_transfer(), t1));
+  EXPECT_EQ(eng.system_gain(), g1);
+}
+
+TEST(MvmEngineTest, SnapshotRestoreRoundTrip) {
+  MvmConfig cfg;
+  cfg.ports = 8;
+  cfg.errors.coupler_sigma = 0.02;
+  MvmEngine eng(cfg);
+  Rng rng(94);
+  const CMat w = aspen::lina::random_real(8, 8, rng);
+  eng.set_matrix(w);
+
+  const MvmEngine::Snapshot snap = eng.snapshot();
+  const CMat t = eng.physical_transfer();
+  const CVec x = aspen::lina::random_state(8, rng);
+  const CVec y_ref = eng.multiply(x);  // advances the noise stream
+
+  // Mutate: different weights, a phase fault, more noise draws.
+  eng.set_matrix(aspen::lina::random_real(8, 8, rng));
+  eng.perturb_phase(1, 0.4);
+  (void)eng.multiply(x);
+
+  eng.restore(snap);
+  EXPECT_TRUE(bit_equal(eng.physical_transfer(), t));
+  const CVec y_again = eng.multiply(x);
+  // Same state + same rng position -> bit-identical noisy output.
+  for (std::size_t i = 0; i < y_ref.size(); ++i)
+    EXPECT_EQ(y_ref[i], y_again[i]);
+}
+
 TEST(MvmEngineTest, ShapeMismatchThrows) {
   MvmEngine eng(clean_config());
   EXPECT_THROW(eng.set_matrix(CMat(4, 4)), std::invalid_argument);

@@ -422,6 +422,268 @@ TEST(SysimDiffTest, StuckArmThenClearMidRun) {
   expect_identical(caps[0], caps[1], "stuck arm + clear mid-run");
 }
 
+// ------------------------------------------------ DMA bulk fast path
+
+/// DMA DRAM->DRAM copy with WFI/irq synchronization; parameterized
+/// offsets/length stress the beat-alignment arithmetic of the bulk move.
+std::vector<std::uint32_t> build_dma_copy(const SystemConfig& sc,
+                                          std::uint32_t src_off,
+                                          std::uint32_t dst_off,
+                                          std::uint32_t len) {
+  Assembler as(sc.dram_base);
+  as.li(t0, sc.dram_base + 0x200);  // handler
+  as.csrrw(zero, kCsrMtvec, t0);
+  as.li(t0, 1u << 11);  // MEIE
+  as.csrrw(zero, kCsrMie, t0);
+  as.li(t0, 1u << 3);  // MIE
+  as.csrrs(zero, kCsrMstatus, t0);
+  as.li(s7, sc.dma_base);
+  as.li(t1, sc.dram_base + src_off);
+  as.sw(t1, s7, DmaEngine::kRegSrc);
+  as.li(t1, sc.dram_base + dst_off);
+  as.sw(t1, s7, DmaEngine::kRegDst);
+  as.li(t1, len);
+  as.sw(t1, s7, DmaEngine::kRegLen);
+  as.li(t1, DmaEngine::kCtrlStart | DmaEngine::kCtrlIrqEn);
+  as.sw(t1, s7, DmaEngine::kRegCtrl);
+  as.wfi();
+  as.label("spin");
+  as.j("spin");
+  while (as.current_address() < sc.dram_base + 0x200) as.nop();
+  as.label("handler");
+  as.li(t0, DmaEngine::kStatusDone);
+  as.sw(t0, s7, DmaEngine::kRegStatus);
+  as.li(a0, 0);
+  as.li(a7, 93);
+  as.ecall();
+  return as.assemble();
+}
+
+struct DmaCase {
+  const char* what;
+  std::uint32_t src_off, dst_off, len;
+};
+
+class DiffDmaTest : public ::testing::TestWithParam<DmaCase> {};
+
+TEST_P(DiffDmaTest, BulkMoveCycleExact) {
+  SystemConfig sc;
+  sc.accel = small_accel();
+  const DmaCase& dc = GetParam();
+  const auto stage = [&](System& s) {
+    std::vector<std::uint8_t> src(dc.len);
+    for (std::size_t i = 0; i < src.size(); ++i)
+      src[i] = static_cast<std::uint8_t>(i * 7 + 3);
+    s.write_dram(dc.src_off, src.data(), src.size());
+  };
+  diff_program(sc, build_dma_copy(sc, dc.src_off, dc.dst_off, dc.len),
+               dc.what, stage);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, DiffDmaTest,
+    ::testing::Values(
+        DmaCase{"aligned", 0x10000, 0x11000, 0x400},
+        // Congruent but unaligned: byte prologue, then word beats.
+        DmaCase{"congruent_unaligned", 0x10001, 0x11001, 253},
+        // Incongruent: every beat degrades to byte transfers.
+        DmaCase{"incongruent", 0x10001, 0x11002, 251},
+        // Odd tail: last beat shorter than the word width.
+        DmaCase{"odd_tail", 0x10000, 0x11000, 0x3F5},
+        // Overlapping ranges: the bulk move must refuse and the exact
+        // per-cycle path take over (forward copy duplicates bytes).
+        DmaCase{"overlap_forward", 0x10000, 0x10080, 0x100},
+        DmaCase{"overlap_backward", 0x10080, 0x10000, 0x100}),
+    [](const ::testing::TestParamInfo<DmaCase>& info) {
+      return std::string(info.param.what);
+    });
+
+// ---------------------------------------------- snapshot / restore
+
+/// Everything a campaign trial can observe, captured from a live system.
+Capture capture_state(System& system) {
+  Capture c;
+  c.result.cycles = system.cpu().cycles();
+  c.result.instret = system.cpu().instret();
+  c.result.halt = system.cpu().halt_reason();
+  c.result.exit_code = system.cpu().halted() ? system.cpu().exit_code() : 0;
+  c.result.timed_out = !system.cpu().halted();
+  c.system_cycle = system.now();
+  for (int i = 0; i < 32; ++i)
+    c.regs[static_cast<std::size_t>(i)] = system.cpu().read_reg(i);
+  c.dram.resize(system.config().dram_size);
+  system.read_dram(0, c.dram.data(), c.dram.size());
+  return c;
+}
+
+TEST(SnapshotTest, MutateRestoreRoundTripEqualsFreshSystem) {
+  SystemConfig sc;
+  sc.accel = small_accel();
+  GemmWorkload wl;
+  wl.n = 8;
+  wl.m = 4;
+  const auto stage = gemm_stager(wl, 411);
+  const auto program = build_gemm_offload(wl, sc, OffloadPath::kMmrPolling);
+
+  System system(sc);
+  stage(system);
+  system.load_program(program);
+  const System::SystemSnapshot snap = system.snapshot();
+
+  // Beat the system up: run, arm every fault class, run some more.
+  system.run_until(400);
+  system.cpu().flip_reg_bit(9, 4);
+  system.cpu().set_reg_stuck_bit(12, 2, true);
+  system.dram().flip_bit(0x20008, 3);
+  system.dram().set_stuck_bit(20, 1, true);  // code region, revokes span
+  system.pe(0).spm_w().set_stuck_bit(5, 7, true);
+  system.pe(0).inject_phase_fault(2, 0.9);
+  system.run_until(2000);
+
+  system.restore(snap);
+
+  // A freshly staged identical system is the ground truth.
+  System fresh(sc);
+  stage(fresh);
+  fresh.load_program(program);
+
+  // Registers, counters, DRAM image.
+  const Capture restored = capture_state(system);
+  const Capture baseline = capture_state(fresh);
+  expect_identical(baseline, restored, "restored vs fresh");
+
+  // SPM images and the programmed photonic transfer, bit for bit.
+  for (std::uint32_t off = 0; off < system.pe(0).spm_w().size(); ++off)
+    ASSERT_EQ(system.pe(0).spm_w().read(off, 1), fresh.pe(0).spm_w().read(off, 1));
+  const auto& t_restored = system.pe(0).gemm().engine().physical_transfer();
+  const auto& t_fresh = fresh.pe(0).gemm().engine().physical_transfer();
+  EXPECT_EQ(t_restored.raw(), t_fresh.raw()) << "mesh transfer differs";
+
+  // And both runs from here must be indistinguishable to completion.
+  system.run_until(500000);
+  fresh.run_until(500000);
+  expect_identical(capture_state(fresh), capture_state(system),
+                   "post-restore execution");
+}
+
+TEST(SnapshotTest, RestoredTrialMatchesRebuiltSystemPerScenario) {
+  SystemConfig sc;
+  sc.accel = small_accel();
+  GemmWorkload wl;
+  wl.n = 8;
+  wl.m = 4;
+  const auto stage = gemm_stager(wl, 421);
+  const auto program = build_gemm_offload(wl, sc, OffloadPath::kMmrPolling);
+  constexpr std::uint64_t kMax = 500000;
+
+  const FaultSpec specs[] = {
+      {FaultTarget::kCpuRegfile, FaultModel::kTransientFlip, 200, 10, 3, 0.5},
+      {FaultTarget::kCpuRegfile, FaultModel::kStuckAt0, 150, 6, 0, 0.5},
+      {FaultTarget::kDramData, FaultModel::kTransientFlip, 300, 0x20004, 5,
+       0.5},
+      {FaultTarget::kDramData, FaultModel::kStuckAt1, 220, 16, 6, 0.5},
+      {FaultTarget::kAccelSpmW, FaultModel::kStuckAt1, 1, 3, 6, 0.5},
+      {FaultTarget::kAccelSpmX, FaultModel::kTransientFlip, 350, 17, 2, 0.5},
+      {FaultTarget::kAccelPhase, FaultModel::kTransientFlip, 400, 5, 0, 0.9},
+  };
+
+  const auto run_spec = [&](System& system, const FaultSpec& spec) {
+    system.run_until(std::min(spec.cycle, kMax));
+    switch (spec.target) {
+      case FaultTarget::kCpuRegfile:
+        if (spec.model == FaultModel::kTransientFlip)
+          system.cpu().flip_reg_bit(static_cast<int>(spec.index), spec.bit);
+        else
+          system.cpu().set_reg_stuck_bit(static_cast<int>(spec.index),
+                                         spec.bit,
+                                         spec.model == FaultModel::kStuckAt1);
+        break;
+      case FaultTarget::kDramData:
+        if (spec.model == FaultModel::kTransientFlip)
+          system.dram().flip_bit(spec.index, spec.bit);
+        else
+          system.dram().set_stuck_bit(spec.index, spec.bit,
+                                      spec.model == FaultModel::kStuckAt1);
+        break;
+      case FaultTarget::kAccelSpmW:
+        system.pe(0).spm_w().set_stuck_bit(spec.index, spec.bit, true);
+        break;
+      case FaultTarget::kAccelSpmX:
+        system.pe(0).spm_x().flip_bit(spec.index, spec.bit);
+        break;
+      default:
+        system.pe(0).inject_phase_fault(spec.index, spec.phase_delta_rad);
+        break;
+    }
+    system.run_until(kMax);
+  };
+
+  // One long-lived system restored between trials (the campaign pattern)
+  // vs a freshly constructed system per trial (the PR 3 behavior).
+  System reused(sc);
+  stage(reused);
+  reused.load_program(program);
+  const System::SystemSnapshot snap = reused.snapshot();
+
+  for (const FaultSpec& spec : specs) {
+    reused.restore(snap);
+    run_spec(reused, spec);
+
+    System rebuilt(sc);
+    stage(rebuilt);
+    rebuilt.load_program(program);
+    run_spec(rebuilt, spec);
+
+    expect_identical(capture_state(rebuilt), capture_state(reused),
+                     (std::string("spec target ") + to_string(spec.target) +
+                      " model " + to_string(spec.model))
+                         .c_str());
+  }
+}
+
+TEST(SnapshotTest, SerialAndParallelCampaignVerdictsIdentical) {
+  SystemConfig sc;
+  sc.accel = small_accel();
+  GemmWorkload wl;
+  wl.n = 8;
+  wl.m = 4;
+  const auto a = random_fixed(wl.n * wl.n, 431);
+  const auto x = random_fixed(wl.n * wl.m, 432);
+  const auto program = build_gemm_offload(wl, sc, OffloadPath::kMmrPolling);
+  FaultCampaign campaign(
+      [&]() {
+        auto system = std::make_unique<System>(sc);
+        stage_gemm_data(*system, wl, a, x);
+        system->load_program(program);
+        return system;
+      },
+      [&](System& s) {
+        const auto y = read_gemm_result(s, wl);
+        std::vector<std::uint8_t> bytes(y.size() * 2);
+        memcpy(bytes.data(), y.data(), bytes.size());
+        return bytes;
+      },
+      500000);
+
+  aspen::lina::Rng rng(433);
+  const std::pair<FaultTarget, FaultModel> points[] = {
+      {FaultTarget::kCpuRegfile, FaultModel::kTransientFlip},
+      {FaultTarget::kCpuRegfile, FaultModel::kStuckAt1},
+      {FaultTarget::kDramData, FaultModel::kTransientFlip},
+      {FaultTarget::kAccelSpmW, FaultModel::kStuckAt0},
+      {FaultTarget::kAccelSpmX, FaultModel::kTransientFlip},
+      {FaultTarget::kAccelPhase, FaultModel::kTransientFlip},
+  };
+  for (const auto& [target, model] : points) {
+    const auto specs = campaign.sample_specs(target, model, 6, rng);
+    const auto serial = campaign.run_trials(specs, 1);
+    const auto parallel = campaign.run_trials(specs, 4);
+    EXPECT_EQ(serial, parallel)
+        << "verdicts diverge for " << to_string(target) << "/"
+        << to_string(model);
+  }
+}
+
 TEST(SysimDiffTest, CampaignVerdictsIdentical) {
   SystemConfig sc;
   sc.accel = small_accel();
