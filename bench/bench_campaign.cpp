@@ -1,21 +1,36 @@
-// Fault-campaign throughput benchmark: per-trial setup cost and trial
-// sharding across a worker pool. PR 3 left e7-style campaigns floored by
-// per-trial System construction (DRAM allocation + SVD/Clements weight
-// programming); the snapshot/restore path stages the platform once and
-// restores it per trial (~a DRAM memcpy), and FaultCampaign::run_trials
-// shards the restored trials across threads. Serial and parallel runs
-// are verified bit-identical here (per-trial verdicts, not just the
-// distribution) before any number is reported.
+// Fault-campaign throughput benchmark: per-trial setup cost, checkpoint
+// ladders and trial sharding across threads and processes. PR 3 left
+// e7-style campaigns floored by per-trial System construction (DRAM
+// allocation + SVD/Clements weight programming); the snapshot/restore
+// path stages the platform once and restores it per trial (~a DRAM
+// memcpy), FaultCampaign::run_trials shards the restored trials across
+// threads, and the checkpoint ladder + diff-based restore reuse the
+// fault-free golden prefix so a trial injecting at cycle c no longer
+// re-simulates [0, c) from scratch. Every accelerated path (ladder,
+// threads, worker processes) is verified bit-identical to the serial
+// restore-from-cycle-0 oracle before any number is reported.
+//
+// Invoked with --campaign-worker the binary becomes a campaign worker:
+// it reads one binary CampaignShard (see campaign_io.hpp) from stdin,
+// rebuilds the platform from the identical compiled-in factory, adopts
+// the coordinator's staged snapshot + golden reference, executes the
+// spec shard and writes the verdict histogram to stdout. The default
+// mode exercises that protocol end to end with a 2-process fan-out and
+// asserts the merged histogram equals the serial one.
 //
 // Standalone (chrono-based); emits BENCH_campaign.json for CI artifacts.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <stdexcept>
+#include <string>
 #include <thread>
 
 #include "bench_util.hpp"
 #include "lina/random.hpp"
+#include "sysim/campaign_io.hpp"
 #include "sysim/fault.hpp"
 #include "sysim/system.hpp"
 #include "sysim/workloads.hpp"
@@ -40,6 +55,46 @@ void push_row(const char* name, double value, const char* unit) {
   rows.push_back({name, value, 8, unit});
 }
 
+/// The e7 workload both the coordinator and worker processes build: the
+/// shipped snapshot is only adoptable because every process constructs a
+/// byte-identical platform from this one definition.
+struct Workload {
+  SystemConfig base;
+  GemmWorkload wl;
+  std::vector<std::int16_t> a, x;
+  std::vector<std::uint32_t> program;
+  static constexpr std::uint64_t kMaxCycles = 500000;
+
+  Workload() {
+    base.accel.gemm.mvm.ports = 8;
+    base.accel.max_cols = 64;
+    base.dram_size = 1u << 18;  // the workload fits in 256 KiB
+    base.accel.gemm.mvm.weights = core::WeightTechnology::kThermoOptic;
+    wl.n = 8;
+    wl.m = 8;
+    a = random_fixed(wl.n * wl.n, 41);
+    x = random_fixed(wl.n * wl.m, 42);
+    program = build_gemm_offload(wl, base, OffloadPath::kMmrInterrupt);
+  }
+
+  [[nodiscard]] FaultCampaign::SystemFactory factory() const {
+    return [this]() {
+      auto system = std::make_unique<System>(base);
+      stage_gemm_data(*system, wl, a, x);
+      system->load_program(program);
+      return system;
+    };
+  }
+  [[nodiscard]] FaultCampaign::OutputReader reader() const {
+    return [this](System& s) {
+      const auto y = read_gemm_result(s, wl);
+      std::vector<std::uint8_t> bytes(y.size() * 2);
+      std::memcpy(bytes.data(), y.data(), bytes.size());
+      return bytes;
+    };
+  }
+};
+
 /// The PR 3 trial: construct the full system, run, classify — using the
 /// campaign's own injection/classification logic so this baseline can
 /// never drift from what FaultCampaign measures.
@@ -54,40 +109,85 @@ Outcome rebuild_trial(const FaultCampaign::SystemFactory& factory,
   return FaultCampaign::classify(*system, read_output, golden);
 }
 
+CampaignResult to_histogram(const std::vector<Outcome>& outcomes) {
+  CampaignResult r;
+  for (const Outcome o : outcomes) ++r.counts[o];
+  r.total = static_cast<int>(outcomes.size());
+  return r;
+}
+
+bool write_file(const std::string& path,
+                const std::vector<std::uint8_t>& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool ok =
+      bytes.empty() || std::fwrite(bytes.data(), 1, bytes.size(), f) ==
+                           bytes.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+std::vector<std::uint8_t> read_stream(std::FILE* f) {
+  std::vector<std::uint8_t> bytes;
+  std::uint8_t chunk[1 << 16];
+  std::size_t n;
+  while ((n = std::fread(chunk, 1, sizeof chunk, f)) > 0)
+    bytes.insert(bytes.end(), chunk, chunk + n);
+  return bytes;
+}
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr)
+    throw std::runtime_error("bench_campaign: cannot open " + path);
+  std::vector<std::uint8_t> bytes = read_stream(f);
+  std::fclose(f);
+  return bytes;
+}
+
+/// Worker-process entry point: stdin carries one CampaignShard, stdout
+/// carries the verdict histogram. All diagnostics go to stderr so the
+/// binary payload stays clean.
+int run_worker() {
+  try {
+    const CampaignShard shard = deserialize_shard(read_stream(stdin));
+    const Workload w;
+    FaultCampaign campaign(w.factory(), w.reader(), shard.max_cycles);
+    campaign.adopt_staged(shard.staged, shard.golden, shard.golden_cycles);
+    if (shard.ladder_rungs > 1) campaign.build_ladder(shard.ladder_rungs);
+    const std::vector<Outcome> outcomes = campaign.run_trials(shard.specs, 1);
+    const std::vector<std::uint8_t> payload =
+        serialize_histogram(to_histogram(outcomes));
+    if (std::fwrite(payload.data(), 1, payload.size(), stdout) !=
+        payload.size()) {
+      std::fprintf(stderr, "bench_campaign worker: short write on stdout\n");
+      return 1;
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_campaign worker: %s\n", e.what());
+    return 1;
+  }
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--campaign-worker") == 0)
+    return run_worker();
+
   bench::header(
-      "BENCH campaign — snapshot/restore + thread-parallel fault trials",
+      "BENCH campaign — checkpoint ladder + multi-process fault trials",
       "Sec.5 reliability campaigns need thousands of trials; this tracks "
-      "per-trial setup (construct vs restore) and trials/sec scaling "
-      "across a worker pool, with serial==parallel verdicts asserted");
+      "per-trial setup (construct vs restore vs diff-restore), golden-"
+      "prefix reuse via the checkpoint ladder, and trials/sec scaling "
+      "across threads and worker processes, with every accelerated "
+      "path's verdicts asserted bit-identical to the serial oracle");
 
-  SystemConfig base;
-  base.accel.gemm.mvm.ports = 8;
-  base.accel.max_cols = 64;
-  base.dram_size = 1u << 18;  // the workload fits in 256 KiB
-  base.accel.gemm.mvm.weights = core::WeightTechnology::kThermoOptic;
-  GemmWorkload wl;
-  wl.n = 8;
-  wl.m = 8;
-  const auto a = random_fixed(wl.n * wl.n, 41);
-  const auto x = random_fixed(wl.n * wl.m, 42);
-  const auto program = build_gemm_offload(wl, base, OffloadPath::kMmrInterrupt);
-  constexpr std::uint64_t kMaxCycles = 500000;
-
-  const FaultCampaign::SystemFactory factory = [&]() {
-    auto system = std::make_unique<System>(base);
-    stage_gemm_data(*system, wl, a, x);
-    system->load_program(program);
-    return system;
-  };
-  const FaultCampaign::OutputReader read_y = [&](System& s) {
-    const auto y = read_gemm_result(s, wl);
-    std::vector<std::uint8_t> bytes(y.size() * 2);
-    std::memcpy(bytes.data(), y.data(), bytes.size());
-    return bytes;
-  };
+  const Workload w;
+  const FaultCampaign::SystemFactory factory = w.factory();
+  const FaultCampaign::OutputReader read_y = w.reader();
+  constexpr std::uint64_t kMaxCycles = Workload::kMaxCycles;
+  constexpr unsigned kLadderRungs = 16;
 
   FaultCampaign campaign(factory, read_y, kMaxCycles);
   lina::Rng rng(77);
@@ -122,6 +222,15 @@ int main() {
     const double restore_us =
         std::chrono::duration<double>(Clock::now() - t1).count() / reps * 1e6;
     push_row("trial_setup_restore", restore_us, "us");
+
+    // Diff-based restore on a near-identical image — the checkpoint-
+    // ladder steady state, where consecutive trials restore against the
+    // same rung and only the trial's own footprint differs.
+    const auto t2 = Clock::now();
+    for (int i = 0; i < reps; ++i) system->restore_fast(snap);
+    const double diff_us =
+        std::chrono::duration<double>(Clock::now() - t2).count() / reps * 1e6;
+    push_row("trial_setup_restore_diff", diff_us, "us");
     push_row("trial_setup_speedup", construct_us / restore_us, "x");
   }
 
@@ -166,6 +275,77 @@ int main() {
     }
     best_parallel_tps = std::max(best_parallel_tps, par_tps);
   }
+
+  // -- Checkpoint ladder: golden-prefix reuse ---------------------------
+  campaign.build_ladder(kLadderRungs);
+  const auto [laddered, ladder_tps] = timed("campaign_ladder", [&] {
+    return campaign.run_trials(specs, 1);
+  });
+  if (laddered != restored) {
+    std::fprintf(stderr,
+                 "bench_campaign: ladder verdicts diverged from rung-0\n");
+    return 1;
+  }
+  push_row("campaign_ladder_speedup", ladder_tps / restore_tps, "x");
+
+  // -- Multi-process fan-out (2 workers over the campaign wire format) --
+#if defined(__unix__)
+  {
+    auto staged = factory();
+    CampaignShard shard;
+    shard.staged = staged->snapshot();
+    shard.golden = golden;
+    shard.golden_cycles = campaign.golden_cycles();
+    shard.max_cycles = kMaxCycles;
+    shard.ladder_rungs = kLadderRungs;
+    const std::size_t half = specs.size() / 2;
+    shard.specs.assign(specs.begin(), specs.begin() + half);
+    const std::vector<std::uint8_t> in0 = serialize_shard(shard);
+    shard.specs.assign(specs.begin() + half, specs.end());
+    const std::vector<std::uint8_t> in1 = serialize_shard(shard);
+
+    const std::string exe = argv[0];
+    const std::string f0 = "bench_campaign_shard0.bin";
+    const std::string f1 = "bench_campaign_shard1.bin";
+    const std::string o0 = "bench_campaign_hist0.bin";
+    const std::string o1 = "bench_campaign_hist1.bin";
+    if (!write_file(f0, in0) || !write_file(f1, in1)) {
+      std::fprintf(stderr, "bench_campaign: cannot write shard files\n");
+      return 1;
+    }
+    const std::string cmd = "\"" + exe + "\" --campaign-worker < " + f0 +
+                            " > " + o0 + " & p1=$!; \"" + exe +
+                            "\" --campaign-worker < " + f1 + " > " + o1 +
+                            " & p2=$!; wait $p1 && wait $p2";
+    const auto t0 = Clock::now();
+    const int status = std::system(cmd.c_str());
+    const double fanout_s =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    if (status != 0) {
+      std::fprintf(stderr, "bench_campaign: worker processes failed (%d)\n",
+                   status);
+      return 1;
+    }
+    CampaignResult merged;
+    try {
+      merged = merge_histograms({deserialize_histogram(read_file(o0)),
+                                 deserialize_histogram(read_file(o1))});
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "bench_campaign: %s\n", e.what());
+      return 1;
+    }
+    const CampaignResult serial = to_histogram(restored);
+    if (merged.counts != serial.counts || merged.total != serial.total) {
+      std::fprintf(stderr,
+                   "bench_campaign: merged 2-process histogram diverged from "
+                   "serial\n");
+      return 1;
+    }
+    push_row("campaign_2proc",
+             static_cast<double>(specs.size()) / fanout_s, "trials/s");
+    for (const std::string& p : {f0, f1, o0, o1}) std::remove(p.c_str());
+  }
+#endif
 
   push_row("campaign_restore_speedup", restore_tps / rebuild_tps, "x");
   push_row("campaign_t8_vs_rebuild_speedup", best_parallel_tps / rebuild_tps,

@@ -1,0 +1,103 @@
+#pragma once
+/// \file campaign_io.hpp
+/// Binary wire format for distributed fault campaigns. NEUROPULS-scale
+/// robustness sweeps (fault type x PCM drift x temperature x ENOB at
+/// millions of trials) outgrow one process: a coordinator stages the
+/// workload once, then fans pre-drawn spec shards out to worker
+/// processes/machines which classify trials against the coordinator's
+/// golden reference and stream verdict histograms back. Everything that
+/// crosses the process boundary is serialized here:
+///
+///   System::SystemSnapshot  — the fully staged platform image
+///   std::vector<FaultSpec>  — a pre-drawn spec shard
+///   CampaignResult          — a verdict histogram
+///   CampaignShard           — one worker's complete input (snapshot +
+///                             golden reference + specs + budget)
+///
+/// Every payload starts with an 8-byte header (magic, format version,
+/// payload kind); deserialization validates all three and every enum in
+/// the body, throwing std::runtime_error with a precise message rather
+/// than constructing half-formed state. Scalars are little-endian,
+/// doubles are IEEE-754 bit patterns and the RNG engine is captured via
+/// its standard stream representation, so round-trips are bit-exact and
+/// merged multi-process histograms match the serial run bit-for-bit.
+
+#include <cstdint>
+#include <vector>
+
+#include "sysim/fault.hpp"
+#include "sysim/system.hpp"
+
+namespace aspen::sys {
+
+/// Format version; bump on any layout change (readers reject mismatches).
+inline constexpr std::uint16_t kCampaignWireVersion = 1;
+
+/// Payload discriminator carried in the header.
+enum class PayloadKind : std::uint16_t {
+  kSnapshot = 1,
+  kSpecBatch = 2,
+  kHistogram = 3,
+  kShard = 4,
+};
+
+/// One worker's complete campaign input: the coordinator's staged
+/// snapshot and golden reference plus the spec shard to execute. The
+/// worker rebuilds the platform from its own (identical) factory,
+/// adopts the snapshot, and classifies against the shipped golden bytes
+/// so all processes share one reference.
+struct CampaignShard {
+  System::SystemSnapshot staged;
+  std::vector<std::uint8_t> golden;
+  std::uint64_t golden_cycles = 0;
+  std::uint64_t max_cycles = 0;
+  /// Checkpoint-ladder rungs the worker should build (<= 1 disables).
+  std::uint32_t ladder_rungs = 0;
+  std::vector<FaultSpec> specs;
+};
+
+// -- Serialization (header + body) ----------------------------------------
+[[nodiscard]] std::vector<std::uint8_t> serialize_snapshot(
+    const System::SystemSnapshot& s);
+[[nodiscard]] std::vector<std::uint8_t> serialize_specs(
+    const std::vector<FaultSpec>& specs);
+[[nodiscard]] std::vector<std::uint8_t> serialize_histogram(
+    const CampaignResult& r);
+[[nodiscard]] std::vector<std::uint8_t> serialize_shard(
+    const CampaignShard& shard);
+
+// -- Deserialization (throws std::runtime_error on malformed payloads) ----
+[[nodiscard]] System::SystemSnapshot deserialize_snapshot(
+    const std::uint8_t* data, std::size_t size);
+[[nodiscard]] std::vector<FaultSpec> deserialize_specs(
+    const std::uint8_t* data, std::size_t size);
+[[nodiscard]] CampaignResult deserialize_histogram(const std::uint8_t* data,
+                                                   std::size_t size);
+[[nodiscard]] CampaignShard deserialize_shard(const std::uint8_t* data,
+                                              std::size_t size);
+
+[[nodiscard]] inline System::SystemSnapshot deserialize_snapshot(
+    const std::vector<std::uint8_t>& b) {
+  return deserialize_snapshot(b.data(), b.size());
+}
+[[nodiscard]] inline std::vector<FaultSpec> deserialize_specs(
+    const std::vector<std::uint8_t>& b) {
+  return deserialize_specs(b.data(), b.size());
+}
+[[nodiscard]] inline CampaignResult deserialize_histogram(
+    const std::vector<std::uint8_t>& b) {
+  return deserialize_histogram(b.data(), b.size());
+}
+[[nodiscard]] inline CampaignShard deserialize_shard(
+    const std::vector<std::uint8_t>& b) {
+  return deserialize_shard(b.data(), b.size());
+}
+
+/// Deterministic histogram merge: shard counts sum per outcome (the map
+/// is ordered, so the result is independent of shard arrival order).
+/// With shards formed by partitioning one serially drawn spec list, the
+/// merged histogram is bit-identical to the serial campaign's.
+[[nodiscard]] CampaignResult merge_histograms(
+    const std::vector<CampaignResult>& shards);
+
+}  // namespace aspen::sys

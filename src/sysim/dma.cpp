@@ -14,7 +14,8 @@ std::uint32_t DmaEngine::read(std::uint32_t offset, unsigned /*size*/) {
     case kRegLen: return len_;
     case kRegCtrl: return ctrl_;
     case kRegStatus:
-      return (busy_ ? kStatusBusy : 0u) | (done_ ? kStatusDone : 0u);
+      return (busy_ ? kStatusBusy : 0u) | (done_ ? kStatusDone : 0u) |
+             (error_ ? kStatusError : 0u);
     default: return 0;
   }
 }
@@ -30,12 +31,17 @@ void DmaEngine::write(std::uint32_t offset, std::uint32_t value,
       if ((value & kCtrlStart) && !busy_ && len_ > 0) {
         busy_ = true;
         done_ = false;
+        error_ = false;
         cursor_ = 0;
       }
       break;
     case kRegStatus:
       if (value & kStatusDone) {
         done_ = false;
+        irq_ = false;
+      }
+      if (value & kStatusError) {
+        error_ = false;
         irq_ = false;
       }
       break;
@@ -148,6 +154,13 @@ void DmaEngine::restore(const Snapshot& s) {
   busy_ = s.busy;
   done_ = s.done;
   irq_ = s.irq;
+  error_ = s.error;
+}
+
+void DmaEngine::abort_transfer() {
+  busy_ = false;
+  error_ = true;
+  if (ctrl_ & kCtrlIrqEn) irq_ = true;
 }
 
 void DmaEngine::tick() {
@@ -160,11 +173,15 @@ void DmaEngine::tick() {
                          ((dst_ + cursor_) % 4 == 0);
     const unsigned size = word_ok ? 4 : 1;
     const Bus::Access rd = bus_.read(src_ + cursor_, size);
-    if (rd.fault) {  // abort on bus error; leave DONE unset, drop BUSY
-      busy_ = false;
+    if (rd.fault) {
+      abort_transfer();
       return;
     }
-    (void)bus_.write(dst_ + cursor_, rd.value, size);
+    const Bus::Access wr = bus_.write(dst_ + cursor_, rd.value, size);
+    if (wr.fault) {
+      abort_transfer();
+      return;
+    }
     cursor_ += size;
     moved += size;
   }

@@ -10,7 +10,13 @@
 ///   0x04 DST     destination address
 ///   0x08 LEN     bytes to copy
 ///   0x0C CTRL    bit0 START, bit1 IRQ_EN
-///   0x10 STATUS  bit0 BUSY, bit1 DONE (write 1 to clear)
+///   0x10 STATUS  bit0 BUSY, bit1 DONE, bit2 ERROR (DONE/ERROR W1C)
+///
+/// A bus fault mid-transfer (either endpoint) aborts the transfer:
+/// BUSY drops, ERROR rises (DONE stays clear) and the IRQ line is
+/// raised when IRQ_EN is set, so guest code polling STATUS or parked
+/// in WFI observes the abort instead of spinning forever. Starting a
+/// new transfer clears a latched ERROR.
 
 #include <cstdint>
 
@@ -58,10 +64,10 @@ class DmaEngine final : public BusDevice {
   struct Snapshot {
     std::uint32_t src = 0, dst = 0, len = 0, ctrl = 0;
     std::uint32_t cursor = 0;
-    bool busy = false, done = false, irq = false;
+    bool busy = false, done = false, irq = false, error = false;
   };
   [[nodiscard]] Snapshot snapshot() const {
-    return {src_, dst_, len_, ctrl_, cursor_, busy_, done_, irq_};
+    return {src_, dst_, len_, ctrl_, cursor_, busy_, done_, irq_, error_};
   }
   void restore(const Snapshot& s);
 
@@ -74,6 +80,7 @@ class DmaEngine final : public BusDevice {
   static constexpr std::uint32_t kCtrlIrqEn = 1u << 1;
   static constexpr std::uint32_t kStatusBusy = 1u << 0;
   static constexpr std::uint32_t kStatusDone = 1u << 1;
+  static constexpr std::uint32_t kStatusError = 1u << 2;
 
  private:
   /// Resolved bulk-move endpoints for the remaining [cursor_, len_) range.
@@ -93,6 +100,10 @@ class DmaEngine final : public BusDevice {
   [[nodiscard]] std::uint64_t advance_cursor(std::uint32_t& cursor,
                                              std::uint64_t ticks) const;
 
+  /// Abort the running transfer on a mid-transfer bus fault: BUSY drops,
+  /// ERROR latches, IRQ rises when enabled.
+  void abort_transfer();
+
   Bus& bus_;
   unsigned beat_;
   std::uint32_t src_ = 0, dst_ = 0, len_ = 0, ctrl_ = 0;
@@ -100,6 +111,7 @@ class DmaEngine final : public BusDevice {
   bool busy_ = false;
   bool done_ = false;
   bool irq_ = false;
+  bool error_ = false;
 };
 
 }  // namespace aspen::sys

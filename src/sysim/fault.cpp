@@ -76,6 +76,56 @@ std::uint64_t FaultCampaign::golden_cycles() {
   return golden_cycles_;
 }
 
+void FaultCampaign::build_ladder(unsigned rungs) {
+  (void)golden();
+  ladder_.clear();
+  if (rungs <= 1) return;
+  ladder_.push_back({staged_.cycle, staged_});
+  if (golden_cycles_ == 0) return;
+  // One sequential pass of the golden run, snapshotting at each rung
+  // cycle. run_until guarantees now() == target unless the CPU halts
+  // first (then the remaining rungs would sit past the window and never
+  // be preferred over completion anyway).
+  scratch_->restore(staged_);
+  for (unsigned k = 1; k < rungs; ++k) {
+    const std::uint64_t c =
+        staged_.cycle + (golden_cycles_ * k) / rungs;
+    if (c <= ladder_.back().cycle) continue;
+    scratch_->run_until(c);
+    if (scratch_->cpu().halted()) break;
+    Rung rung;
+    rung.cycle = c;
+    rung.snap = scratch_->snapshot();
+    // Bounds of this rung's DRAM image against the staged image: the
+    // golden prefix is deterministic, so this one-time scan lets trials
+    // restoring across rungs hand restore_fast a tight stale span
+    // instead of the whole DRAM.
+    const std::vector<std::uint8_t>& a = rung.snap.dram.bytes;
+    const std::vector<std::uint8_t>& b = staged_.dram.bytes;
+    std::size_t lo = 0;
+    const std::size_t n = a.size();
+    while (lo < n && a[lo] == b[lo]) ++lo;
+    if (lo < n) {
+      std::size_t hi = n;
+      while (hi > lo && a[hi - 1] == b[hi - 1]) --hi;
+      rung.stale_lo = static_cast<std::uint32_t>(lo);
+      rung.stale_len = static_cast<std::uint32_t>(hi - lo);
+    }
+    ladder_.push_back(std::move(rung));
+  }
+}
+
+void FaultCampaign::adopt_staged(System::SystemSnapshot staged,
+                                 std::vector<std::uint8_t> golden,
+                                 std::uint64_t golden_cycles) {
+  ensure_staged();  // the factory-built template executes the trials
+  staged_ = std::move(staged);
+  golden_ = std::move(golden);
+  golden_cycles_ = golden_cycles;
+  have_golden_ = true;
+  ladder_.clear();
+}
+
 void FaultCampaign::inject(System& system, const FaultSpec& spec) {
   switch (spec.target) {
     case FaultTarget::kCpuRegfile: {
@@ -127,12 +177,61 @@ Outcome FaultCampaign::classify(System& system,
   return read_output(system) == golden ? Outcome::kMasked : Outcome::kSdc;
 }
 
-Outcome FaultCampaign::run_trial(System& system, const FaultSpec& spec) {
-  system.restore(staged_);
+std::size_t FaultCampaign::rung_index(std::uint64_t cycle) const {
+  // Latest rung at or before the injection cycle. Rung cycles ascend, so
+  // this is one upper_bound.
+  const auto it = std::upper_bound(
+      ladder_.begin(), ladder_.end(), cycle,
+      [](std::uint64_t c, const Rung& r) { return c < r.cycle; });
+  return it == ladder_.begin() ? 0 : static_cast<std::size_t>(it - ladder_.begin()) - 1;
+}
+
+Outcome FaultCampaign::run_trial(System& system, const FaultSpec& spec,
+                                 std::size_t* last_rung) {
+  if (spec.cycle > max_cycles_)
+    throw std::invalid_argument(
+        "FaultCampaign: injection cycle " + std::to_string(spec.cycle) +
+        " beyond the cycle budget " + std::to_string(max_cycles_) +
+        " — the fault could never be injected");
+
+  if (ladder_.empty()) {
+    system.restore(staged_);
+  } else {
+    // Restore the latest checkpoint at or before the injection cycle.
+    // The diff-based restore scans only the memory's dirty watermark
+    // (what the previous trial wrote) plus the stale span between the
+    // previously restored rung's image and this one's — empty when the
+    // rung repeats, which the rung-grouped execution order makes the
+    // common case.
+    const std::size_t r = rung_index(spec.cycle);
+    std::uint32_t stale_lo = 0, stale_len = 0xFFFFFFFFu;
+    if (last_rung != nullptr && *last_rung != kNoRung) {
+      if (*last_rung == r) {
+        stale_len = 0;
+      } else {
+        const Rung& prev = ladder_[*last_rung];
+        const Rung& cur = ladder_[r];
+        if (prev.stale_len == 0) {
+          stale_lo = cur.stale_lo;
+          stale_len = cur.stale_len;
+        } else if (cur.stale_len == 0) {
+          stale_lo = prev.stale_lo;
+          stale_len = prev.stale_len;
+        } else {
+          stale_lo = std::min(prev.stale_lo, cur.stale_lo);
+          stale_len = std::max(prev.stale_lo + prev.stale_len,
+                               cur.stale_lo + cur.stale_len) -
+                      stale_lo;
+        }
+      }
+    }
+    system.restore_fast(ladder_[r].snap, stale_lo, stale_len);
+    if (last_rung != nullptr) *last_rung = r;
+  }
 
   // Run to the exact injection cycle (event-driven under the hood),
   // inject, then run to completion.
-  system.run_until(std::min(spec.cycle, max_cycles_));
+  system.run_until(spec.cycle);
   inject(system, spec);
   system.run_until(max_cycles_);
   return classify(system, read_output_, golden_);
@@ -151,9 +250,31 @@ std::vector<FaultSpec> FaultCampaign::sample_specs(FaultTarget target,
   const std::uint64_t window = golden_cycles();
   // The staged template sizes the injectable structures.
   System& probe = *scratch_;
-  const auto default_hi = [&](std::uint32_t structure_size) {
-    return index_hi != 0 ? index_hi : structure_size - 1;
-  };
+  const auto structure_size = [&]() -> std::uint32_t {
+    switch (target) {
+      case FaultTarget::kCpuRegfile: return 31;  // index i = register x(i+1)
+      case FaultTarget::kDramData: return probe.config().dram_size;
+      case FaultTarget::kAccelSpmW: return probe.pe(0).spm_w().size();
+      case FaultTarget::kAccelSpmX: return probe.pe(0).spm_x().size();
+      case FaultTarget::kAccelPhase:
+        return static_cast<std::uint32_t>(probe.pe(0).phase_state_size());
+    }
+    return 0;
+  }();
+  // [lo, hi] clamped to the structure; hi == 0 selects the whole range.
+  // Every target honors the caller's bounds — a regfile or phase
+  // campaign over a sub-range is as legitimate as a DRAM data-region
+  // one — and an empty clamped range is an error, not a silent default.
+  const std::uint32_t max_index = structure_size > 0 ? structure_size - 1 : 0;
+  const std::uint32_t lo = index_lo;
+  const std::uint32_t hi =
+      index_hi == 0 ? max_index : std::min(index_hi, max_index);
+  if (lo > hi)
+    throw std::invalid_argument(
+        "FaultCampaign::sample_specs: empty index range [" +
+        std::to_string(index_lo) + ", " + std::to_string(index_hi) +
+        "] for " + to_string(target) + " (structure size " +
+        std::to_string(structure_size) + ")");
 
   std::vector<FaultSpec> specs;
   specs.reserve(static_cast<std::size_t>(trials > 0 ? trials : 0));
@@ -161,35 +282,22 @@ std::vector<FaultSpec> FaultCampaign::sample_specs(FaultTarget target,
     FaultSpec spec;
     spec.target = target;
     spec.model = model;
-    spec.cycle = rng.uniform_int(1, window > 2 ? window - 1 : 1);
+    // Closed injection window: cycle 0 (before the first executed cycle)
+    // and golden_cycles() (exactly at completion) are both reachable.
+    spec.cycle = rng.uniform_int(0, window);
     spec.bit = static_cast<unsigned>(rng.uniform_int(0, 31));
+    spec.index = static_cast<std::uint32_t>(rng.uniform_int(lo, hi));
     switch (target) {
       case FaultTarget::kCpuRegfile:
-        spec.index = static_cast<std::uint32_t>(rng.uniform_int(0, 30));
         break;
       case FaultTarget::kDramData:
-        spec.index = static_cast<std::uint32_t>(rng.uniform_int(
-            index_lo, default_hi(probe.config().dram_size)));
-        spec.bit = static_cast<unsigned>(rng.uniform_int(0, 7));
-        break;
       case FaultTarget::kAccelSpmW:
-        spec.index = static_cast<std::uint32_t>(
-            rng.uniform_int(index_lo, default_hi(probe.pe(0).spm_w().size())));
-        spec.bit = static_cast<unsigned>(rng.uniform_int(0, 7));
-        break;
       case FaultTarget::kAccelSpmX:
-        spec.index = static_cast<std::uint32_t>(
-            rng.uniform_int(index_lo, default_hi(probe.pe(0).spm_x().size())));
         spec.bit = static_cast<unsigned>(rng.uniform_int(0, 7));
         break;
-      case FaultTarget::kAccelPhase: {
-        const auto nph =
-            static_cast<std::uint32_t>(probe.pe(0).phase_state_size());
-        spec.index = static_cast<std::uint32_t>(
-            rng.uniform_int(0, nph > 1 ? nph - 1 : 0));
+      case FaultTarget::kAccelPhase:
         spec.phase_delta_rad = rng.uniform(-1.5, 1.5);
         break;
-      }
     }
     specs.push_back(spec);
   }
@@ -204,9 +312,24 @@ std::vector<Outcome> FaultCampaign::run_trials(
   std::size_t workers = threads == 0 ? 1 : threads;
   if (workers > n) workers = n > 0 ? n : 1;
 
+  // Execution order: grouped by ladder rung (stable within a rung) so
+  // consecutive trials restore from the same checkpoint image and the
+  // diff-based restore reverts as little as possible. Outcomes are
+  // always reported in spec order, so the grouping is invisible to
+  // callers and identical for every thread count.
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  if (!ladder_.empty())
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return rung_index(specs[a].cycle) <
+                              rung_index(specs[b].cycle);
+                     });
+
   if (workers <= 1) {
+    std::size_t last = kNoRung;
     for (std::size_t i = 0; i < n; ++i)
-      outcomes[i] = run_trial(*scratch_, specs[i]);
+      outcomes[order[i]] = run_trial(*scratch_, specs[order[i]], &last);
     return outcomes;
   }
 
@@ -221,8 +344,11 @@ std::vector<Outcome> FaultCampaign::run_trials(
   std::vector<std::exception_ptr> errors(workers);
   const auto work = [&](System& system, std::size_t w) {
     try {
-      for (std::size_t i; (i = next.fetch_add(1)) < n;)
-        outcomes[i] = run_trial(system, specs[i]);
+      std::size_t last = kNoRung;
+      for (std::size_t k; (k = next.fetch_add(1)) < n;) {
+        const std::size_t i = order[k];
+        outcomes[i] = run_trial(system, specs[i], &last);
+      }
     } catch (...) {
       errors[w] = std::current_exception();
     }

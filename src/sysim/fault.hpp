@@ -86,16 +86,44 @@ class FaultCampaign {
   /// Cycle count of the golden run (for sampling injection times).
   [[nodiscard]] std::uint64_t golden_cycles();
 
+  /// Build a checkpoint ladder: `rungs` snapshots (rung 0 = the staged
+  /// system) at evenly spaced cycles across the golden run's window.
+  /// run_trial then restores from the latest rung at or before the
+  /// injection cycle instead of from cycle 0, so a trial injecting at
+  /// cycle c re-simulates at most window/rungs golden-prefix cycles
+  /// rather than c. Verdicts are bit-identical to the rung-0 path (the
+  /// prefix is fault-free, and snapshots capture complete architectural
+  /// state). `rungs` <= 1 tears the ladder down, restoring the plain
+  /// restore-from-cycle-0 behavior — kept as the differential oracle.
+  void build_ladder(unsigned rungs);
+  /// Number of ladder rungs currently held (0 = ladder disabled).
+  [[nodiscard]] std::size_t ladder_rungs() const { return ladder_.size(); }
+
+  /// Adopt an externally produced staged snapshot + golden reference —
+  /// the worker-process entry point: a coordinator serializes its staged
+  /// snapshot, spec shard and golden output (see campaign_io.hpp), and
+  /// each worker adopts them instead of re-running its own golden, so
+  /// every process classifies against byte-identical references. The
+  /// snapshot must come from a System built by an identical factory
+  /// (shape-checked on the first restore). Clears any existing ladder.
+  void adopt_staged(System::SystemSnapshot staged,
+                    std::vector<std::uint8_t> golden,
+                    std::uint64_t golden_cycles);
+
   /// Execute one faulted run (snapshot-restore under the hood).
   Outcome run_one(const FaultSpec& spec);
 
   /// Draw `trials` random fault specs for a target/model pair: injection
-  /// cycles uniform in the golden run's active window, indices/bits
-  /// uniform over the target structure. `index_lo`/`index_hi` restrict
-  /// the sampled index range (e.g. the workload's data region in DRAM);
-  /// hi == 0 means the whole structure. Drawing is always serial and on
-  /// the caller's rng, so the spec stream is independent of how the
-  /// trials are later executed.
+  /// cycles uniform over the closed window [0, golden_cycles()] (a fault
+  /// can land before the first executed cycle or exactly at completion),
+  /// indices/bits uniform over the target structure. `index_lo`/
+  /// `index_hi` restrict the sampled index range for every target —
+  /// register selectors (index i = x(i+1)) and phase indices just like
+  /// byte offsets; hi == 0 means the whole structure, and a non-default
+  /// range is clamped to the structure size. Throws std::invalid_argument
+  /// when the clamped range is empty (lo > hi). Drawing is always serial
+  /// and on the caller's rng, so the spec stream is independent of how
+  /// the trials are later executed.
   [[nodiscard]] std::vector<FaultSpec> sample_specs(
       FaultTarget target, FaultModel model, int trials, lina::Rng& rng,
       std::uint32_t index_lo = 0, std::uint32_t index_hi = 0);
@@ -104,6 +132,9 @@ class FaultCampaign {
   /// serial on the calling thread). Per-trial outcomes are returned in
   /// spec order and are bit-identical for every thread count: each trial
   /// starts from the same restored snapshot whichever worker runs it.
+  /// With a ladder built, trials are processed grouped by rung (their
+  /// reported order is unchanged) so consecutive restores diff against
+  /// the same image and the per-trial copy stays minimal.
   [[nodiscard]] std::vector<Outcome> run_trials(
       const std::vector<FaultSpec>& specs, unsigned threads = 1);
 
@@ -124,10 +155,37 @@ class FaultCampaign {
                           const std::vector<std::uint8_t>& golden);
 
  private:
+  /// One checkpoint: the snapshot of the golden run at `cycle`, plus the
+  /// span of its DRAM image that differs from the staged (rung-0) image.
+  /// The golden prefix is deterministic, so these spans are computed once
+  /// at ladder-build time; the stale span between any two rungs is then
+  /// bounded by the union of their spans (a byte equal to the staged
+  /// image in both rungs is equal between them).
+  struct Rung {
+    std::uint64_t cycle = 0;
+    System::SystemSnapshot snap;
+    std::uint32_t stale_lo = 0;   ///< first DRAM byte differing from rung 0
+    std::uint32_t stale_len = 0;  ///< 0 = identical to rung 0
+  };
+  static constexpr std::size_t kNoRung = static_cast<std::size_t>(-1);
+
   /// Build the template system and capture the staged snapshot.
   void ensure_staged();
-  /// Restore `system` from the staged snapshot and execute one trial.
-  Outcome run_trial(System& system, const FaultSpec& spec);
+  /// Restore `system` from the best checkpoint at or before the
+  /// injection cycle and execute one trial. Throws std::invalid_argument
+  /// for a spec whose injection cycle lies beyond the cycle budget —
+  /// such a fault can never be injected, so it is rejected loudly
+  /// instead of being silently applied after completion.
+  ///
+  /// `last_rung` (optional) tracks the rung this system was last
+  /// restored from across consecutive trials: combined with the rungs'
+  /// precomputed stale spans it bounds the DRAM bytes the diff-based
+  /// restore must scan. Pass nullptr (or kNoRung) when the system's
+  /// current image is unknown — the restore then scans the whole image.
+  Outcome run_trial(System& system, const FaultSpec& spec,
+                    std::size_t* last_rung = nullptr);
+  /// Ladder index for an injection cycle (latest rung.cycle <= cycle).
+  [[nodiscard]] std::size_t rung_index(std::uint64_t cycle) const;
 
   SystemFactory factory_;
   OutputReader read_output_;
@@ -145,6 +203,10 @@ class FaultCampaign {
   std::vector<std::uint8_t> golden_;
   std::uint64_t golden_cycles_ = 0;
   bool have_golden_ = false;
+  /// Checkpoint ladder over the injection window (empty = disabled;
+  /// otherwise ladder_[0] is the staged snapshot). Read-only while
+  /// run_trials shards across threads.
+  std::vector<Rung> ladder_;
 };
 
 }  // namespace aspen::sys

@@ -1,5 +1,6 @@
 #include "sysim/memory.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <stdexcept>
 
@@ -39,6 +40,7 @@ void Memory::write(std::uint32_t offset, std::uint32_t value, unsigned size) {
   if (offset > bytes_.size() || size > bytes_.size() - offset)
     return;  // see read()
   store_le(bytes_.data() + offset, value, size);
+  mark_dirty(offset, size);
   notify(offset, size);
 }
 
@@ -46,6 +48,7 @@ void Memory::load(std::uint32_t offset, const void* src, std::size_t n) {
   if (offset + n > bytes_.size())
     throw std::out_of_range(name_ + ": load past end");
   std::memcpy(bytes_.data() + offset, src, n);
+  mark_dirty(offset, static_cast<std::uint32_t>(n));
   notify(offset, static_cast<std::uint32_t>(n));
 }
 
@@ -57,6 +60,7 @@ void Memory::read_block(std::uint32_t offset, void* dst, std::size_t n) const {
 
 void Memory::fill(std::uint8_t value) {
   std::fill(bytes_.begin(), bytes_.end(), value);
+  mark_dirty(0, size());
   notify(0, size());
 }
 
@@ -64,6 +68,7 @@ void Memory::flip_bit(std::uint32_t offset, unsigned bit) {
   if (offset >= bytes_.size() || bit > 7)
     throw std::out_of_range(name_ + ": flip_bit out of range");
   bytes_[offset] ^= static_cast<std::uint8_t>(1u << bit);
+  mark_dirty(offset, 1);
   notify(offset, 1);
 }
 
@@ -86,10 +91,71 @@ void Memory::restore(const Snapshot& s) {
     throw std::invalid_argument(name_ + ": restore size mismatch");
   std::memcpy(bytes_.data(), s.bytes.data(), bytes_.size());
   stuck_ = s.stuck;
+  dirty_lo_ = 0xFFFFFFFFu;
+  dirty_hi_ = 0;
   // Contents and possibly the read transform changed: the whole span is
   // dirty (this also re-grants / revokes direct_span() visibility for
   // masters holding windows on this memory).
   notify(0, size());
+}
+
+void Memory::restore_diff(const Snapshot& s, std::uint32_t stale_lo,
+                          std::uint32_t stale_len) {
+  const auto same_stuck = [&] {
+    if (stuck_.size() != s.stuck.size()) return false;
+    for (std::size_t i = 0; i < stuck_.size(); ++i)
+      if (stuck_[i].offset != s.stuck[i].offset ||
+          stuck_[i].bit != s.stuck[i].bit || stuck_[i].value != s.stuck[i].value)
+        return false;
+    return true;
+  };
+  if (s.bytes.size() != bytes_.size() || !same_stuck()) {
+    restore(s);
+    return;
+  }
+  // Only bytes inside the dirty watermark (mutated since the last
+  // restore) or the caller's stale span (where the last restored image
+  // may differ from `s`) can differ; everything else is provably equal
+  // and is not even scanned.
+  const std::uint32_t n = size();
+  std::uint32_t scan_lo = dirty_lo_ <= dirty_hi_ ? dirty_lo_ : n;
+  std::uint32_t scan_hi = dirty_lo_ <= dirty_hi_ ? dirty_hi_ : 0;
+  if (stale_len > 0) {
+    scan_lo = std::min(scan_lo, stale_lo);
+    scan_hi = std::max<std::uint64_t>(
+        scan_hi, std::min<std::uint64_t>(
+                     static_cast<std::uint64_t>(stale_lo) + stale_len, n));
+  }
+  scan_lo = std::min(scan_lo, n);
+  scan_hi = std::min(scan_hi, n);
+  dirty_lo_ = 0xFFFFFFFFu;
+  dirty_hi_ = 0;
+  // Chunked scan: contiguous runs of differing chunks are copied and
+  // notified as one span, so observer invalidation stays proportional to
+  // what actually changed. 256 bytes balances memcmp call overhead
+  // against over-invalidation of a master's predecoded instructions.
+  constexpr std::uint32_t kChunk = 256;
+  std::uint32_t run_lo = 0;
+  bool in_run = false;
+  for (std::uint32_t off = scan_lo; off < scan_hi; off += kChunk) {
+    const std::uint32_t len = std::min(kChunk, scan_hi - off);
+    const bool differs =
+        std::memcmp(bytes_.data() + off, s.bytes.data() + off, len) != 0;
+    if (differs && !in_run) {
+      run_lo = off;
+      in_run = true;
+    } else if (!differs && in_run) {
+      std::memcpy(bytes_.data() + run_lo, s.bytes.data() + run_lo,
+                  off - run_lo);
+      notify(run_lo, off - run_lo);
+      in_run = false;
+    }
+  }
+  if (in_run) {
+    std::memcpy(bytes_.data() + run_lo, s.bytes.data() + run_lo,
+                scan_hi - run_lo);
+    notify(run_lo, scan_hi - run_lo);
+  }
 }
 
 }  // namespace aspen::sys

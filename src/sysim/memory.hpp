@@ -12,6 +12,7 @@
 /// reported to the registered BusWriteObserver so derived caches
 /// (predecoded instructions) stay coherent.
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -39,9 +40,12 @@ class Memory final : public BusDevice {
   void set_write_observer(BusWriteObserver* observer) override {
     observer_ = observer;
   }
-  /// Bulk direct-span mutation (DMA fast path): forward to the observer.
+  /// Bulk direct-span mutation (DMA bulk moves, a CPU master flushing
+  /// its store watermark): marks the span dirty and forwards to the
+  /// observer.
   void direct_span_written(std::uint32_t offset,
                            std::uint32_t bytes) override {
+    mark_dirty(offset, bytes);
     notify(offset, bytes);
   }
   /// Pure storage: writes never schedule device activity.
@@ -85,11 +89,38 @@ class Memory final : public BusDevice {
   /// std::invalid_argument otherwise). One memcpy plus a full-span
   /// observer notification so masters drop derived caches.
   void restore(const Snapshot& s);
+  /// Bitwise-equivalent restore that copies (and notifies the observer
+  /// about) only the chunks that actually differ from the snapshot image.
+  /// Campaign trials restoring a checkpoint rung re-run mostly-identical
+  /// prefixes, so the bulk of the image — program text above all — is
+  /// already in place; skipping it keeps masters' derived caches
+  /// (predecoded instructions) warm for the untouched spans. Falls back
+  /// to the full restore when the armed stuck-at fault set differs (the
+  /// read transform changed, so every span is stale).
+  ///
+  /// The scan is bounded to the union of the internal dirty watermark
+  /// (every mutation since the last restore — bus writes, bulk moves,
+  /// host loads, bit flips; masters writing through direct spans report
+  /// via direct_span_written) and the caller-supplied stale span
+  /// [stale_lo, stale_lo+stale_len): the bytes where the image last
+  /// restored into this memory may differ from `s`. Callers that do not
+  /// track which image the memory holds must pass the full span.
+  void restore_diff(const Snapshot& s, std::uint32_t stale_lo,
+                    std::uint32_t stale_len);
+  /// restore_diff with the whole image treated as stale (sound against
+  /// any prior contents; still skips copying/notifying matching chunks).
+  void restore_diff(const Snapshot& s) { restore_diff(s, 0, size()); }
 
  private:
   [[nodiscard]] std::uint8_t read_byte(std::uint32_t offset) const;
   void notify(std::uint32_t offset, std::uint32_t bytes) {
     if (observer_ != nullptr) observer_->bus_memory_written(this, offset, bytes);
+  }
+  /// Widen the dirty watermark (bytes touched since the last restore).
+  void mark_dirty(std::uint32_t offset, std::uint32_t bytes) {
+    if (bytes == 0) return;
+    dirty_lo_ = std::min(dirty_lo_, offset);
+    dirty_hi_ = std::max(dirty_hi_, offset + bytes);
   }
 
   std::string name_;
@@ -97,6 +128,11 @@ class Memory final : public BusDevice {
   unsigned latency_;
   BusWriteObserver* observer_ = nullptr;
   std::vector<Stuck> stuck_;
+  /// Dirty watermark [dirty_lo_, dirty_hi_): bytes mutated since the
+  /// last restore (lo > hi = clean). Lets restore_diff scan only what
+  /// this execution actually touched instead of the whole image.
+  std::uint32_t dirty_lo_ = 0xFFFFFFFFu;
+  std::uint32_t dirty_hi_ = 0;
 };
 
 }  // namespace aspen::sys

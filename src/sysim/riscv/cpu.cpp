@@ -67,6 +67,21 @@ Cpu::Snapshot Cpu::snapshot() const {
 }
 
 void Cpu::restore(const Snapshot& s) {
+  restore_warm(s);
+  // Derived caches re-resolve lazily against the restored memory image.
+  // Observer registrations in observed_devs_ stay in place: devices
+  // outlive the restore, and set_window keeps them in sync as windows
+  // repopulate. Pending store spans are dropped, not flushed: the full
+  // memory restore paired with this call resets the dirty watermarks
+  // they would have fed, and the windows they were expressed against
+  // are gone.
+  win_ = {};
+  store_lo_ = {0xFFFFFFFFu, 0xFFFFFFFFu};
+  store_hi_ = {0, 0};
+  icache_flush();
+}
+
+void Cpu::restore_warm(const Snapshot& s) {
   regs_ = s.regs;
   stuck_or_ = s.stuck_or;
   stuck_and_ = s.stuck_and;
@@ -86,12 +101,6 @@ void Cpu::restore(const Snapshot& s) {
   mepc_ = s.mepc;
   mcause_ = s.mcause;
   bus_access_ = false;
-  // Derived caches re-resolve lazily against the restored memory image.
-  // Observer registrations in observed_devs_ stay in place: devices
-  // outlive the restore, and set_window keeps them in sync as windows
-  // repopulate.
-  win_ = {};
-  icache_flush();
 }
 
 std::uint32_t Cpu::read_reg(int i) const {
@@ -264,7 +273,23 @@ Cpu::BurstResult Cpu::run_burst(std::uint64_t budget) {
 
 // ------------------------------------------------ direct-memory fast path
 
+void Cpu::flush_store_span(std::size_t slot) {
+  if (store_lo_[slot] >= store_hi_[slot]) return;
+  const Bus::DirectWindow& w = win_[slot];
+  if (w.dev != nullptr && w.data != nullptr)
+    w.dev->direct_span_written(store_lo_[slot] - w.base,
+                               store_hi_[slot] - store_lo_[slot]);
+  store_lo_[slot] = 0xFFFFFFFFu;
+  store_hi_[slot] = 0;
+}
+
+void Cpu::publish_store_spans() {
+  flush_store_span(0);
+  flush_store_span(1);
+}
+
 void Cpu::set_window(std::size_t slot, std::uint32_t addr) {
+  flush_store_span(slot);
   win_[slot] = bus_.direct_window(addr);
   BusDevice* const dev = win_[slot].dev;
   BusDevice*& cur = observed_devs_[slot];
@@ -300,6 +325,9 @@ bool Cpu::fast_write(std::uint32_t addr, std::uint32_t value, unsigned size) {
   const Bus::DirectWindow* w = lookup_window(addr, size, 1);
   if (w == nullptr) return false;
   store_le(w->data + (addr - w->base), value, size);
+  const std::size_t slot = w == &win_[0] ? 0 : 1;
+  store_lo_[slot] = std::min(store_lo_[slot], addr);
+  store_hi_[slot] = std::max(store_hi_[slot], addr + size);
   stall_ += w->latency;
   icache_invalidate(addr, size);  // self-modifying code support
   return true;

@@ -134,6 +134,14 @@ class Cpu final : public BusWriteObserver {
   };
   [[nodiscard]] Snapshot snapshot() const;
   void restore(const Snapshot& s);
+  /// Restore architectural state but keep the derived caches (direct
+  /// memory windows, predecoded micro-ops). Callers must pair this with
+  /// diff-based memory restores whose observer notifications have
+  /// already invalidated every span whose contents changed — then the
+  /// surviving entries are coherent by the same protocol that keeps them
+  /// coherent across DMA writes. Execution after the call is
+  /// bit-identical to restore(); only host-side re-decode work is saved.
+  void restore_warm(const Snapshot& s);
 
   // -- Fault hooks ---------------------------------------------------------
   void flip_reg_bit(int reg, unsigned bit);
@@ -144,6 +152,13 @@ class Cpu final : public BusWriteObserver {
   /// load, injected fault) — drop derived state covering the range.
   void bus_memory_written(BusDevice* dev, std::uint32_t offset,
                           std::uint32_t bytes) override;
+
+  /// Report every direct-window store executed since the last publish to
+  /// the owning devices (via direct_span_written), so their dirty
+  /// watermarks cover the CPU's raw-span writes. Diff-based restores
+  /// call this first; the per-store bookkeeping is two min/max updates
+  /// on addresses the fast path already has in registers.
+  void publish_store_spans();
 
  private:
   /// Decoded micro-operation: one fetched word reduced to a dense
@@ -211,6 +226,10 @@ class Cpu final : public BusWriteObserver {
   bool fast_write(std::uint32_t addr, std::uint32_t value, unsigned size);
   void icache_invalidate(std::uint32_t addr, std::uint32_t bytes);
   void icache_flush();
+  /// Flush one slot's accumulated store span into its window's device
+  /// and reset it. Must run before the slot's window is re-resolved (the
+  /// span is expressed against the current window's device).
+  void flush_store_span(std::size_t slot);
 
   Bus& bus_;
   CpuConfig cfg_;
@@ -227,6 +246,13 @@ class Cpu final : public BusWriteObserver {
   Halt halt_ = Halt::kRunning;
 
   std::array<Bus::DirectWindow, 2> win_{};  ///< [0] fetch, [1] data
+  /// Per-slot store watermark (bus addresses, [lo, hi)): bytes the CPU
+  /// wrote through the slot's raw span since the last flush. These are
+  /// the only memory mutations invisible to the device, so flushing them
+  /// (publish_store_spans / window re-resolution) is what makes the
+  /// memories' dirty watermarks complete.
+  std::array<std::uint32_t, 2> store_lo_{0xFFFFFFFFu, 0xFFFFFFFFu};
+  std::array<std::uint32_t, 2> store_hi_{0, 0};
   /// Devices this CPU is registered on as write observer, per slot.
   /// Tracked separately from win_ because a revoked window loses its
   /// device pointer while the registration must persist (and be torn

@@ -170,6 +170,27 @@ void System::restore(const SystemSnapshot& s) {
   cycle_ = s.cycle;
 }
 
+void System::restore_fast(const SystemSnapshot& s, std::uint32_t dram_stale_lo,
+                          std::uint32_t dram_stale_len) {
+  if (s.pes.size() != pes_.size() ||
+      s.dram.bytes.size() != dram_->size())
+    throw std::invalid_argument(
+        "System::restore_fast: snapshot from a differently configured system");
+  // The CPU's raw-span stores are the one mutation path the memories
+  // cannot see; publishing them first makes the DRAM dirty watermark
+  // complete, so the diff below provably covers every changed byte.
+  cpu_->publish_store_spans();
+  // The diff runs while the CPU still holds its windows, so every
+  // notification lands on a live window and invalidates exactly the
+  // micro-ops covering changed bytes; the warm CPU restore afterwards
+  // keeps the rest.
+  dram_->restore_diff(s.dram, dram_stale_lo, dram_stale_len);
+  dma_->restore(s.dma);
+  for (std::size_t i = 0; i < pes_.size(); ++i) pes_[i]->restore(s.pes[i]);
+  cpu_->restore_warm(s.cpu);
+  cycle_ = s.cycle;
+}
+
 System::RunResult System::run() {
   RunResult r;
   run_until(cfg_.max_cycles);

@@ -94,6 +94,25 @@ class System {
   /// (throws std::invalid_argument on a shape mismatch). Cost is
   /// dominated by the DRAM memcpy.
   void restore(const SystemSnapshot& s);
+  /// Bitwise-equivalent restore tuned for hot trial loops: DRAM is
+  /// diff-restored (only spans differing from the snapshot are copied
+  /// and notified) and the CPU keeps its direct-memory windows and
+  /// predecoded micro-ops — the diff's observer notifications invalidate
+  /// exactly the stale entries, the same protocol that keeps them
+  /// coherent across DMA writes. Checkpoint-ladder fault campaigns
+  /// restore mostly-identical prefixes thousands of times; skipping the
+  /// untouched program image is the difference between a full-DRAM
+  /// memcpy plus cold re-decode per trial and a short scan.
+  ///
+  /// The DRAM scan is bounded to the union of the memory's own dirty
+  /// watermark (completed by publishing the CPU's raw-span store spans
+  /// first) and the caller's stale span [dram_stale_lo,
+  /// dram_stale_lo+dram_stale_len): the bytes where the image this
+  /// system was last restored to may differ from `s.dram`. Callers that
+  /// do not track the last restored image must keep the whole-span
+  /// default.
+  void restore_fast(const SystemSnapshot& s, std::uint32_t dram_stale_lo = 0,
+                    std::uint32_t dram_stale_len = 0xFFFFFFFFu);
 
   [[nodiscard]] rv::Cpu& cpu() { return *cpu_; }
   [[nodiscard]] Memory& dram() { return *dram_; }

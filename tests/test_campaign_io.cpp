@@ -1,0 +1,307 @@
+// Tests for the distributed-campaign wire format (campaign_io): bit-exact
+// round-trips of snapshots, spec shards and verdict histograms, loud
+// rejection of malformed payloads, and the end-to-end guarantee the
+// format exists for — a spec list partitioned into shards, executed
+// through serialize/deserialize on adopted-staged campaigns and merged,
+// yields the serial campaign's histogram bit-for-bit.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "sysim/campaign_io.hpp"
+#include "sysim/fault.hpp"
+#include "sysim/system.hpp"
+#include "sysim/workloads.hpp"
+
+namespace {
+
+using namespace aspen::sys;
+using namespace aspen::sys::rv;
+
+constexpr std::uint64_t kMaxCycles = 500000;
+
+std::vector<std::int16_t> random_fixed(std::size_t count, std::uint64_t seed) {
+  aspen::lina::Rng rng(seed);
+  std::vector<std::int16_t> v(count);
+  for (auto& x : v) x = PhotonicAccelerator::to_fixed(rng.uniform(-0.9, 0.9));
+  return v;
+}
+
+SystemConfig small_config() {
+  SystemConfig sc;
+  sc.accel.gemm.mvm.ports = 8;
+  sc.accel.max_cols = 16;
+  sc.max_cycles = kMaxCycles;
+  return sc;
+}
+
+GemmWorkload small_workload() {
+  GemmWorkload wl;
+  wl.n = 8;
+  wl.m = 4;
+  return wl;
+}
+
+/// Staged-system factory identical across every campaign/worker in a
+/// test — the contract the wire format assumes.
+FaultCampaign::SystemFactory make_factory(std::uint64_t seed) {
+  const SystemConfig sc = small_config();
+  const GemmWorkload wl = small_workload();
+  const auto a = random_fixed(wl.n * wl.n, seed);
+  const auto x = random_fixed(wl.n * wl.m, seed + 1);
+  return [=]() {
+    auto system = std::make_unique<System>(sc);
+    stage_gemm_data(*system, wl, a, x);
+    system->load_program(build_gemm_offload(wl, sc, OffloadPath::kMmrPolling));
+    return system;
+  };
+}
+
+FaultCampaign::OutputReader make_reader() {
+  const GemmWorkload wl = small_workload();
+  return [wl](System& s) {
+    const auto y = read_gemm_result(s, wl);
+    std::vector<std::uint8_t> bytes(y.size() * 2);
+    std::memcpy(bytes.data(), y.data(), bytes.size());
+    return bytes;
+  };
+}
+
+std::vector<FaultSpec> mixed_specs(FaultCampaign& campaign,
+                                   std::uint64_t seed, int per_target) {
+  aspen::lina::Rng rng(seed);
+  std::vector<FaultSpec> specs;
+  for (const FaultTarget t :
+       {FaultTarget::kCpuRegfile, FaultTarget::kDramData,
+        FaultTarget::kAccelSpmW, FaultTarget::kAccelPhase}) {
+    const auto s =
+        campaign.sample_specs(t, FaultModel::kTransientFlip, per_target, rng);
+    specs.insert(specs.end(), s.begin(), s.end());
+  }
+  return specs;
+}
+
+CampaignResult to_histogram(const std::vector<Outcome>& outcomes) {
+  CampaignResult r;
+  for (const Outcome o : outcomes) {
+    ++r.counts[o];
+    ++r.total;
+  }
+  return r;
+}
+
+// ------------------------------------------------------------ round trips
+
+TEST(CampaignIoTest, SnapshotRoundTripIsBitExactAndRunnable) {
+  const auto factory = make_factory(501);
+  auto original = factory();
+  const System::SystemSnapshot snap = original->snapshot();
+
+  const std::vector<std::uint8_t> wire = serialize_snapshot(snap);
+  const System::SystemSnapshot back = deserialize_snapshot(wire);
+  // Re-serializing the deserialized snapshot must reproduce the payload
+  // byte for byte — the strongest field-completeness check available
+  // without enumerating every member.
+  EXPECT_EQ(serialize_snapshot(back), wire);
+
+  // The deserialized snapshot must be a complete platform image: restored
+  // into a fresh identically-configured system it runs bit-identically to
+  // the original.
+  auto twin = factory();
+  twin->restore(back);
+  const System::RunResult ra = original->run();
+  const System::RunResult rb = twin->run();
+  EXPECT_EQ(ra.cycles, rb.cycles);
+  EXPECT_EQ(ra.instret, rb.instret);
+  EXPECT_EQ(ra.halt, rb.halt);
+  EXPECT_EQ(ra.exit_code, rb.exit_code);
+  EXPECT_EQ(original->now(), twin->now());
+  std::vector<std::uint8_t> da(original->config().dram_size);
+  std::vector<std::uint8_t> db(da.size());
+  original->read_dram(0, da.data(), da.size());
+  twin->read_dram(0, db.data(), db.size());
+  EXPECT_EQ(da == db, true) << "DRAM image differs after restored run";
+}
+
+TEST(CampaignIoTest, SpecBatchRoundTrip) {
+  FaultCampaign campaign(make_factory(502), make_reader(), kMaxCycles);
+  const std::vector<FaultSpec> specs = mixed_specs(campaign, 503, 6);
+  ASSERT_FALSE(specs.empty());
+
+  const std::vector<std::uint8_t> wire = serialize_specs(specs);
+  const std::vector<FaultSpec> back = deserialize_specs(wire);
+  EXPECT_EQ(serialize_specs(back), wire);
+  ASSERT_EQ(back.size(), specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(back[i].target, specs[i].target);
+    EXPECT_EQ(back[i].model, specs[i].model);
+    EXPECT_EQ(back[i].cycle, specs[i].cycle);
+    EXPECT_EQ(back[i].index, specs[i].index);
+    EXPECT_EQ(back[i].bit, specs[i].bit);
+    // Bit-pattern equality, not approximate: the wire format ships the
+    // IEEE-754 image.
+    std::uint64_t pa, pb;
+    std::memcpy(&pa, &specs[i].phase_delta_rad, 8);
+    std::memcpy(&pb, &back[i].phase_delta_rad, 8);
+    EXPECT_EQ(pa, pb);
+  }
+  EXPECT_TRUE(deserialize_specs(serialize_specs({})).empty());
+}
+
+TEST(CampaignIoTest, HistogramRoundTripAndMerge) {
+  CampaignResult r;
+  r.counts[Outcome::kMasked] = 17;
+  r.counts[Outcome::kSdc] = 4;
+  r.counts[Outcome::kDueHang] = 1;
+  r.total = 22;
+
+  const std::vector<std::uint8_t> wire = serialize_histogram(r);
+  const CampaignResult back = deserialize_histogram(wire);
+  EXPECT_EQ(serialize_histogram(back), wire);
+  EXPECT_EQ(back.counts, r.counts);
+  EXPECT_EQ(back.total, r.total);
+
+  CampaignResult a, b;
+  a.counts[Outcome::kMasked] = 10;
+  a.counts[Outcome::kSdc] = 3;
+  a.total = 13;
+  b.counts[Outcome::kMasked] = 7;
+  b.counts[Outcome::kSdc] = 1;
+  b.counts[Outcome::kDueHang] = 1;
+  b.total = 9;
+  const CampaignResult merged = merge_histograms({a, b});
+  EXPECT_EQ(merged.counts, r.counts);
+  EXPECT_EQ(merged.total, r.total);
+  // Ordered-map merge: shard arrival order cannot matter.
+  const CampaignResult swapped = merge_histograms({b, a});
+  EXPECT_EQ(swapped.counts, merged.counts);
+  EXPECT_EQ(swapped.total, merged.total);
+}
+
+TEST(CampaignIoTest, ShardRoundTrip) {
+  const auto factory = make_factory(504);
+  FaultCampaign campaign(make_factory(504), make_reader(), kMaxCycles);
+
+  CampaignShard shard;
+  shard.staged = factory()->snapshot();
+  shard.golden = campaign.golden();
+  shard.golden_cycles = campaign.golden_cycles();
+  shard.max_cycles = kMaxCycles;
+  shard.ladder_rungs = 8;
+  shard.specs = mixed_specs(campaign, 505, 4);
+
+  const std::vector<std::uint8_t> wire = serialize_shard(shard);
+  const CampaignShard back = deserialize_shard(wire);
+  EXPECT_EQ(serialize_shard(back), wire);
+  EXPECT_EQ(back.golden, shard.golden);
+  EXPECT_EQ(back.golden_cycles, shard.golden_cycles);
+  EXPECT_EQ(back.max_cycles, shard.max_cycles);
+  EXPECT_EQ(back.ladder_rungs, shard.ladder_rungs);
+  EXPECT_EQ(back.specs.size(), shard.specs.size());
+  EXPECT_EQ(serialize_snapshot(back.staged), serialize_snapshot(shard.staged));
+}
+
+// ------------------------------------------------------ malformed payloads
+
+TEST(CampaignIoTest, MalformedPayloadsRejected) {
+  FaultCampaign campaign(make_factory(506), make_reader(), kMaxCycles);
+  aspen::lina::Rng rng(507);
+  const auto specs = campaign.sample_specs(FaultTarget::kCpuRegfile,
+                                           FaultModel::kStuckAt0, 3, rng);
+  const std::vector<std::uint8_t> good = serialize_specs(specs);
+
+  // Empty / truncated-below-header payloads.
+  EXPECT_THROW((void)deserialize_specs(good.data(), 0), std::runtime_error);
+  EXPECT_THROW((void)deserialize_specs(good.data(), 7), std::runtime_error);
+
+  // Corrupt magic (byte 0), unknown version (byte 4).
+  std::vector<std::uint8_t> bad = good;
+  bad[0] ^= 0xFF;
+  EXPECT_THROW((void)deserialize_specs(bad), std::runtime_error);
+  bad = good;
+  bad[4] ^= 0xFF;
+  EXPECT_THROW((void)deserialize_specs(bad), std::runtime_error);
+
+  // Kind mismatch: a histogram payload is not a spec batch (and vice
+  // versa) even though both parse as valid headers.
+  CampaignResult hist;
+  hist.counts[Outcome::kMasked] = 1;
+  hist.total = 1;
+  EXPECT_THROW((void)deserialize_specs(serialize_histogram(hist)),
+               std::runtime_error);
+  EXPECT_THROW((void)deserialize_histogram(good), std::runtime_error);
+
+  // Truncation mid-body and trailing garbage.
+  EXPECT_THROW((void)deserialize_specs(good.data(), good.size() - 1),
+               std::runtime_error);
+  EXPECT_THROW((void)deserialize_specs(good.data(), good.size() / 2),
+               std::runtime_error);
+  bad = good;
+  bad.push_back(0);
+  EXPECT_THROW((void)deserialize_specs(bad), std::runtime_error);
+
+  // Invalid enum values: fault target (first spec body byte, offset
+  // header(8) + count(8)), outcome in a histogram.
+  bad = good;
+  bad[16] = 0xFF;
+  EXPECT_THROW((void)deserialize_specs(bad), std::runtime_error);
+  std::vector<std::uint8_t> hist_wire = serialize_histogram(hist);
+  hist_wire[16] = 0x7F;
+  EXPECT_THROW((void)deserialize_histogram(hist_wire), std::runtime_error);
+
+  // A spec-count field larger than the remaining payload must be
+  // rejected before any allocation is sized from it.
+  bad = good;
+  bad[8] = 0xFF;
+  bad[9] = 0xFF;
+  EXPECT_THROW((void)deserialize_specs(bad), std::runtime_error);
+}
+
+// ------------------------------------------- sharded execution end to end
+
+TEST(CampaignIoTest, TwoShardWirePathMatchesSerialBitForBit) {
+  // The full multi-process protocol, in-process: a coordinator campaign
+  // draws specs and runs them serially; the same specs split into two
+  // shards, serialized, deserialized and executed by worker campaigns
+  // that adopt the coordinator's staged snapshot + golden, must merge to
+  // the identical histogram. This is the determinism contract the
+  // bench's process-level fan-out relies on.
+  const auto factory = make_factory(508);
+  FaultCampaign coordinator(make_factory(508), make_reader(), kMaxCycles);
+  const std::vector<FaultSpec> specs = mixed_specs(coordinator, 509, 6);
+  const CampaignResult serial = to_histogram(coordinator.run_trials(specs, 1));
+
+  const System::SystemSnapshot staged = factory()->snapshot();
+  std::vector<CampaignResult> worker_results;
+  const std::size_t half = specs.size() / 2;
+  for (int w = 0; w < 2; ++w) {
+    CampaignShard shard;
+    shard.staged = staged;
+    shard.golden = coordinator.golden();
+    shard.golden_cycles = coordinator.golden_cycles();
+    shard.max_cycles = kMaxCycles;
+    shard.ladder_rungs = 4;  // workers may ladder; verdicts cannot change
+    shard.specs.assign(specs.begin() + (w == 0 ? 0 : half),
+                       w == 0 ? specs.begin() + half : specs.end());
+
+    // Through the wire, as a worker process would receive it.
+    const CampaignShard received = deserialize_shard(serialize_shard(shard));
+    FaultCampaign worker(make_factory(508), make_reader(),
+                         received.max_cycles);
+    worker.adopt_staged(received.staged, received.golden,
+                        received.golden_cycles);
+    if (received.ladder_rungs > 1) worker.build_ladder(received.ladder_rungs);
+    const CampaignResult hist =
+        to_histogram(worker.run_trials(received.specs, 1));
+    // ...and the verdict histogram travels back through the wire too.
+    worker_results.push_back(
+        deserialize_histogram(serialize_histogram(hist)));
+  }
+
+  const CampaignResult merged = merge_histograms(worker_results);
+  EXPECT_EQ(merged.counts, serial.counts);
+  EXPECT_EQ(merged.total, serial.total);
+  EXPECT_EQ(merged.total, static_cast<int>(specs.size()));
+}
+
+}  // namespace

@@ -237,6 +237,62 @@ TEST(SysimDiffTest, DmaInterruptTrapHandler) {
   expect_identical(legacy, fast, "dma interrupt trap");
 }
 
+TEST(SysimDiffTest, DmaFaultAbortObservedIdentically) {
+  // A DMA transfer whose destination runs past the end of DRAM aborts
+  // mid-flight: BUSY drops, ERROR latches and the completion IRQ fires.
+  // The guest parks in a spin loop and the trap handler reads STATUS,
+  // W1C-clears ERROR and exits with the observed status — the abort
+  // cycle, the latched status and the wakeup must be bit-identical
+  // between per-cycle ticking and the event-driven core (a faulting
+  // transfer is never bulk-movable, so the fast path must fall back to
+  // ticking the engine to the exact faulting beat).
+  SystemConfig sc;
+  sc.accel = small_accel();
+  Assembler as(sc.dram_base);
+  as.li(t0, sc.dram_base + 256);  // handler
+  as.csrrw(zero, kCsrMtvec, t0);
+  as.li(t0, 1u << 11);  // MEIE
+  as.csrrw(zero, kCsrMie, t0);
+  as.li(t0, 1u << 3);  // MIE
+  as.csrrs(zero, kCsrMstatus, t0);
+  as.li(s7, sc.dma_base);
+  as.li(t1, sc.dram_base + 0x10000);
+  as.sw(t1, s7, DmaEngine::kRegSrc);
+  as.li(t1, sc.dram_base + sc.dram_size - 8);  // 56 of 64 bytes past the end
+  as.sw(t1, s7, DmaEngine::kRegDst);
+  as.li(t1, 64);
+  as.sw(t1, s7, DmaEngine::kRegLen);
+  as.li(t1, DmaEngine::kCtrlStart | DmaEngine::kCtrlIrqEn);
+  as.sw(t1, s7, DmaEngine::kRegCtrl);
+  as.label("spin");
+  as.j("spin");
+  while (as.current_address() < sc.dram_base + 256) as.nop();
+  as.label("handler");
+  as.csrrs(a2, kCsrMcause, zero);
+  as.lw(a1, s7, DmaEngine::kRegStatus);  // ERROR set, BUSY/DONE clear
+  as.li(t0, DmaEngine::kStatusError);
+  as.sw(t0, s7, DmaEngine::kRegStatus);  // W1C drops the IRQ line
+  as.lw(a3, s7, DmaEngine::kRegStatus);  // now fully clear
+  as.mv(a0, a1);
+  as.li(a7, 93);
+  as.ecall();
+  const auto program = as.assemble();
+  const auto stage = [](System& s) {
+    std::vector<std::uint8_t> src(64);
+    for (std::size_t i = 0; i < src.size(); ++i)
+      src[i] = static_cast<std::uint8_t>(i + 1);
+    s.write_dram(0x10000, src.data(), src.size());
+  };
+  const Capture legacy = run_mode(sc, true, program, stage);
+  const Capture fast = run_mode(sc, false, program, stage);
+  EXPECT_EQ(fast.result.halt, Halt::kEcallExit);
+  EXPECT_EQ(fast.result.exit_code, DmaEngine::kStatusError);
+  EXPECT_EQ(fast.regs[11], DmaEngine::kStatusError);
+  EXPECT_EQ(fast.regs[12], 0x8000000Bu);  // mcause: machine external irq
+  EXPECT_EQ(fast.regs[13], 0u);           // W1C cleared ERROR
+  expect_identical(legacy, fast, "dma fault abort");
+}
+
 // ------------------------------------------------ self-modifying code
 
 TEST(SysimDiffTest, SelfModifyingCodeReexecutesPatchedWord) {
