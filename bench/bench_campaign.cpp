@@ -1,22 +1,31 @@
 // Fault-campaign throughput benchmark: per-trial setup cost, checkpoint
-// ladders and trial sharding across threads and processes. PR 3 left
-// e7-style campaigns floored by per-trial System construction (DRAM
-// allocation + SVD/Clements weight programming); the snapshot/restore
-// path stages the platform once and restores it per trial (~a DRAM
-// memcpy), FaultCampaign::run_trials shards the restored trials across
-// threads, and the checkpoint ladder + diff-based restore reuse the
-// fault-free golden prefix so a trial injecting at cycle c no longer
-// re-simulates [0, c) from scratch. Every accelerated path (ladder,
-// threads, worker processes) is verified bit-identical to the serial
-// restore-from-cycle-0 oracle before any number is reported.
+// ladders, trial sharding across threads, and the supervised worker-pool
+// orchestrator. PR 3 left e7-style campaigns floored by per-trial System
+// construction (DRAM allocation + SVD/Clements weight programming); the
+// snapshot/restore path stages the platform once and restores it per
+// trial (~a DRAM memcpy), FaultCampaign::run_trials shards the restored
+// trials across threads, and the checkpoint ladder + diff-based restore
+// reuse the fault-free golden prefix so a trial injecting at cycle c no
+// longer re-simulates [0, c) from scratch. Process fan-out goes through
+// CampaignOrchestrator: shards stream to forked workers over pipes (no
+// temp files), lost workers are retried with backoff, and every
+// accelerated path (ladder, threads, worker pool, the multi-axis sweep)
+// is verified bit-identical to the serial oracle before any number is
+// reported.
 //
-// Invoked with --campaign-worker the binary becomes a campaign worker:
-// it reads one binary CampaignShard (see campaign_io.hpp) from stdin,
-// rebuilds the platform from the identical compiled-in factory, adopts
-// the coordinator's staged snapshot + golden reference, executes the
-// spec shard and writes the verdict histogram to stdout. The default
-// mode exercises that protocol end to end with a 2-process fan-out and
-// asserts the merged histogram equals the serial one.
+// Modes:
+//   (default)            full benchmark; emits BENCH_campaign.json
+//   --campaign-worker    worker body: one CampaignShard on stdin (to
+//                        EOF), heartbeat/progress frames + the final
+//                        histogram frame on stdout (campaign_io framing)
+//   --campaign-worker --chaos=crash|hang|corrupt
+//                        sabotaged worker for supervision drills: raise
+//                        SIGKILL mid-shard / hang past the heartbeat
+//                        deadline / emit a truncated histogram
+//   --orchestrator-smoke CI job: 4-worker multi-axis sweep with one
+//                        deliberately crashed worker attempt; asserts
+//                        the merged histograms match the serial run
+//                        bit-for-bit and writes BENCH_campaign.json
 //
 // Standalone (chrono-based); emits BENCH_campaign.json for CI artifacts.
 #include <algorithm>
@@ -24,6 +33,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -31,9 +41,15 @@
 #include "bench_util.hpp"
 #include "lina/random.hpp"
 #include "sysim/campaign_io.hpp"
+#include "sysim/campaign_orchestrator.hpp"
 #include "sysim/fault.hpp"
 #include "sysim/system.hpp"
 #include "sysim/workloads.hpp"
+
+#if defined(__unix__)
+#include <csignal>
+#include <unistd.h>
+#endif
 
 namespace {
 
@@ -50,14 +66,15 @@ std::vector<std::int16_t> random_fixed(std::size_t count, std::uint64_t seed) {
   return v;
 }
 
-void push_row(const char* name, double value, const char* unit) {
-  std::printf("%-36s %12.1f %s\n", name, value, unit);
-  rows.push_back({name, value, 8, unit});
+void push_row(const std::string& name, double value, const char* unit,
+              int size = 8) {
+  std::printf("%-44s %12.1f %s\n", name.c_str(), value, unit);
+  rows.push_back({name, value, size, unit});
 }
 
-/// The e7 workload both the coordinator and worker processes build: the
-/// shipped snapshot is only adoptable because every process constructs a
-/// byte-identical platform from this one definition.
+/// The e7 workload every process builds, parameterized by the sweep cell:
+/// the shipped snapshot is only adoptable because coordinator and worker
+/// construct byte-identical platforms from the same SweepPoint.
 struct Workload {
   SystemConfig base;
   GemmWorkload wl;
@@ -65,11 +82,16 @@ struct Workload {
   std::vector<std::uint32_t> program;
   static constexpr std::uint64_t kMaxCycles = 500000;
 
-  Workload() {
+  explicit Workload(const SweepPoint& p = {}) {
     base.accel.gemm.mvm.ports = 8;
     base.accel.max_cols = 64;
     base.dram_size = 1u << 18;  // the workload fits in 256 KiB
-    base.accel.gemm.mvm.weights = core::WeightTechnology::kThermoOptic;
+    base.accel.gemm.mvm.weights = p.pcm_weights
+                                      ? core::WeightTechnology::kPcm
+                                      : core::WeightTechnology::kThermoOptic;
+    base.accel.gemm.mvm.pcm_drift_time_s = p.pcm_drift_time_s;
+    base.accel.gemm.mvm.detector.temperature_k = p.temperature_k;
+    base.accel.gemm.mvm.adc.bits = p.adc_bits;
     wl.n = 8;
     wl.m = 8;
     a = random_fixed(wl.n * wl.n, 41);
@@ -95,6 +117,21 @@ struct Workload {
   }
 };
 
+/// Worker-side half of the sweep contract: rebuild the platform for the
+/// shard's cell. The shared_ptr keeps the Workload alive inside the
+/// returned factory.
+PointFactory point_factory() {
+  return [](const SweepPoint& p) -> FaultCampaign::SystemFactory {
+    auto w = std::make_shared<Workload>(p);
+    return [w]() {
+      auto system = std::make_unique<System>(w->base);
+      stage_gemm_data(*system, w->wl, w->a, w->x);
+      system->load_program(w->program);
+      return system;
+    };
+  };
+}
+
 /// The PR 3 trial: construct the full system, run, classify — using the
 /// campaign's own injection/classification logic so this baseline can
 /// never drift from what FaultCampaign measures.
@@ -109,79 +146,173 @@ Outcome rebuild_trial(const FaultCampaign::SystemFactory& factory,
   return FaultCampaign::classify(*system, read_output, golden);
 }
 
-CampaignResult to_histogram(const std::vector<Outcome>& outcomes) {
-  CampaignResult r;
-  for (const Outcome o : outcomes) ++r.counts[o];
-  r.total = static_cast<int>(outcomes.size());
-  return r;
+bool same_hist(const CampaignResult& a, const CampaignResult& b) {
+  return a.counts == b.counts && a.total == b.total;
 }
 
-bool write_file(const std::string& path,
-                const std::vector<std::uint8_t>& bytes) {
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) return false;
-  const bool ok =
-      bytes.empty() || std::fwrite(bytes.data(), 1, bytes.size(), f) ==
-                           bytes.size();
-  return std::fclose(f) == 0 && ok;
+std::string point_label(const SweepPoint& p) {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "c%u[%s/%s d=%gs T=%gK b=%d]", p.cell,
+                to_string(p.target).c_str(), to_string(p.model).c_str(),
+                p.pcm_drift_time_s, p.temperature_k, p.adc_bits);
+  return buf;
 }
 
-std::vector<std::uint8_t> read_stream(std::FILE* f) {
-  std::vector<std::uint8_t> bytes;
-  std::uint8_t chunk[1 << 16];
-  std::size_t n;
-  while ((n = std::fread(chunk, 1, sizeof chunk, f)) > 0)
-    bytes.insert(bytes.end(), chunk, chunk + n);
-  return bytes;
-}
+#if defined(__unix__)
 
-std::vector<std::uint8_t> read_file(const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr)
-    throw std::runtime_error("bench_campaign: cannot open " + path);
-  std::vector<std::uint8_t> bytes = read_stream(f);
-  std::fclose(f);
-  return bytes;
-}
-
-/// Worker-process entry point: stdin carries one CampaignShard, stdout
-/// carries the verdict histogram. All diagnostics go to stderr so the
-/// binary payload stays clean.
-int run_worker() {
-  try {
-    const CampaignShard shard = deserialize_shard(read_stream(stdin));
-    const Workload w;
-    FaultCampaign campaign(w.factory(), w.reader(), shard.max_cycles);
-    campaign.adopt_staged(shard.staged, shard.golden, shard.golden_cycles);
-    if (shard.ladder_rungs > 1) campaign.build_ladder(shard.ladder_rungs);
-    const std::vector<Outcome> outcomes = campaign.run_trials(shard.specs, 1);
-    const std::vector<std::uint8_t> payload =
-        serialize_histogram(to_histogram(outcomes));
-    if (std::fwrite(payload.data(), 1, payload.size(), stdout) !=
-        payload.size()) {
-      std::fprintf(stderr, "bench_campaign worker: short write on stdout\n");
-      return 1;
-    }
+/// Sabotaged worker bodies for supervision drills. Each reads the shard
+/// and emits one honest heartbeat first, so the orchestrator sees a
+/// live worker before the fault lands — the realistic failure shape.
+int run_chaos_worker(const std::string& mode) {
+  std::signal(SIGPIPE, SIG_IGN);
+  const CampaignShard shard = deserialize_shard(io::read_all(0));
+  (void)io::write_frame(
+      1, serialize_progress({shard.seq, 0, shard.specs.size()}));
+  if (mode == "crash") std::raise(SIGKILL);  // worker lost mid-shard
+  if (mode == "hang")
+    for (;;) ::pause();  // heartbeat deadline must reap this
+  if (mode == "corrupt") {
+    // A truncated histogram payload: framing is intact, the body is not.
+    std::vector<std::uint8_t> bad = serialize_histogram({});
+    bad.resize(bad.size() / 2);
+    (void)io::write_frame(1, bad);
     return 0;
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "bench_campaign worker: %s\n", e.what());
-    return 1;
   }
+  std::fprintf(stderr, "bench_campaign: unknown chaos mode '%s'\n",
+               mode.c_str());
+  return 2;
 }
+
+std::function<void(const std::string&)> stderr_log() {
+  return [](const std::string& m) {
+    std::fprintf(stderr, "[orchestrator] %s\n", m.c_str());
+  };
+}
+
+/// The CI smoke sweep: small multi-axis grid, 4 workers, one attempt
+/// deliberately crashed. Returns false if any cell diverges from the
+/// serial oracle or the crash was not retried.
+bool run_sweep(const char* exe, unsigned max_workers, bool chaos_crash,
+               const SweepAxes& axes, const SweepRunConfig& rc) {
+  SweepGrid grid(axes, point_factory(), Workload{}.reader(),
+                 Workload::kMaxCycles);
+
+  const auto s0 = Clock::now();
+  const std::vector<SweepCell> serial = grid.run_serial(rc);
+  const double serial_s =
+      std::chrono::duration<double>(Clock::now() - s0).count();
+
+  OrchestratorConfig oc;
+  oc.max_workers = max_workers;
+  oc.max_attempts = 3;
+  oc.heartbeat_timeout_ms = 120'000;  // hang detector, not a pace car
+  oc.worker_argv = {exe, "--campaign-worker"};
+  if (chaos_crash)
+    oc.worker_command = [exe](std::uint64_t seq, unsigned attempt) {
+      std::vector<std::string> argv = {exe, "--campaign-worker"};
+      if (seq == 0 && attempt == 0) argv.push_back("--chaos=crash");
+      return argv;
+    };
+  oc.log = stderr_log();
+
+  CampaignOrchestrator::Stats stats;
+  const auto t0 = Clock::now();
+  const std::vector<SweepCell> swept = grid.run(rc, oc, &stats);
+  const double swept_s =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+
+  bool ok = true;
+  std::uint64_t total_trials = 0;
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    const SweepCell& cell = swept[i];
+    total_trials += static_cast<std::uint64_t>(cell.hist.total);
+    if (!same_hist(cell.hist, serial[i].hist)) {
+      std::fprintf(stderr,
+                   "bench_campaign: sweep %s diverged from the serial "
+                   "oracle\n",
+                   point_label(cell.point).c_str());
+      ok = false;
+    }
+    const std::string label = "sweep_" + point_label(cell.point);
+    const auto count = [&](Outcome o) {
+      const auto it = cell.hist.counts.find(o);
+      return it == cell.hist.counts.end() ? 0 : it->second;
+    };
+    push_row(label + " masked", count(Outcome::kMasked), "trials",
+             static_cast<int>(cell.point.cell));
+    push_row(label + " sdc", count(Outcome::kSdc), "trials",
+             static_cast<int>(cell.point.cell));
+    push_row(label + " due", count(Outcome::kDueTrap) + count(Outcome::kDueHang),
+             "trials", static_cast<int>(cell.point.cell));
+  }
+  if (chaos_crash && stats.retries == 0) {
+    std::fprintf(stderr,
+                 "bench_campaign: crashed worker was never retried\n");
+    ok = false;
+  }
+  push_row("sweep_orchestrated",
+           static_cast<double>(total_trials) / swept_s, "trials/s");
+  push_row("sweep_serial_oracle",
+           static_cast<double>(total_trials) / serial_s, "trials/s");
+  push_row("sweep_worker_launches", stats.launches, "procs");
+  push_row("sweep_worker_retries", stats.retries, "procs");
+  push_row("sweep_serial_fallbacks", stats.serial_fallbacks, "shards");
+  std::printf("sweep: %zu cells, %llu trials, %u launches, %u retries\n",
+              swept.size(), static_cast<unsigned long long>(total_trials),
+              stats.launches, stats.retries);
+  return ok;
+}
+
+int run_orchestrator_smoke(const char* exe) {
+  bench::header(
+      "BENCH campaign --orchestrator-smoke — supervised worker pool drill",
+      "4-worker multi-axis sweep with one deliberately crashed worker; "
+      "the retry path must reproduce the serial histograms bit-for-bit");
+  SweepAxes axes;
+  axes.faults = {{FaultTarget::kCpuRegfile, FaultModel::kTransientFlip},
+                 {FaultTarget::kAccelPhase, FaultModel::kTransientFlip}};
+  axes.adc_bits = {8, 6};
+  SweepRunConfig rc;
+  rc.trials_per_cell = 8;
+  rc.shards_per_cell = 2;
+  const bool ok = run_sweep(exe, 4, /*chaos_crash=*/true, axes, rc);
+  bench::json_report("BENCH_campaign.json", rows);
+  std::printf("\nwrote BENCH_campaign.json (%zu rows)\n", rows.size());
+  return ok ? 0 : 1;
+}
+
+#endif  // __unix__
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc > 1 && std::strcmp(argv[1], "--campaign-worker") == 0)
-    return run_worker();
+  if (argc > 1 && std::strcmp(argv[1], "--campaign-worker") == 0) {
+#if defined(__unix__)
+    try {
+      if (argc > 2 && std::strncmp(argv[2], "--chaos=", 8) == 0)
+        return run_chaos_worker(argv[2] + 8);
+      return campaign_worker_main(0, 1, point_factory(), Workload{}.reader());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "bench_campaign worker: %s\n", e.what());
+      return 1;
+    }
+#else
+    return 1;
+#endif
+  }
+#if defined(__unix__)
+  if (argc > 1 && std::strcmp(argv[1], "--orchestrator-smoke") == 0)
+    return run_orchestrator_smoke(argv[0]);
+#endif
 
   bench::header(
-      "BENCH campaign — checkpoint ladder + multi-process fault trials",
+      "BENCH campaign — checkpoint ladder + supervised worker-pool trials",
       "Sec.5 reliability campaigns need thousands of trials; this tracks "
       "per-trial setup (construct vs restore vs diff-restore), golden-"
       "prefix reuse via the checkpoint ladder, and trials/sec scaling "
-      "across threads and worker processes, with every accelerated "
-      "path's verdicts asserted bit-identical to the serial oracle");
+      "across threads and a supervised worker pool, with every "
+      "accelerated path's verdicts asserted bit-identical to the serial "
+      "oracle");
 
   const Workload w;
   const FaultCampaign::SystemFactory factory = w.factory();
@@ -288,62 +419,63 @@ int main(int argc, char** argv) {
   }
   push_row("campaign_ladder_speedup", ladder_tps / restore_tps, "x");
 
-  // -- Multi-process fan-out (2 workers over the campaign wire format) --
 #if defined(__unix__)
+  // -- Supervised worker pool (pipes, no temp files) --------------------
   {
-    auto staged = factory();
-    CampaignShard shard;
-    shard.staged = staged->snapshot();
-    shard.golden = golden;
-    shard.golden_cycles = campaign.golden_cycles();
-    shard.max_cycles = kMaxCycles;
-    shard.ladder_rungs = kLadderRungs;
-    const std::size_t half = specs.size() / 2;
-    shard.specs.assign(specs.begin(), specs.begin() + half);
-    const std::vector<std::uint8_t> in0 = serialize_shard(shard);
-    shard.specs.assign(specs.begin() + half, specs.end());
-    const std::vector<std::uint8_t> in1 = serialize_shard(shard);
-
-    const std::string exe = argv[0];
-    const std::string f0 = "bench_campaign_shard0.bin";
-    const std::string f1 = "bench_campaign_shard1.bin";
-    const std::string o0 = "bench_campaign_hist0.bin";
-    const std::string o1 = "bench_campaign_hist1.bin";
-    if (!write_file(f0, in0) || !write_file(f1, in1)) {
-      std::fprintf(stderr, "bench_campaign: cannot write shard files\n");
-      return 1;
+    const std::vector<CampaignShard> shards =
+        plan_shards(campaign, specs, 2, kLadderRungs);
+    std::vector<ShardTask> tasks;
+    for (const CampaignShard& shard : shards) {
+      ShardTask t;
+      t.seq = shard.seq;
+      t.trials = shard.specs.size();
+      t.payload = serialize_shard(shard);
+      tasks.push_back(std::move(t));
     }
-    const std::string cmd = "\"" + exe + "\" --campaign-worker < " + f0 +
-                            " > " + o0 + " & p1=$!; \"" + exe +
-                            "\" --campaign-worker < " + f1 + " > " + o1 +
-                            " & p2=$!; wait $p1 && wait $p2";
+    OrchestratorConfig oc;
+    oc.max_workers = 2;
+    oc.worker_argv = {argv[0], "--campaign-worker"};
+    oc.heartbeat_timeout_ms = 120'000;
+    CampaignOrchestrator orch(oc, [&](const CampaignShard& shard) {
+      return histogram_of(campaign.run_trials(shard.specs, 1));
+    });
     const auto t0 = Clock::now();
-    const int status = std::system(cmd.c_str());
+    const std::vector<ShardOutcome> outs = orch.run(tasks);
     const double fanout_s =
         std::chrono::duration<double>(Clock::now() - t0).count();
-    if (status != 0) {
-      std::fprintf(stderr, "bench_campaign: worker processes failed (%d)\n",
-                   status);
-      return 1;
+    std::vector<CampaignResult> parts;
+    for (const ShardOutcome& o : outs) {
+      if (!o.completed) {
+        std::fprintf(stderr, "bench_campaign: shard %llu never completed\n",
+                     static_cast<unsigned long long>(o.seq));
+        return 1;
+      }
+      parts.push_back(o.hist);
     }
-    CampaignResult merged;
-    try {
-      merged = merge_histograms({deserialize_histogram(read_file(o0)),
-                                 deserialize_histogram(read_file(o1))});
-    } catch (const std::exception& e) {
-      std::fprintf(stderr, "bench_campaign: %s\n", e.what());
-      return 1;
-    }
-    const CampaignResult serial = to_histogram(restored);
-    if (merged.counts != serial.counts || merged.total != serial.total) {
+    if (!same_hist(merge_histograms(parts), histogram_of(restored))) {
       std::fprintf(stderr,
-                   "bench_campaign: merged 2-process histogram diverged from "
-                   "serial\n");
+                   "bench_campaign: merged worker-pool histogram diverged "
+                   "from serial\n");
       return 1;
     }
-    push_row("campaign_2proc",
+    push_row("campaign_orchestrated_2w",
              static_cast<double>(specs.size()) / fanout_s, "trials/s");
-    for (const std::string& p : {f0, f1, o0, o1}) std::remove(p.c_str());
+  }
+
+  // -- Multi-axis sweep through the same pool ---------------------------
+  {
+    SweepAxes axes;
+    axes.faults = {{FaultTarget::kCpuRegfile, FaultModel::kTransientFlip},
+                   {FaultTarget::kAccelPhase, FaultModel::kTransientFlip}};
+    axes.pcm_drift_times_s = bench::smoke_mode()
+                                 ? std::vector<double>{0.0}
+                                 : std::vector<double>{0.0, 3600.0};
+    axes.adc_bits =
+        bench::smoke_mode() ? std::vector<int>{8} : std::vector<int>{8, 6};
+    SweepRunConfig rc;
+    rc.trials_per_cell = bench::samples(24, 6);
+    rc.shards_per_cell = 2;
+    if (!run_sweep(argv[0], 4, /*chaos_crash=*/false, axes, rc)) return 1;
   }
 #endif
 

@@ -93,26 +93,61 @@ class Reader {
   /// each — bounds the allocation by the remaining payload so a corrupt
   /// length cannot demand terabytes.
   std::size_t count(std::size_t elem_bytes) {
+    const std::size_t at = pos_;
     const std::uint64_t n = u64();
-    need_elems(n, elem_bytes);
+    if (elem_bytes > 0 && n > (n_ - pos_) / elem_bytes)
+      throw fail("element count " + std::to_string(n) + " (>= " +
+                     std::to_string(elem_bytes) +
+                     " bytes each) exceeds the remaining payload (" +
+                     std::to_string(n_ - pos_) + " bytes)",
+                 at);
     return static_cast<std::size_t>(n);
   }
-  /// Validate that `n` elements of >= `elem_bytes` each fit in the
-  /// remaining payload (bounds allocations against corrupt lengths).
-  void need_elems(std::uint64_t n, std::size_t elem_bytes) const {
-    if (elem_bytes > 0 && n > (n_ - pos_) / elem_bytes)
-      throw std::runtime_error(
-          "campaign_io: element count exceeds payload size");
+  /// Validate that `n_elems` entries of `elem_bytes` each fit in the
+  /// remaining payload (for counts read as separate dimensions, e.g.
+  /// matrix rows x cols).
+  void need_elems(std::uint64_t n_elems, std::size_t elem_bytes) {
+    if (elem_bytes > 0 && n_elems > (n_ - pos_) / elem_bytes)
+      throw fail("element count " + std::to_string(n_elems) + " (>= " +
+                     std::to_string(elem_bytes) +
+                     " bytes each) exceeds the remaining payload (" +
+                     std::to_string(n_ - pos_) + " bytes)",
+                 pos_);
+  }
+  /// Read + validate a one-byte enum whose valid values are [0, max].
+  std::uint8_t u8_enum(std::uint8_t max, const char* what) {
+    const std::size_t at = pos_;
+    const std::uint8_t v = u8();
+    if (v > max)
+      throw fail("invalid " + std::string(what) + " " + std::to_string(v) +
+                     " (valid: 0.." + std::to_string(max) + ")",
+                 at);
+    return v;
   }
   void expect_end() const {
     if (pos_ != n_)
-      throw std::runtime_error("campaign_io: trailing bytes after payload");
+      throw fail("payload complete at byte offset " + std::to_string(pos_) +
+                     " but " + std::to_string(n_ - pos_) +
+                     " trailing bytes remain",
+                 pos_);
+  }
+  [[nodiscard]] std::size_t pos() const { return pos_; }
+  /// Build a diagnostic tagged with the failure offset and payload size —
+  /// the error-location convention every campaign_io message follows.
+  [[nodiscard]] std::runtime_error fail(const std::string& what,
+                                        std::size_t at) const {
+    return std::runtime_error("campaign_io: " + what + " at byte offset " +
+                              std::to_string(at) + " of " +
+                              std::to_string(n_) + "-byte payload");
   }
 
  private:
   void need(std::uint64_t n) {
     if (n > n_ - pos_)
-      throw std::runtime_error("campaign_io: truncated payload");
+      throw fail("truncated payload: need " + std::to_string(n) +
+                     " more bytes, only " + std::to_string(n_ - pos_) +
+                     " remain",
+                 pos_);
   }
   const std::uint8_t* p_;
   std::size_t n_;
@@ -125,20 +160,29 @@ void put_header(Writer& w, PayloadKind kind) {
   w.u16(static_cast<std::uint16_t>(kind));
 }
 
-void check_header(Reader& r, PayloadKind kind) {
+PayloadKind read_header(Reader& r) {
   const std::uint32_t magic = r.u32();
   if (magic != kMagic)
-    throw std::runtime_error("campaign_io: bad magic (not a campaign payload)");
+    throw r.fail("bad magic (not a campaign payload)", 0);
   const std::uint16_t version = r.u16();
   if (version != kCampaignWireVersion)
-    throw std::runtime_error("campaign_io: wire version " +
-                             std::to_string(version) + ", expected " +
-                             std::to_string(kCampaignWireVersion));
+    throw r.fail("wire version " + std::to_string(version) + ", expected " +
+                     std::to_string(kCampaignWireVersion),
+                 4);
   const std::uint16_t got = r.u16();
-  if (got != static_cast<std::uint16_t>(kind))
-    throw std::runtime_error("campaign_io: payload kind " +
-                             std::to_string(got) + ", expected " +
-                             std::to_string(static_cast<std::uint16_t>(kind)));
+  if (got < 1 || got > static_cast<std::uint16_t>(PayloadKind::kJournal))
+    throw r.fail("unknown payload kind " + std::to_string(got), 6);
+  return static_cast<PayloadKind>(got);
+}
+
+void check_header(Reader& r, PayloadKind kind) {
+  const PayloadKind got = read_header(r);
+  if (got != kind)
+    throw r.fail("payload kind " +
+                     std::to_string(static_cast<std::uint16_t>(got)) +
+                     ", expected " +
+                     std::to_string(static_cast<std::uint16_t>(kind)),
+                 6);
 }
 
 // ------------------------------------------------------- composite types
@@ -390,11 +434,8 @@ rv::Cpu::Snapshot get_cpu(Reader& r) {
   s.stall = r.u32();
   s.irq = r.b();
   s.wfi = r.b();
-  const std::uint8_t halt = r.u8();
-  if (halt > static_cast<std::uint8_t>(rv::Halt::kIllegal))
-    throw std::runtime_error("campaign_io: invalid halt reason " +
-                             std::to_string(halt));
-  s.halt = static_cast<rv::Halt>(halt);
+  s.halt = static_cast<rv::Halt>(r.u8_enum(
+      static_cast<std::uint8_t>(rv::Halt::kIllegal), "halt reason"));
   s.mstatus = r.u32();
   s.mie = r.u32();
   s.mip = r.u32();
@@ -434,21 +475,51 @@ void put_spec(Writer& w, const FaultSpec& s) {
 }
 FaultSpec get_spec(Reader& r) {
   FaultSpec s;
-  const std::uint8_t target = r.u8();
-  if (target > static_cast<std::uint8_t>(FaultTarget::kAccelPhase))
-    throw std::runtime_error("campaign_io: invalid fault target " +
-                             std::to_string(target));
-  s.target = static_cast<FaultTarget>(target);
-  const std::uint8_t model = r.u8();
-  if (model > static_cast<std::uint8_t>(FaultModel::kStuckAt1))
-    throw std::runtime_error("campaign_io: invalid fault model " +
-                             std::to_string(model));
-  s.model = static_cast<FaultModel>(model);
+  s.target = static_cast<FaultTarget>(r.u8_enum(
+      static_cast<std::uint8_t>(FaultTarget::kAccelPhase), "fault target"));
+  s.model = static_cast<FaultModel>(r.u8_enum(
+      static_cast<std::uint8_t>(FaultModel::kStuckAt1), "fault model"));
   s.cycle = r.u64();
   s.index = r.u32();
   s.bit = r.u32();
   s.phase_delta_rad = r.f64();
   return s;
+}
+
+void put_point(Writer& w, const SweepPoint& p) {
+  w.u32(p.cell);
+  w.u8(static_cast<std::uint8_t>(p.target));
+  w.u8(static_cast<std::uint8_t>(p.model));
+  w.b(p.pcm_weights);
+  w.f64(p.pcm_drift_time_s);
+  w.f64(p.temperature_k);
+  w.u32(static_cast<std::uint32_t>(p.adc_bits));
+}
+SweepPoint get_point(Reader& r) {
+  SweepPoint p;
+  p.cell = r.u32();
+  p.target = static_cast<FaultTarget>(r.u8_enum(
+      static_cast<std::uint8_t>(FaultTarget::kAccelPhase), "fault target"));
+  p.model = static_cast<FaultModel>(r.u8_enum(
+      static_cast<std::uint8_t>(FaultModel::kStuckAt1), "fault model"));
+  p.pcm_weights = r.b();
+  p.pcm_drift_time_s = r.f64();
+  p.temperature_k = r.f64();
+  p.adc_bits = static_cast<int>(r.u32());
+  return p;
+}
+
+void put_progress(Writer& w, const CampaignProgress& p) {
+  w.u64(p.shard_seq);
+  w.u64(p.trials_done);
+  w.u64(p.trials_total);
+}
+CampaignProgress get_progress(Reader& r) {
+  CampaignProgress p;
+  p.shard_seq = r.u64();
+  p.trials_done = r.u64();
+  p.trials_total = r.u64();
+  return p;
 }
 
 void put_spec_vec(Writer& w, const std::vector<FaultSpec>& specs) {
@@ -473,12 +544,9 @@ CampaignResult get_histogram(Reader& r) {
   CampaignResult res;
   const std::size_t n = r.count(9);
   for (std::size_t i = 0; i < n; ++i) {
-    const std::uint8_t outcome = r.u8();
-    if (outcome > static_cast<std::uint8_t>(Outcome::kDueHang))
-      throw std::runtime_error("campaign_io: invalid outcome " +
-                               std::to_string(outcome));
-    res.counts[static_cast<Outcome>(outcome)] =
-        static_cast<int>(r.u64());
+    const auto outcome = static_cast<Outcome>(
+        r.u8_enum(static_cast<std::uint8_t>(Outcome::kDueHang), "outcome"));
+    res.counts[outcome] = static_cast<int>(r.u64());
   }
   res.total = static_cast<int>(r.u64());
   return res;
@@ -512,6 +580,8 @@ std::vector<std::uint8_t> serialize_histogram(const CampaignResult& r) {
 std::vector<std::uint8_t> serialize_shard(const CampaignShard& shard) {
   Writer w;
   put_header(w, PayloadKind::kShard);
+  w.u64(shard.seq);
+  put_point(w, shard.point);
   put_system(w, shard.staged);
   w.u64(shard.golden.size());
   w.bytes(shard.golden.data(), shard.golden.size());
@@ -553,6 +623,8 @@ CampaignShard deserialize_shard(const std::uint8_t* data, std::size_t size) {
   Reader r(data, size);
   check_header(r, PayloadKind::kShard);
   CampaignShard shard;
+  shard.seq = r.u64();
+  shard.point = get_point(r);
   shard.staged = get_system(r);
   shard.golden.resize(r.count(1));
   r.bytes(shard.golden.data(), shard.golden.size());
@@ -564,6 +636,76 @@ CampaignShard deserialize_shard(const std::uint8_t* data, std::size_t size) {
   return shard;
 }
 
+std::vector<std::uint8_t> serialize_progress(const CampaignProgress& p) {
+  Writer w;
+  put_header(w, PayloadKind::kProgress);
+  put_progress(w, p);
+  return w.take();
+}
+
+CampaignProgress deserialize_progress(const std::uint8_t* data,
+                                      std::size_t size) {
+  Reader r(data, size);
+  check_header(r, PayloadKind::kProgress);
+  CampaignProgress p = get_progress(r);
+  r.expect_end();
+  return p;
+}
+
+std::vector<std::uint8_t> serialize_journal_entry(const JournalEntry& e) {
+  Writer w;
+  put_header(w, PayloadKind::kJournal);
+  w.u64(e.shard_seq);
+  put_histogram(w, e.hist);
+  return w.take();
+}
+
+JournalEntry deserialize_journal_entry(const std::uint8_t* data,
+                                       std::size_t size) {
+  Reader r(data, size);
+  check_header(r, PayloadKind::kJournal);
+  JournalEntry e;
+  e.shard_seq = r.u64();
+  e.hist = get_histogram(r);
+  r.expect_end();
+  return e;
+}
+
+PayloadKind payload_kind(const std::uint8_t* data, std::size_t size) {
+  Reader r(data, size);
+  return read_header(r);
+}
+
+std::vector<std::uint8_t> frame(const std::vector<std::uint8_t>& payload) {
+  Writer w;
+  w.u64(payload.size());
+  w.bytes(payload.data(), payload.size());
+  return w.take();
+}
+
+std::optional<std::vector<std::uint8_t>> FrameBuffer::next() {
+  if (buf_.size() - pos_ < 8) return std::nullopt;
+  std::uint64_t len = 0;
+  for (int i = 0; i < 8; ++i)
+    len |= static_cast<std::uint64_t>(buf_[pos_ + i]) << (8 * i);
+  if (len > kMaxFrameBytes)
+    throw std::runtime_error(
+        "campaign_io: frame length " + std::to_string(len) +
+        " exceeds the " + std::to_string(kMaxFrameBytes) +
+        "-byte frame cap (corrupt stream)");
+  if (buf_.size() - pos_ - 8 < len) return std::nullopt;
+  std::vector<std::uint8_t> payload(buf_.begin() + pos_ + 8,
+                                    buf_.begin() + pos_ + 8 + len);
+  pos_ += 8 + static_cast<std::size_t>(len);
+  // Reclaim consumed prefix once it dominates the buffer, keeping feed()
+  // amortized O(1) over long worker streams.
+  if (pos_ > (1u << 16) && pos_ * 2 > buf_.size()) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  return payload;
+}
+
 CampaignResult merge_histograms(const std::vector<CampaignResult>& shards) {
   CampaignResult merged;
   for (const CampaignResult& s : shards) {
@@ -572,6 +714,36 @@ CampaignResult merge_histograms(const std::vector<CampaignResult>& shards) {
     merged.total += s.total;
   }
   return merged;
+}
+
+std::vector<CampaignShard> plan_shards(FaultCampaign& campaign,
+                                       const std::vector<FaultSpec>& specs,
+                                       std::size_t shard_count,
+                                       std::uint32_t ladder_rungs,
+                                       const SweepPoint& point,
+                                       std::uint64_t first_seq) {
+  if (shard_count == 0) shard_count = 1;
+  if (shard_count > specs.size() && !specs.empty())
+    shard_count = specs.size();
+  std::vector<CampaignShard> shards;
+  shards.reserve(shard_count);
+  const std::size_t per = specs.empty() ? 0 : specs.size() / shard_count;
+  for (std::size_t k = 0; k < shard_count; ++k) {
+    CampaignShard shard;
+    shard.seq = first_seq + k;
+    shard.point = point;
+    shard.staged = campaign.staged_snapshot();
+    shard.golden = campaign.golden();
+    shard.golden_cycles = campaign.golden_cycles();
+    shard.max_cycles = campaign.max_cycles();
+    shard.ladder_rungs = ladder_rungs;
+    const std::size_t lo = k * per;
+    const std::size_t hi = (k + 1 == shard_count) ? specs.size() : lo + per;
+    shard.specs.assign(specs.begin() + static_cast<std::ptrdiff_t>(lo),
+                       specs.begin() + static_cast<std::ptrdiff_t>(hi));
+    shards.push_back(std::move(shard));
+  }
+  return shards;
 }
 
 }  // namespace aspen::sys

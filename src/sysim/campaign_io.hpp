@@ -13,16 +13,26 @@
 ///   CampaignResult          — a verdict histogram
 ///   CampaignShard           — one worker's complete input (snapshot +
 ///                             golden reference + specs + budget)
+///   CampaignProgress        — a worker heartbeat (trials completed)
+///   JournalEntry            — a completed-shard record (resume marker)
 ///
 /// Every payload starts with an 8-byte header (magic, format version,
 /// payload kind); deserialization validates all three and every enum in
-/// the body, throwing std::runtime_error with a precise message rather
-/// than constructing half-formed state. Scalars are little-endian,
+/// the body, throwing std::runtime_error whose message carries the byte
+/// offset and the expected-vs-actual sizes rather than constructing
+/// half-formed state — a short pipe read and a malformed enum are
+/// distinguishable from the message alone. Scalars are little-endian,
 /// doubles are IEEE-754 bit patterns and the RNG engine is captured via
 /// its standard stream representation, so round-trips are bit-exact and
 /// merged multi-process histograms match the serial run bit-for-bit.
+///
+/// Payloads that travel over a byte *stream* (worker stdout, journal
+/// files) are wrapped in frames — a u64 length prefix followed by the
+/// payload — reassembled by FrameBuffer, so heartbeats and the final
+/// histogram share one pipe without ambiguity.
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "sysim/fault.hpp"
@@ -31,7 +41,9 @@
 namespace aspen::sys {
 
 /// Format version; bump on any layout change (readers reject mismatches).
-inline constexpr std::uint16_t kCampaignWireVersion = 1;
+/// v2: CampaignShard gained `seq` + `point` (sweep-cell parameters), and
+/// the stream kinds kProgress / kJournal joined the protocol.
+inline constexpr std::uint16_t kCampaignWireVersion = 2;
 
 /// Payload discriminator carried in the header.
 enum class PayloadKind : std::uint16_t {
@@ -39,6 +51,24 @@ enum class PayloadKind : std::uint16_t {
   kSpecBatch = 2,
   kHistogram = 3,
   kShard = 4,
+  kProgress = 5,
+  kJournal = 6,
+};
+
+/// One cell of the multi-axis NEUROPULS sweep (fault target/model x PCM
+/// drift x temperature x ENOB). Shipped inside every shard so the worker
+/// process can rebuild the *configuration* of the coordinator's platform
+/// — the snapshot restores state, but detector temperature, ADC
+/// resolution and weight technology live in the config and must match on
+/// both sides for the trials to be bit-identical.
+struct SweepPoint {
+  std::uint32_t cell = 0;  ///< grid cell index (journal/report key)
+  FaultTarget target = FaultTarget::kCpuRegfile;
+  FaultModel model = FaultModel::kTransientFlip;
+  bool pcm_weights = false;       ///< kPcm weight technology
+  double pcm_drift_time_s = 0.0;  ///< seconds since PCM programming
+  double temperature_k = 300.0;   ///< detector temperature
+  int adc_bits = 8;               ///< ADC resolution (ENOB axis)
 };
 
 /// One worker's complete campaign input: the coordinator's staged
@@ -47,6 +77,11 @@ enum class PayloadKind : std::uint16_t {
 /// adopts the snapshot, and classifies against the shipped golden bytes
 /// so all processes share one reference.
 struct CampaignShard {
+  /// Orchestrator sequence number: unique per shard across a campaign,
+  /// stable across resume (it keys the journal).
+  std::uint64_t seq = 0;
+  /// Sweep-cell parameters the worker rebuilds its config from.
+  SweepPoint point;
   System::SystemSnapshot staged;
   std::vector<std::uint8_t> golden;
   std::uint64_t golden_cycles = 0;
@@ -54,6 +89,22 @@ struct CampaignShard {
   /// Checkpoint-ladder rungs the worker should build (<= 1 disables).
   std::uint32_t ladder_rungs = 0;
   std::vector<FaultSpec> specs;
+};
+
+/// Worker heartbeat: emitted between trial chunks so the orchestrator
+/// can tell a slow shard from a hung worker.
+struct CampaignProgress {
+  std::uint64_t shard_seq = 0;
+  std::uint64_t trials_done = 0;
+  std::uint64_t trials_total = 0;
+};
+
+/// Completed-shard record appended to the on-disk journal: a killed
+/// orchestrator resumes by replaying these and re-running only the
+/// shards without one.
+struct JournalEntry {
+  std::uint64_t shard_seq = 0;
+  CampaignResult hist;
 };
 
 // -- Serialization (header + body) ----------------------------------------
@@ -65,6 +116,10 @@ struct CampaignShard {
     const CampaignResult& r);
 [[nodiscard]] std::vector<std::uint8_t> serialize_shard(
     const CampaignShard& shard);
+[[nodiscard]] std::vector<std::uint8_t> serialize_progress(
+    const CampaignProgress& p);
+[[nodiscard]] std::vector<std::uint8_t> serialize_journal_entry(
+    const JournalEntry& e);
 
 // -- Deserialization (throws std::runtime_error on malformed payloads) ----
 [[nodiscard]] System::SystemSnapshot deserialize_snapshot(
@@ -75,6 +130,10 @@ struct CampaignShard {
                                                    std::size_t size);
 [[nodiscard]] CampaignShard deserialize_shard(const std::uint8_t* data,
                                               std::size_t size);
+[[nodiscard]] CampaignProgress deserialize_progress(const std::uint8_t* data,
+                                                    std::size_t size);
+[[nodiscard]] JournalEntry deserialize_journal_entry(const std::uint8_t* data,
+                                                     std::size_t size);
 
 [[nodiscard]] inline System::SystemSnapshot deserialize_snapshot(
     const std::vector<std::uint8_t>& b) {
@@ -92,6 +151,52 @@ struct CampaignShard {
     const std::vector<std::uint8_t>& b) {
   return deserialize_shard(b.data(), b.size());
 }
+[[nodiscard]] inline CampaignProgress deserialize_progress(
+    const std::vector<std::uint8_t>& b) {
+  return deserialize_progress(b.data(), b.size());
+}
+[[nodiscard]] inline JournalEntry deserialize_journal_entry(
+    const std::vector<std::uint8_t>& b) {
+  return deserialize_journal_entry(b.data(), b.size());
+}
+
+// -- Stream framing --------------------------------------------------------
+
+/// Upper bound on a framed payload; a length prefix beyond this is
+/// treated as stream corruption, not an allocation request.
+inline constexpr std::uint64_t kMaxFrameBytes = 1ull << 30;
+
+/// Peek at a serialized payload's kind (validates magic + version).
+[[nodiscard]] PayloadKind payload_kind(const std::uint8_t* data,
+                                       std::size_t size);
+[[nodiscard]] inline PayloadKind payload_kind(
+    const std::vector<std::uint8_t>& b) {
+  return payload_kind(b.data(), b.size());
+}
+
+/// Wrap a payload in a stream frame: u64 little-endian length + payload.
+[[nodiscard]] std::vector<std::uint8_t> frame(
+    const std::vector<std::uint8_t>& payload);
+
+/// Incremental frame reassembly for byte streams (worker pipes, journal
+/// files): feed() arbitrary chunks, next() yields each complete payload.
+/// A partial frame simply waits for more bytes; an insane length prefix
+/// (> kMaxFrameBytes) throws — corrupt streams fail loudly, they do not
+/// allocate terabytes.
+class FrameBuffer {
+ public:
+  void feed(const std::uint8_t* data, std::size_t n) {
+    buf_.insert(buf_.end(), data, data + n);
+  }
+  void feed(const std::vector<std::uint8_t>& b) { feed(b.data(), b.size()); }
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> next();
+  /// Bytes buffered but not yet consumed by next().
+  [[nodiscard]] std::size_t pending() const { return buf_.size() - pos_; }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+  std::size_t pos_ = 0;
+};
 
 /// Deterministic histogram merge: shard counts sum per outcome (the map
 /// is ordered, so the result is independent of shard arrival order).
@@ -99,5 +204,17 @@ struct CampaignShard {
 /// merged histogram is bit-identical to the serial campaign's.
 [[nodiscard]] CampaignResult merge_histograms(
     const std::vector<CampaignResult>& shards);
+
+/// Shard planning: partition a serially drawn spec list into
+/// `shard_count` contiguous shards, each carrying the campaign's staged
+/// snapshot, golden reference and cycle budget plus the sweep-cell
+/// parameters and a stable sequence number starting at `first_seq`.
+/// Contiguous partitioning is what makes the merged histogram
+/// bit-identical to the serial run — trials are independent and every
+/// spec lands in exactly one shard. Trailing specs go to the last shard.
+[[nodiscard]] std::vector<CampaignShard> plan_shards(
+    FaultCampaign& campaign, const std::vector<FaultSpec>& specs,
+    std::size_t shard_count, std::uint32_t ladder_rungs = 0,
+    const SweepPoint& point = {}, std::uint64_t first_seq = 0);
 
 }  // namespace aspen::sys

@@ -43,6 +43,13 @@ double CampaignResult::fraction(Outcome o) const {
   return static_cast<double>(it->second) / static_cast<double>(total);
 }
 
+CampaignResult histogram_of(const std::vector<Outcome>& outcomes) {
+  CampaignResult r;
+  for (const Outcome o : outcomes) ++r.counts[o];
+  r.total = static_cast<int>(outcomes.size());
+  return r;
+}
+
 FaultCampaign::FaultCampaign(SystemFactory factory, OutputReader read_output,
                              std::uint64_t max_cycles)
     : factory_(std::move(factory)),
@@ -74,6 +81,11 @@ const std::vector<std::uint8_t>& FaultCampaign::golden() {
 std::uint64_t FaultCampaign::golden_cycles() {
   (void)golden();
   return golden_cycles_;
+}
+
+const System::SystemSnapshot& FaultCampaign::staged_snapshot() {
+  ensure_staged();
+  return staged_;
 }
 
 void FaultCampaign::build_ladder(unsigned rungs) {

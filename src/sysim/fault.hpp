@@ -67,6 +67,10 @@ struct CampaignResult {
   [[nodiscard]] double fraction(Outcome o) const;
 };
 
+/// Histogram of a verdict list — the one reduction every campaign
+/// consumer (bench, orchestrator, sweep harness, tests) performs.
+[[nodiscard]] CampaignResult histogram_of(const std::vector<Outcome>& outcomes);
+
 class FaultCampaign {
  public:
   /// `factory` builds a fully staged system (program + data loaded);
@@ -85,6 +89,11 @@ class FaultCampaign {
   const std::vector<std::uint8_t>& golden();
   /// Cycle count of the golden run (for sampling injection times).
   [[nodiscard]] std::uint64_t golden_cycles();
+  /// The staged snapshot every trial restores from (stages lazily) — the
+  /// image shard planners ship to worker processes.
+  [[nodiscard]] const System::SystemSnapshot& staged_snapshot();
+  /// The per-trial cycle budget this campaign classifies against.
+  [[nodiscard]] std::uint64_t max_cycles() const { return max_cycles_; }
 
   /// Build a checkpoint ladder: `rungs` snapshots (rung 0 = the staged
   /// system) at evenly spaced cycles across the golden run's window.

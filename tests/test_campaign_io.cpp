@@ -183,6 +183,13 @@ TEST(CampaignIoTest, ShardRoundTrip) {
   FaultCampaign campaign(make_factory(504), make_reader(), kMaxCycles);
 
   CampaignShard shard;
+  shard.seq = 42;
+  shard.point.cell = 7;
+  shard.point.target = FaultTarget::kAccelPhase;
+  shard.point.pcm_weights = true;
+  shard.point.pcm_drift_time_s = 3600.0;
+  shard.point.temperature_k = 340.0;
+  shard.point.adc_bits = 6;
   shard.staged = factory()->snapshot();
   shard.golden = campaign.golden();
   shard.golden_cycles = campaign.golden_cycles();
@@ -193,12 +200,88 @@ TEST(CampaignIoTest, ShardRoundTrip) {
   const std::vector<std::uint8_t> wire = serialize_shard(shard);
   const CampaignShard back = deserialize_shard(wire);
   EXPECT_EQ(serialize_shard(back), wire);
+  EXPECT_EQ(back.seq, shard.seq);
+  EXPECT_EQ(back.point.cell, shard.point.cell);
+  EXPECT_EQ(back.point.target, shard.point.target);
+  EXPECT_EQ(back.point.pcm_weights, shard.point.pcm_weights);
+  EXPECT_EQ(back.point.pcm_drift_time_s, shard.point.pcm_drift_time_s);
+  EXPECT_EQ(back.point.temperature_k, shard.point.temperature_k);
+  EXPECT_EQ(back.point.adc_bits, shard.point.adc_bits);
   EXPECT_EQ(back.golden, shard.golden);
   EXPECT_EQ(back.golden_cycles, shard.golden_cycles);
   EXPECT_EQ(back.max_cycles, shard.max_cycles);
   EXPECT_EQ(back.ladder_rungs, shard.ladder_rungs);
   EXPECT_EQ(back.specs.size(), shard.specs.size());
   EXPECT_EQ(serialize_snapshot(back.staged), serialize_snapshot(shard.staged));
+}
+
+TEST(CampaignIoTest, ProgressAndJournalRoundTrip) {
+  const CampaignProgress p{911, 64, 256};
+  const std::vector<std::uint8_t> pw = serialize_progress(p);
+  EXPECT_EQ(payload_kind(pw), PayloadKind::kProgress);
+  const CampaignProgress pb = deserialize_progress(pw);
+  EXPECT_EQ(pb.shard_seq, p.shard_seq);
+  EXPECT_EQ(pb.trials_done, p.trials_done);
+  EXPECT_EQ(pb.trials_total, p.trials_total);
+  EXPECT_EQ(serialize_progress(pb), pw);
+
+  JournalEntry e;
+  e.shard_seq = 911;
+  e.hist.counts[Outcome::kMasked] = 60;
+  e.hist.counts[Outcome::kSdc] = 4;
+  e.hist.total = 64;
+  const std::vector<std::uint8_t> ew = serialize_journal_entry(e);
+  EXPECT_EQ(payload_kind(ew), PayloadKind::kJournal);
+  const JournalEntry eb = deserialize_journal_entry(ew);
+  EXPECT_EQ(eb.shard_seq, e.shard_seq);
+  EXPECT_EQ(eb.hist.counts, e.hist.counts);
+  EXPECT_EQ(eb.hist.total, e.hist.total);
+  EXPECT_EQ(serialize_journal_entry(eb), ew);
+
+  // Kind mismatch across the new payloads is rejected like any other.
+  EXPECT_THROW((void)deserialize_progress(ew), std::runtime_error);
+  EXPECT_THROW((void)deserialize_journal_entry(pw), std::runtime_error);
+}
+
+TEST(CampaignIoTest, FrameBufferReassemblesByteDribbledStreams) {
+  // Three frames of different kinds, delivered one byte at a time — the
+  // worst pipe fragmentation possible. FrameBuffer must hand back each
+  // payload whole, in order.
+  const std::vector<std::vector<std::uint8_t>> payloads = {
+      serialize_progress({1, 0, 8}),
+      serialize_progress({1, 8, 8}),
+      serialize_histogram({{{Outcome::kMasked, 8}}, 8}),
+  };
+  std::vector<std::uint8_t> stream;
+  for (const auto& p : payloads) {
+    const auto f = frame(p);
+    stream.insert(stream.end(), f.begin(), f.end());
+  }
+
+  FrameBuffer fb;
+  std::vector<std::vector<std::uint8_t>> got;
+  for (const std::uint8_t byte : stream) {
+    fb.feed(&byte, 1);
+    while (const auto p = fb.next()) got.push_back(*p);
+  }
+  ASSERT_EQ(got.size(), payloads.size());
+  for (std::size_t i = 0; i < payloads.size(); ++i)
+    EXPECT_EQ(got[i], payloads[i]);
+  EXPECT_EQ(fb.pending(), 0u);
+
+  // A partial tail frame stays buffered, never yielded.
+  const auto tail = frame(payloads[0]);
+  fb.feed(tail.data(), tail.size() - 3);
+  EXPECT_FALSE(fb.next().has_value());
+  EXPECT_GT(fb.pending(), 0u);
+
+  // An insane length prefix is corruption, not an allocation request.
+  FrameBuffer evil;
+  std::uint8_t huge[8];
+  const std::uint64_t len = kMaxFrameBytes + 1;
+  std::memcpy(huge, &len, 8);
+  evil.feed(huge, 8);
+  EXPECT_THROW((void)evil.next(), std::runtime_error);
 }
 
 // ------------------------------------------------------ malformed payloads
@@ -255,6 +338,72 @@ TEST(CampaignIoTest, MalformedPayloadsRejected) {
   bad[8] = 0xFF;
   bad[9] = 0xFF;
   EXPECT_THROW((void)deserialize_specs(bad), std::runtime_error);
+}
+
+/// The satellite contract for pipe debugging: a truncated payload and a
+/// malformed enum must be distinguishable from the exception message
+/// alone, and the message must locate the damage (byte offset) and
+/// quantify it (expected vs actual sizes).
+TEST(CampaignIoTest, MalformedPayloadErrorsCarryOffsetsAndSizes) {
+  FaultCampaign campaign(make_factory(510), make_reader(), kMaxCycles);
+  aspen::lina::Rng rng(511);
+  const auto specs = campaign.sample_specs(FaultTarget::kCpuRegfile,
+                                           FaultModel::kTransientFlip, 3, rng);
+  const std::vector<std::uint8_t> good = serialize_specs(specs);
+
+  const auto message_of = [](const auto& fn) -> std::string {
+    try {
+      fn();
+    } catch (const std::runtime_error& e) {
+      return e.what();
+    }
+    return "";
+  };
+
+  // Short read: the message names the missing vs remaining byte counts
+  // and the offset where the reader ran dry. (A progress payload is
+  // fixed-size, so truncation lands mid-field rather than tripping the
+  // element-count guard first.)
+  const std::vector<std::uint8_t> prog = serialize_progress({9, 1, 4});
+  const std::string trunc = message_of(
+      [&] { (void)deserialize_progress(prog.data(), prog.size() - 5); });
+  EXPECT_NE(trunc.find("truncated payload"), std::string::npos) << trunc;
+  EXPECT_NE(trunc.find("byte offset"), std::string::npos) << trunc;
+  EXPECT_NE(trunc.find("remain"), std::string::npos) << trunc;
+  EXPECT_NE(trunc.find(std::to_string(prog.size() - 5) + "-byte payload"),
+            std::string::npos)
+      << trunc;
+
+  // Malformed enum: offset of the bad byte plus the valid range.
+  std::vector<std::uint8_t> bad = good;
+  bad[16] = 0xEE;  // first spec's target (header 8 + count 8)
+  const std::string enum_msg = message_of([&] { (void)deserialize_specs(bad); });
+  EXPECT_NE(enum_msg.find("invalid"), std::string::npos) << enum_msg;
+  EXPECT_NE(enum_msg.find("238"), std::string::npos) << enum_msg;  // 0xEE
+  EXPECT_NE(enum_msg.find("byte offset 16"), std::string::npos) << enum_msg;
+  EXPECT_NE(enum_msg.find("valid: 0.."), std::string::npos) << enum_msg;
+
+  // Oversized count: the claimed element count vs the remaining bytes.
+  bad = good;
+  bad[8] = 0xFF;
+  bad[9] = 0xFF;
+  const std::string count_msg =
+      message_of([&] { (void)deserialize_specs(bad); });
+  EXPECT_NE(count_msg.find("element count"), std::string::npos) << count_msg;
+  EXPECT_NE(count_msg.find("exceeds the remaining payload"),
+            std::string::npos)
+      << count_msg;
+  EXPECT_NE(count_msg.find("byte offset 8"), std::string::npos) << count_msg;
+
+  // Trailing garbage: how many bytes were left over, and where the
+  // payload should have ended.
+  bad = good;
+  bad.insert(bad.end(), {1, 2, 3});
+  const std::string trail = message_of([&] { (void)deserialize_specs(bad); });
+  EXPECT_NE(trail.find("3 trailing bytes"), std::string::npos) << trail;
+  EXPECT_NE(trail.find("byte offset " + std::to_string(good.size())),
+            std::string::npos)
+      << trail;
 }
 
 // ------------------------------------------- sharded execution end to end
