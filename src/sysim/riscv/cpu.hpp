@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "sysim/bus.hpp"
+#include "sysim/riscv/block_cache.hpp"
 
 namespace aspen::sys::rv {
 
@@ -44,6 +45,12 @@ struct CpuConfig {
   /// predecoded micro-op cache + DRAM fast path. Kept for differential
   /// testing and before/after benchmarking; results are bit-identical.
   bool legacy_decode = false;
+  /// Basic-block translation tier inside run_burst(): straight-line
+  /// runs decode once into chained, macro-op-fused blocks. Defaults on
+  /// (override with ASPEN_BLOCK_TIER=0); the uop-at-a-time path
+  /// (false) and legacy_decode both remain as differential oracles —
+  /// all three tiers are bit-identical.
+  bool block_tier = block_tier_env_default();
 };
 
 enum class Halt {
@@ -160,29 +167,18 @@ class Cpu final : public BusWriteObserver {
   /// on addresses the fast path already has in registers.
   void publish_store_spans();
 
+  /// Block-tier diagnostics (blocks built, chained dispatches, fused
+  /// pairs, evictions, hit rate). All zero when the tier is off.
+  [[nodiscard]] const BlockStats& block_stats() const {
+    return blocks_.stats();
+  }
+  [[nodiscard]] bool block_tier_active() const {
+    return cfg_.block_tier && !cfg_.legacy_decode;
+  }
+
  private:
-  /// Decoded micro-operation: one fetched word reduced to a dense
-  /// handler tag plus pre-extracted register indices and a pre-extended
-  /// immediate (shamt / CSR number reuse the imm slot).
-  struct MicroOp {
-    enum Op : std::uint8_t {
-      kLui, kAuipc, kJal, kJalr,
-      kBeq, kBne, kBlt, kBge, kBltu, kBgeu,
-      kLb, kLh, kLw, kLbu, kLhu,
-      kSb, kSh, kSw,
-      kAddi, kSlti, kSltiu, kXori, kOri, kAndi, kSlli, kSrli, kSrai,
-      kAdd, kSub, kSll, kSlt, kSltu, kXor, kSrl, kSra, kOr, kAnd,
-      kMul, kMulh, kMulhsu, kMulhu, kDiv, kDivu, kRem, kRemu,
-      kFence, kEcall, kEbreak, kWfi, kMret,
-      kCsrrw, kCsrrs, kCsrrc, kCsrrwi, kCsrrsi, kCsrrci,
-      kIllegal,
-    };
-    std::uint8_t op = kIllegal;
-    std::uint8_t rd = 0;
-    std::uint8_t rs1 = 0;
-    std::uint8_t rs2 = 0;
-    std::uint32_t imm = 0;
-  };
+  // MicroOp lives at namespace scope in block_cache.hpp, shared with
+  // the block tier.
   struct ICacheEntry {
     std::uint32_t tag = kInvalidTag;
     MicroOp uop;
@@ -197,6 +193,32 @@ class Cpu final : public BusWriteObserver {
   /// instruction.
   void step();
   void exec_op(const MicroOp& u);
+  // -- Block translation tier ----------------------------------------------
+  /// run_burst() body when cfg.block_tier is on: dispatch translated
+  /// blocks (chain -> lookup -> build), falling back to single-step
+  /// step() iterations whenever a block cannot be used (MMIO-resident
+  /// code, revoked fetch window, mid-pair resume points).
+  BurstResult run_burst_blocks(std::uint64_t budget);
+  /// Decode the straight-line run at `start` through the fetch window
+  /// into `blk` (with the fusion peephole). False when no instruction
+  /// could be read; the block is left invalid.
+  bool build_block(Block& blk, std::uint32_t start);
+  /// Execute blk's ops with per-op cycle/instret/stall bookkeeping
+  /// identical to a run_burst iteration. Returns true when every op
+  /// retired (pc_ is at a block successor); false when the block or
+  /// burst must stop early (budget/stall exhaustion, bus event, halt,
+  /// WFI, or the block was invalidated by one of its own stores).
+  bool exec_block(const Block& blk, std::uint64_t& budget, BurstResult& r,
+                  std::uint64_t gen0);
+  /// One micro-op through the exact run_burst iteration shape (cycle
+  /// and budget consumption, fetch stall, exec, stall burn). Caller
+  /// guarantees budget >= 1. Returns false when the block/burst must
+  /// stop after this op.
+  bool retire_half(const MicroOp& u, std::uint64_t& budget, BurstResult& r);
+  /// Compute-only register-op core (LUI/AUIPC, OP-IMM, OP, M, fence):
+  /// no cycle/stall/pc bookkeeping — callers account for those. Shared
+  /// by retire_half and exec_block's static runs.
+  void exec_alu(const MicroOp& u);
   void exec(std::uint32_t inst);  ///< legacy decode-every-fetch path
   void take_trap(std::uint32_t cause, std::uint32_t epc);
   [[nodiscard]] std::uint32_t read_csr(std::uint32_t addr) const;
@@ -260,8 +282,11 @@ class Cpu final : public BusWriteObserver {
   std::array<BusDevice*, 2> observed_devs_{};
   bool reg_faults_armed_ = false;  ///< any stuck bits on the register file
   std::vector<ICacheEntry> icache_;
-  std::uint32_t icache_lo_ = 0xFFFFFFFFu;  ///< cached-PC range for cheap
-  std::uint32_t icache_hi_ = 0;            ///< store-invalidation rejects
+  /// Byte extent [lo, hi) of cached instructions (entry tag t covers
+  /// [t, t+4)) for cheap store-invalidation rejects; exact at both
+  /// edges, including half-word-aligned tags.
+  ByteExtent icache_ext_;
+  BlockCache blocks_;  ///< basic-block translation tier (cfg.block_tier)
 
   // Machine CSRs.
   std::uint32_t mstatus_ = 0;

@@ -1090,4 +1090,77 @@ TEST(FaultTest, LadderVerdictsMatchRung0Oracle) {
   EXPECT_EQ(oracle, campaign.run_trials(specs, 1));
 }
 
+// --------------------------------------- cached-code extent arithmetic
+
+TEST(ByteExtentTest, ExactEdgesNoSlack) {
+  ByteExtent e;
+  EXPECT_TRUE(e.empty());
+  EXPECT_FALSE(e.overlaps(0, 4));
+  e.grow(0x100, 0x140);  // covers [0x100, 0x140)
+  EXPECT_FALSE(e.empty());
+  // Spans ending exactly at lo or starting exactly at hi do not touch.
+  EXPECT_FALSE(e.overlaps(0xFC, 4));
+  EXPECT_FALSE(e.overlaps(0x140, 4));
+  // One byte inside either edge does.
+  EXPECT_TRUE(e.overlaps(0xFD, 4));
+  EXPECT_TRUE(e.overlaps(0x13F, 1));
+  // Halfword spans landing exactly on either edge.
+  EXPECT_TRUE(e.overlaps(0x13E, 2));
+  EXPECT_TRUE(e.overlaps(0xFF, 2));
+  EXPECT_FALSE(e.overlaps(0xFE, 2));
+  // Zero-length spans never overlap.
+  EXPECT_FALSE(e.overlaps(0x120, 0));
+}
+
+TEST(ByteExtentTest, TopOfAddressSpaceDoesNotWrap) {
+  ByteExtent e;
+  e.grow(0xFFFFFFF0u, 0xFFFFFFF8u);
+  EXPECT_TRUE(e.overlaps(0xFFFFFFF4u, 0x10));  // span runs past 2^32
+  EXPECT_FALSE(e.overlaps(0xFFFFFFF8u, 0xFF));
+  e.reset();
+  EXPECT_TRUE(e.empty());
+  EXPECT_FALSE(e.overlaps(0xFFFFFFF4u, 0x10));
+}
+
+TEST(ByteExtentTest, HalfwordStoreOnTailOfCachedInstructionRedecodes) {
+  // sh whose two bytes cover only the upper half of an already-executed
+  // instruction: the exact [lo, hi) extent arithmetic must still evict
+  // and re-decode it in both the micro-op cache and the block cache (a
+  // rounding or slack bug here silently executes stale code).
+  SystemConfig sc;
+  Assembler enc(sc.dram_base);
+  enc.addi(a0, zero, 77);
+  // addi a0,zero,11 and addi a0,zero,77 differ only in the upper half.
+  const std::uint32_t hi_half = enc.assemble()[0] >> 16;
+
+  // li expansion length depends on the patch address: fixed point.
+  std::uint32_t patch_addr = sc.dram_base;
+  std::vector<std::uint32_t> program;
+  for (int iter = 0; iter < 4; ++iter) {
+    Assembler as(sc.dram_base);
+    as.li(t0, patch_addr);
+    as.li(t1, hi_half);
+    as.li(s0, 0);
+    as.li(s1, 2);
+    as.label("loop");
+    as.label("patch");
+    as.addi(a0, zero, 11);
+    as.sh(t1, t0, 2);  // touches only bytes [patch+2, patch+4)
+    as.addi(s0, s0, 1);
+    as.blt(s0, s1, "loop");
+    as.ebreak();
+    const std::uint32_t found = as.address_of("patch");
+    program = as.assemble();
+    if (found == patch_addr) break;
+    patch_addr = found;
+  }
+
+  System system(sc);
+  system.load_program(program);
+  const System::RunResult res = system.run();
+  EXPECT_EQ(res.halt, Halt::kEbreak);
+  EXPECT_EQ(system.cpu().read_reg(10), 77u)
+      << "patched upper half must be re-decoded on the next iteration";
+}
+
 }  // namespace

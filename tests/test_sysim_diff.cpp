@@ -1,15 +1,18 @@
 // Differential suite for the event-driven sysim rebuild: every workload
 // program plus interrupt/WFI, self-modifying-code and fault-injection
-// scenarios run through BOTH execution paths —
+// scenarios run through ALL THREE execution tiers —
 //   legacy: decode-every-fetch interpreter + per-cycle System ticking
-//   fast:   predecoded micro-op cache + DRAM fast path + bulk cycle
-//           skipping (the defaults)
+//   uop:    predecoded micro-op cache + DRAM fast path + bulk cycle
+//           skipping
+//   block:  basic-block translation (block cache, chaining, macro-op
+//           fusion) on top of the uop engine
 // — asserting bit-identical cycles, instret, halt reason, exit code,
 // final register file and final DRAM image. This is the contract that
 // lets the fault campaigns trust the optimized simulator.
 #include <gtest/gtest.h>
 
 #include <array>
+#include <cstring>
 #include <functional>
 
 #include "sysim/fault.hpp"
@@ -28,33 +31,66 @@ std::vector<std::int16_t> random_fixed(std::size_t count, std::uint64_t seed) {
   return v;
 }
 
-/// Everything architecturally observable after a run.
+/// Execution tiers under differential test. The per-cycle interpreter
+/// is the oracle; the uop-at-a-time engine and the block translation
+/// tier built on top of it must both match it bit for bit.
+enum class Tier { kLegacy, kUop, kBlock };
+
+constexpr Tier kFastTiers[] = {Tier::kUop, Tier::kBlock};
+
+const char* tier_name(Tier t) {
+  switch (t) {
+    case Tier::kLegacy: return "legacy";
+    case Tier::kUop: return "uop";
+    default: return "block";
+  }
+}
+
+SystemConfig with_tier(SystemConfig sc, Tier t) {
+  sc.event_driven = t != Tier::kLegacy;
+  sc.cpu.legacy_decode = t == Tier::kLegacy;
+  // Explicit on both fast tiers: the default tracks ASPEN_BLOCK_TIER,
+  // and this suite must pin all three tiers regardless of environment.
+  sc.cpu.block_tier = t == Tier::kBlock;
+  return sc;
+}
+
+/// Everything architecturally observable after a run (bstats is
+/// diagnostic-only: captured for block-tier assertions, not diffed).
 struct Capture {
   System::RunResult result;
   std::uint64_t system_cycle = 0;
   std::array<std::uint32_t, 32> regs{};
   std::vector<std::uint8_t> dram;
+  BlockStats bstats;
 };
 
-SystemConfig with_mode(SystemConfig sc, bool legacy) {
-  sc.event_driven = !legacy;
-  sc.cpu.legacy_decode = legacy;
-  return sc;
-}
-
-Capture run_mode(const SystemConfig& sc_base, bool legacy,
-                 const std::vector<std::uint32_t>& program,
-                 const std::function<void(System&)>& stage = {}) {
-  System system(with_mode(sc_base, legacy));
-  if (stage) stage(system);
-  system.load_program(program);
+/// Everything a trial can observe, captured from a live system.
+Capture capture_state(System& system) {
   Capture c;
-  c.result = system.run();
+  c.result.cycles = system.cpu().cycles();
+  c.result.instret = system.cpu().instret();
+  c.result.halt = system.cpu().halt_reason();
+  c.result.exit_code = system.cpu().halted() ? system.cpu().exit_code() : 0;
+  c.result.timed_out = !system.cpu().halted();
   c.system_cycle = system.now();
   for (int i = 0; i < 32; ++i)
     c.regs[static_cast<std::size_t>(i)] = system.cpu().read_reg(i);
   c.dram.resize(system.config().dram_size);
   system.read_dram(0, c.dram.data(), c.dram.size());
+  c.bstats = system.cpu().block_stats();
+  return c;
+}
+
+Capture run_tier(const SystemConfig& sc_base, Tier tier,
+                 const std::vector<std::uint32_t>& program,
+                 const std::function<void(System&)>& stage = {}) {
+  System system(with_tier(sc_base, tier));
+  if (stage) stage(system);
+  system.load_program(program);
+  const System::RunResult result = system.run();
+  Capture c = capture_state(system);
+  c.result = result;
   return c;
 }
 
@@ -73,9 +109,34 @@ void expect_identical(const Capture& legacy, const Capture& fast,
 void diff_program(const SystemConfig& sc,
                   const std::vector<std::uint32_t>& program, const char* what,
                   const std::function<void(System&)>& stage = {}) {
-  const Capture legacy = run_mode(sc, /*legacy=*/true, program, stage);
-  const Capture fast = run_mode(sc, /*legacy=*/false, program, stage);
-  expect_identical(legacy, fast, what);
+  const Capture legacy = run_tier(sc, Tier::kLegacy, program, stage);
+  for (const Tier tier : kFastTiers) {
+    const Capture fast = run_tier(sc, tier, program, stage);
+    expect_identical(
+        legacy, fast,
+        (std::string(what) + " [" + tier_name(tier) + "]").c_str());
+  }
+}
+
+/// Drive a fresh system per tier through an arbitrary scenario (mid-run
+/// injections, staged runs), diff both fast tiers against legacy, and
+/// return the block-tier capture for tier-specific assertions.
+Capture diff_drive(const SystemConfig& sc, const char* what,
+                   const std::function<void(System&)>& drive) {
+  System legacy_sys(with_tier(sc, Tier::kLegacy));
+  drive(legacy_sys);
+  const Capture legacy = capture_state(legacy_sys);
+  Capture block;
+  for (const Tier tier : kFastTiers) {
+    System system(with_tier(sc, tier));
+    drive(system);
+    Capture c = capture_state(system);
+    expect_identical(
+        legacy, c,
+        (std::string(what) + " [" + tier_name(tier) + "]").c_str());
+    if (tier == Tier::kBlock) block = c;
+  }
+  return block;
 }
 
 AcceleratorConfig small_accel() {
@@ -186,10 +247,13 @@ TEST(SysimDiffTest, WfiDeadlockTimesOutAtSameCycle) {
   as.wfi();
   as.ebreak();
   const auto program = as.assemble();
-  const Capture legacy = run_mode(sc, true, program);
-  const Capture fast = run_mode(sc, false, program);
-  EXPECT_TRUE(fast.result.timed_out);
-  expect_identical(legacy, fast, "wfi deadlock");
+  const Capture legacy = run_tier(sc, Tier::kLegacy, program);
+  EXPECT_TRUE(legacy.result.timed_out);
+  for (const Tier tier : kFastTiers) {
+    const Capture fast = run_tier(sc, tier, program);
+    EXPECT_TRUE(fast.result.timed_out) << tier_name(tier);
+    expect_identical(legacy, fast, "wfi deadlock");
+  }
 }
 
 TEST(SysimDiffTest, DmaInterruptTrapHandler) {
@@ -230,11 +294,13 @@ TEST(SysimDiffTest, DmaInterruptTrapHandler) {
       src[i] = static_cast<std::uint8_t>(i * 3 + 1);
     s.write_dram(0x10000, src.data(), src.size());
   };
-  const Capture legacy = run_mode(sc, true, program, stage);
-  const Capture fast = run_mode(sc, false, program, stage);
-  EXPECT_EQ(fast.result.halt, Halt::kEcallExit);
-  EXPECT_EQ(fast.regs[11], 0x8000000Bu);  // mcause: machine external irq
-  expect_identical(legacy, fast, "dma interrupt trap");
+  const Capture legacy = run_tier(sc, Tier::kLegacy, program, stage);
+  for (const Tier tier : kFastTiers) {
+    const Capture fast = run_tier(sc, tier, program, stage);
+    EXPECT_EQ(fast.result.halt, Halt::kEcallExit) << tier_name(tier);
+    EXPECT_EQ(fast.regs[11], 0x8000000Bu);  // mcause: machine external irq
+    expect_identical(legacy, fast, "dma interrupt trap");
+  }
 }
 
 TEST(SysimDiffTest, DmaFaultAbortObservedIdentically) {
@@ -283,14 +349,16 @@ TEST(SysimDiffTest, DmaFaultAbortObservedIdentically) {
       src[i] = static_cast<std::uint8_t>(i + 1);
     s.write_dram(0x10000, src.data(), src.size());
   };
-  const Capture legacy = run_mode(sc, true, program, stage);
-  const Capture fast = run_mode(sc, false, program, stage);
-  EXPECT_EQ(fast.result.halt, Halt::kEcallExit);
-  EXPECT_EQ(fast.result.exit_code, DmaEngine::kStatusError);
-  EXPECT_EQ(fast.regs[11], DmaEngine::kStatusError);
-  EXPECT_EQ(fast.regs[12], 0x8000000Bu);  // mcause: machine external irq
-  EXPECT_EQ(fast.regs[13], 0u);           // W1C cleared ERROR
-  expect_identical(legacy, fast, "dma fault abort");
+  const Capture legacy = run_tier(sc, Tier::kLegacy, program, stage);
+  for (const Tier tier : kFastTiers) {
+    const Capture fast = run_tier(sc, tier, program, stage);
+    EXPECT_EQ(fast.result.halt, Halt::kEcallExit) << tier_name(tier);
+    EXPECT_EQ(fast.result.exit_code, DmaEngine::kStatusError);
+    EXPECT_EQ(fast.regs[11], DmaEngine::kStatusError);
+    EXPECT_EQ(fast.regs[12], 0x8000000Bu);  // mcause: machine external irq
+    EXPECT_EQ(fast.regs[13], 0u);           // W1C cleared ERROR
+    expect_identical(legacy, fast, "dma fault abort");
+  }
 }
 
 // ------------------------------------------------ self-modifying code
@@ -327,12 +395,163 @@ TEST(SysimDiffTest, SelfModifyingCodeReexecutesPatchedWord) {
     patch_addr = found;
   }
 
-  const Capture legacy = run_mode(sc, true, program);
-  const Capture fast = run_mode(sc, false, program);
-  EXPECT_EQ(fast.result.halt, Halt::kEbreak);
-  EXPECT_EQ(fast.regs[10], 77u)
-      << "second loop iteration must execute the patched instruction";
-  expect_identical(legacy, fast, "self-modifying code");
+  const Capture legacy = run_tier(sc, Tier::kLegacy, program);
+  for (const Tier tier : kFastTiers) {
+    const Capture fast = run_tier(sc, tier, program);
+    EXPECT_EQ(fast.result.halt, Halt::kEbreak) << tier_name(tier);
+    EXPECT_EQ(fast.regs[10], 77u)
+        << "second loop iteration must execute the patched instruction";
+    expect_identical(legacy, fast, "self-modifying code");
+  }
+}
+
+TEST(SysimDiffTest, SmcPatchesMiddleOfChainedHotLoop) {
+  // A hot loop split into chained blocks by an inner branch runs long
+  // enough for the block tier to chain it; then a store from one block
+  // rewrites an instruction in the middle of another. The patched word
+  // must take effect on the very next iteration in every tier, and the
+  // block tier must observably evict and rebuild.
+  SystemConfig sc;
+  sc.accel = small_accel();
+
+  Assembler enc(sc.dram_base);
+  enc.addi(a0, zero, 77);
+  const std::uint32_t patched_word = enc.assemble()[0];
+
+  // li expansion length depends on the patch address: fixed point.
+  std::uint32_t patch_addr = sc.dram_base;
+  std::vector<std::uint32_t> program;
+  for (int iter = 0; iter < 4; ++iter) {
+    Assembler as(sc.dram_base);
+    as.li(t0, patch_addr);
+    as.li(t1, patched_word);
+    as.li(s0, 0);
+    as.li(s1, 60);  // total iterations
+    as.li(s2, 40);  // start patching after this many
+    as.label("loop");
+    as.addi(s0, s0, 1);
+    as.blt(s0, s2, "mid");  // splits the loop body into two blocks
+    as.sw(t1, t0, 0);       // rewrite 'mid' (hot and chained by now)
+    as.label("mid");
+    as.addi(a0, zero, 11);
+    as.blt(s0, s1, "loop");
+    as.ebreak();
+    const std::uint32_t found = as.address_of("mid");
+    program = as.assemble();
+    if (found == patch_addr) break;
+    patch_addr = found;
+  }
+
+  const Capture block = diff_drive(sc, "smc chained hot loop",
+                                   [&](System& system) {
+                                     system.load_program(program);
+                                     system.run();
+                                   });
+  EXPECT_EQ(block.result.halt, Halt::kEbreak);
+  EXPECT_EQ(block.regs[10], 77u) << "patched instruction must execute";
+  EXPECT_GE(block.bstats.evictions, 1u) << "store must evict the block";
+  EXPECT_GT(block.bstats.chained, 0u) << "loop must chain before the patch";
+}
+
+TEST(SysimDiffTest, DmaOverwritesCachedBlock) {
+  // A DMA transfer lands on an instruction inside an already-translated
+  // hot loop between two passes over it: bus-side writes must evict
+  // blocks through the same coherence path as CPU stores.
+  SystemConfig sc;
+  sc.accel = small_accel();
+
+  Assembler enc(sc.dram_base);
+  enc.addi(a0, zero, 77);
+  const std::uint32_t patched_word = enc.assemble()[0];
+
+  std::uint32_t patch_addr = sc.dram_base;
+  std::vector<std::uint32_t> program;
+  for (int iter = 0; iter < 4; ++iter) {
+    Assembler as(sc.dram_base);
+    as.li(s7, sc.dma_base);
+    as.li(s1, 30);  // iterations per pass
+    as.li(s3, 0);   // pass counter
+    as.label("again");
+    as.li(s0, 0);
+    as.label("loop");
+    as.label("patchme");
+    as.addi(a0, zero, 11);
+    as.addi(s0, s0, 1);
+    as.blt(s0, s1, "loop");
+    as.bne(s3, zero, "done");
+    // Between passes: DMA the staged replacement word over 'patchme'.
+    as.li(t1, sc.dram_base + 0x10000);
+    as.sw(t1, s7, DmaEngine::kRegSrc);
+    as.li(t1, patch_addr);
+    as.sw(t1, s7, DmaEngine::kRegDst);
+    as.li(t1, 4);
+    as.sw(t1, s7, DmaEngine::kRegLen);
+    as.li(t1, DmaEngine::kCtrlStart);
+    as.sw(t1, s7, DmaEngine::kRegCtrl);
+    as.label("poll");
+    as.lw(t1, s7, DmaEngine::kRegStatus);
+    as.andi(t1, t1, DmaEngine::kStatusDone);
+    as.beq(t1, zero, "poll");
+    as.li(t1, DmaEngine::kStatusDone);
+    as.sw(t1, s7, DmaEngine::kRegStatus);  // W1C
+    as.li(s3, 1);
+    as.j("again");
+    as.label("done");
+    as.ebreak();
+    const std::uint32_t found = as.address_of("patchme");
+    program = as.assemble();
+    if (found == patch_addr) break;
+    patch_addr = found;
+  }
+
+  const auto stage = [&](System& s) {
+    std::uint8_t bytes[4];
+    std::memcpy(bytes, &patched_word, 4);
+    s.write_dram(0x10000, bytes, 4);
+  };
+  const Capture block = diff_drive(sc, "dma overwrites cached block",
+                                   [&](System& system) {
+                                     stage(system);
+                                     system.load_program(program);
+                                     system.run();
+                                   });
+  EXPECT_EQ(block.result.halt, Halt::kEbreak);
+  EXPECT_EQ(block.regs[10], 77u)
+      << "second pass must execute the DMA-patched instruction";
+  EXPECT_GE(block.bstats.evictions, 1u) << "DMA write must evict the block";
+}
+
+TEST(SysimDiffTest, FaultFlipInsideFusedPair) {
+  // Transient bit flip in the second half of a lui+addi fused pair
+  // inside a hot loop: invalidation must evict the block and the
+  // rebuilt pair must fuse around the corrupted word, bit-identical to
+  // the decode-every-fetch oracle.
+  SystemConfig sc;
+  sc.accel = small_accel();
+  Assembler as(sc.dram_base);
+  as.li(s0, 0);    // one word (addi)
+  as.li(s1, 200);  // one word (addi)
+  as.label("loop");
+  as.li(a0, 0x12345678);  // lui+addi at byte offsets 8 and 12
+  as.addi(s0, s0, 1);
+  as.blt(s0, s1, "loop");  // fuses with the addi (op+branch)
+  as.ebreak();
+  const auto program = as.assemble();
+  ASSERT_EQ(as.address_of("loop"), sc.dram_base + 8);
+
+  const Capture block =
+      diff_drive(sc, "flip inside fused pair", [&](System& system) {
+        system.load_program(program);
+        system.run_until(100);  // loop is hot, pair is fused
+        // Flip imm[4] of the addi half (code byte 15, bit 0).
+        system.dram().flip_bit(15, 0);
+        system.run_until(500000);
+      });
+  EXPECT_EQ(block.result.halt, Halt::kEbreak);
+  EXPECT_EQ(block.regs[10], 0x12345668u)
+      << "remaining iterations must materialize the corrupted constant";
+  EXPECT_GE(block.bstats.evictions, 1u) << "flip must evict the block";
+  EXPECT_GT(block.bstats.fused_exec, 0u);
 }
 
 // ------------------------------------------------------ fault flips
@@ -355,9 +574,7 @@ TEST_P(DiffFaultTest, InjectedRunsIdentical) {
   const FaultSpec& spec = GetParam().spec;
   constexpr std::uint64_t kMax = 500000;
 
-  Capture caps[2];
-  for (const bool legacy : {true, false}) {
-    System system(with_mode(sc, legacy));
+  diff_drive(sc, GetParam().what, [&](System& system) {
     stage(system);
     system.load_program(program);
     system.run_until(std::min<std::uint64_t>(spec.cycle, kMax));
@@ -385,19 +602,7 @@ TEST_P(DiffFaultTest, InjectedRunsIdentical) {
         break;
     }
     system.run_until(kMax);
-    Capture& c = caps[legacy ? 0 : 1];
-    c.result.cycles = system.cpu().cycles();
-    c.result.instret = system.cpu().instret();
-    c.result.halt = system.cpu().halt_reason();
-    c.result.exit_code = system.cpu().halted() ? system.cpu().exit_code() : 0;
-    c.result.timed_out = !system.cpu().halted();
-    c.system_cycle = system.now();
-    for (int i = 0; i < 32; ++i)
-      c.regs[static_cast<std::size_t>(i)] = system.cpu().read_reg(i);
-    c.dram.resize(system.config().dram_size);
-    system.read_dram(0, c.dram.data(), c.dram.size());
-  }
-  expect_identical(caps[0], caps[1], GetParam().what);
+  });
 }
 
 FaultScenario scenario(const char* what, FaultTarget target, FaultModel model,
@@ -453,9 +658,7 @@ TEST(SysimDiffTest, StuckArmThenClearMidRun) {
   const auto stage = gemm_stager(wl, 371);
   const auto program = build_gemm_software(wl, sc);
 
-  Capture caps[2];
-  for (const bool legacy : {true, false}) {
-    System system(with_mode(sc, legacy));
+  diff_drive(sc, "stuck arm + clear mid-run", [&](System& system) {
     stage(system);
     system.load_program(program);
     system.run_until(300);
@@ -463,19 +666,7 @@ TEST(SysimDiffTest, StuckArmThenClearMidRun) {
     system.run_until(600);
     system.dram().clear_faults();
     system.run_until(500000);
-    Capture& c = caps[legacy ? 0 : 1];
-    c.result.cycles = system.cpu().cycles();
-    c.result.instret = system.cpu().instret();
-    c.result.halt = system.cpu().halt_reason();
-    c.result.exit_code = system.cpu().halted() ? system.cpu().exit_code() : 0;
-    c.result.timed_out = !system.cpu().halted();
-    c.system_cycle = system.now();
-    for (int i = 0; i < 32; ++i)
-      c.regs[static_cast<std::size_t>(i)] = system.cpu().read_reg(i);
-    c.dram.resize(system.config().dram_size);
-    system.read_dram(0, c.dram.data(), c.dram.size());
-  }
-  expect_identical(caps[0], caps[1], "stuck arm + clear mid-run");
+  });
 }
 
 // ------------------------------------------------ DMA bulk fast path
@@ -555,22 +746,6 @@ INSTANTIATE_TEST_SUITE_P(
     });
 
 // ---------------------------------------------- snapshot / restore
-
-/// Everything a campaign trial can observe, captured from a live system.
-Capture capture_state(System& system) {
-  Capture c;
-  c.result.cycles = system.cpu().cycles();
-  c.result.instret = system.cpu().instret();
-  c.result.halt = system.cpu().halt_reason();
-  c.result.exit_code = system.cpu().halted() ? system.cpu().exit_code() : 0;
-  c.result.timed_out = !system.cpu().halted();
-  c.system_cycle = system.now();
-  for (int i = 0; i < 32; ++i)
-    c.regs[static_cast<std::size_t>(i)] = system.cpu().read_reg(i);
-  c.dram.resize(system.config().dram_size);
-  system.read_dram(0, c.dram.data(), c.dram.size());
-  return c;
-}
 
 TEST(SnapshotTest, MutateRestoreRoundTripEqualsFreshSystem) {
   SystemConfig sc;
@@ -756,8 +931,8 @@ TEST(SysimDiffTest, CampaignVerdictsIdentical) {
     return bytes;
   };
 
-  const auto campaign_counts = [&](bool legacy) {
-    const SystemConfig mode_sc = with_mode(sc, legacy);
+  const auto campaign_counts = [&](Tier tier) {
+    const SystemConfig mode_sc = with_tier(sc, tier);
     FaultCampaign campaign(
         [&, mode_sc]() {
           auto system = std::make_unique<System>(mode_sc);
@@ -766,7 +941,7 @@ TEST(SysimDiffTest, CampaignVerdictsIdentical) {
           return system;
         },
         read_y, 500000);
-    aspen::lina::Rng rng(353);  // same draw sequence in both modes
+    aspen::lina::Rng rng(353);  // same draw sequence in every tier
     CampaignResult res;
     for (const FaultTarget target :
          {FaultTarget::kCpuRegfile, FaultTarget::kDramData}) {
@@ -778,10 +953,12 @@ TEST(SysimDiffTest, CampaignVerdictsIdentical) {
     return res;
   };
 
-  const CampaignResult legacy = campaign_counts(true);
-  const CampaignResult fast = campaign_counts(false);
-  EXPECT_EQ(legacy.total, fast.total);
-  EXPECT_EQ(legacy.counts, fast.counts);
+  const CampaignResult legacy = campaign_counts(Tier::kLegacy);
+  for (const Tier tier : kFastTiers) {
+    const CampaignResult fast = campaign_counts(tier);
+    EXPECT_EQ(legacy.total, fast.total) << tier_name(tier);
+    EXPECT_EQ(legacy.counts, fast.counts) << tier_name(tier);
+  }
 }
 
 }  // namespace
