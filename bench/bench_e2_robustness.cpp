@@ -7,6 +7,8 @@
 // Series 1: fidelity vs coupler-imbalance sigma (direct programming).
 // Series 2: fidelity vs coupler-imbalance sigma (with recalibration).
 // Series 3: fidelity vs phase-error sigma (direct), N = 8.
+#include <iterator>
+
 #include "bench_util.hpp"
 #include "lina/random.hpp"
 #include "mesh/analysis.hpp"
@@ -20,22 +22,31 @@ constexpr Architecture kArchs[] = {
     Architecture::kReck, Architecture::kClements, Architecture::kClementsSym,
     Architecture::kRedundant, Architecture::kFldzhyan};
 
+const char* kArchNames[] = {"reck", "clements", "clements_sym", "redundant",
+                            "fldzhyan"};
+
 void sweep(const char* title, bool vary_coupler, bool recalibrate,
-           std::size_t n, int samples) {
+           std::size_t n, int samples, const char* row_tag,
+           std::vector<aspen::bench::BenchRow>* rows) {
   lina::Table t(title);
   t.set_header({"sigma", "reck", "clements", "clements-sym", "redundant",
                 "fldzhyan"});
   for (double sigma : {0.0, 0.01, 0.02, 0.05, 0.10}) {
     std::vector<std::string> row{lina::Table::num(sigma, 2)};
-    for (auto arch : kArchs) {
+    for (std::size_t k = 0; k < std::size(kArchs); ++k) {
       mesh::MeshErrorModel em;
       if (vary_coupler)
         em.coupler_sigma = sigma;
       else
         em.phase_sigma = sigma;
-      const auto r = mesh::haar_ensemble_fidelity(arch, n, em, samples,
+      const auto r = mesh::haar_ensemble_fidelity(kArchs[k], n, em, samples,
                                                   recalibrate, /*seed=*/31);
       row.push_back(lina::Table::num(r.fidelity.mean(), 5));
+      // One representative error level per sweep goes into the JSON
+      // trajectory (0.05 rad sits on the knee of every curve).
+      if (sigma == 0.05 && rows != nullptr)
+        rows->push_back({std::string(row_tag) + "_" + kArchNames[k],
+                         r.fidelity.mean(), static_cast<int>(n), "fidelity"});
     }
     t.add_row(row);
   }
@@ -50,15 +61,17 @@ int main() {
                 "error-tolerant design");
   const std::size_t n = 6;
   const int samples = bench::samples(3);
+  std::vector<bench::BenchRow> rows;
   sweep("fidelity vs coupler-imbalance sigma [rad] — direct programming",
-        /*vary_coupler=*/true, /*recalibrate=*/false, n, samples);
+        /*vary_coupler=*/true, /*recalibrate=*/false, n, samples,
+        "coupler_direct", &rows);
   sweep("fidelity vs coupler-imbalance sigma [rad] — with in-situ "
         "recalibration",
-        true, true, n, samples);
+        true, true, n, samples, "coupler_recal", &rows);
   sweep("fidelity vs phase-error sigma [rad] — direct programming", false,
-        false, n, samples);
+        false, n, samples, "phase_direct", &rows);
   sweep("fidelity vs phase-error sigma [rad] — with in-situ recalibration",
-        false, true, n, samples);
+        false, true, n, samples, "phase_recal", &rows);
 
   // Ablation: thermal crosstalk between heaters only exists while
   // *holding* phases thermo-optically; non-volatile PCM weights hold
@@ -89,8 +102,15 @@ int main() {
       }
       t.add_row({lina::Table::num(xt, 2), lina::Table::num(thermo.mean(), 5),
                  lina::Table::num(pcm.mean(), 5)});
+      if (xt == 0.05) {
+        rows.push_back({"crosstalk_thermo_optic", thermo.mean(),
+                        static_cast<int>(n), "fidelity"});
+        rows.push_back({"crosstalk_pcm_hold", pcm.mean(),
+                        static_cast<int>(n), "fidelity"});
+      }
     }
     bench::show(t);
   }
+  bench::json_report("BENCH_e2.json", rows);
   return 0;
 }

@@ -1,0 +1,73 @@
+#pragma once
+/// \file abft.hpp
+/// Algorithm-based fault tolerance (ABFT) for the photonic GEMM tile,
+/// after Huang & Abraham's checksum scheme. The programmed weight matrix
+/// W (N x N) is augmented with two checksum rows
+///
+///   row N   :  sum_r      W(r, c)      (plain column sums)
+///   row N+1 :  sum_r (r+1) W(r, c)      (index-weighted column sums)
+///
+/// so every output column y = W' x carries the invariants
+///
+///   y(N)   = sum_{r<N}       y(r)
+///   y(N+1) = sum_{r<N} (r+1) y(r)
+///
+/// through the (linear) analog datapath for free. On readout the two
+/// discrepancies d1 = sum y - y(N) and d2 = wsum y - y(N+1) detect any
+/// corruption, and for a single corrupted element locate it:
+/// row = round(d2/d1) - 1, magnitude d1 — which is enough to repair the
+/// column in place. Two zero columns keep W' square so it programs onto
+/// the same SVD + dual-mesh pipeline as any other matrix.
+
+#include <cstdint>
+
+#include "lina/complex_matrix.hpp"
+
+namespace aspen::core {
+
+/// Number of checksum rows/columns the augmentation adds.
+inline constexpr std::size_t kAbftRows = 2;
+
+struct AbftConfig {
+  bool enabled = false;
+  /// Detection threshold on the checksum discrepancies, in output (W)
+  /// units. Must sit above the platform's systematic checksum residual:
+  /// the deterministic thermo-optic path closes the identity to ~1e-12,
+  /// so the default is safe there; noisy or PCM-quantized platforms need
+  /// a calibrated (larger) tolerance.
+  double tolerance = 1e-6;
+};
+
+/// Cumulative ABFT event counts (architectural state: the accelerator
+/// exposes them over MMIO, so they snapshot/restore with the system).
+struct AbftCounters {
+  std::uint64_t columns_checked = 0;
+  std::uint64_t detected = 0;       ///< columns failing a checksum identity
+  std::uint64_t corrected = 0;      ///< columns repaired in place
+  std::uint64_t uncorrectable = 0;  ///< detected columns left unrepaired
+
+  void add(const AbftCounters& o) {
+    columns_checked += o.columns_checked;
+    detected += o.detected;
+    corrected += o.corrected;
+    uncorrectable += o.uncorrectable;
+  }
+};
+
+/// Per-call report of the most recent checked multiply.
+struct AbftReport {
+  AbftCounters counts;
+  double max_residual = 0.0;  ///< largest |discrepancy| seen this call
+};
+
+/// Augment W (n x n) to (n+2) x (n+2): two checksum rows, two zero
+/// columns. Throws if W is not square.
+[[nodiscard]] lina::CMat abft_augment(const lina::CMat& w);
+
+/// Verify every column of an augmented output block y ((n+2) x m) and
+/// repair single-element corruptions in place. Detection uses
+/// `tolerance`; the locate/consistency test uses tolerance * (n+1) to
+/// absorb the index-weighted amplification of the baseline residual.
+AbftReport abft_check(lina::CMat& y, double tolerance);
+
+}  // namespace aspen::core

@@ -10,16 +10,33 @@ namespace aspen::core {
 using lina::CMat;
 using lina::cplx;
 
-GemmCore::GemmCore(GemmConfig cfg) : cfg_(cfg), engine_(cfg.mvm) {
+namespace {
+
+/// The engine is built at the physical tile size: two extra ports carry
+/// the checksum rows when ABFT is on.
+MvmConfig engine_config(const GemmConfig& cfg) {
+  MvmConfig m = cfg.mvm;
+  if (cfg.abft.enabled) m.ports += kAbftRows;
+  return m;
+}
+
+}  // namespace
+
+GemmCore::GemmCore(GemmConfig cfg) : cfg_(cfg), engine_(engine_config(cfg)) {
   if (cfg_.wdm_channels < 1)
     throw std::invalid_argument("GemmCore: wdm_channels < 1");
   if (cfg_.channel_isolation_db <= 0.0)
     throw std::invalid_argument("GemmCore: channel_isolation_db <= 0");
+  if (cfg_.abft.enabled && cfg_.abft.tolerance <= 0.0)
+    throw std::invalid_argument("GemmCore: abft tolerance <= 0");
 }
 
 void GemmCore::set_weights(const CMat& w) {
   const double before = engine_.counters().weight_write_energy_j;
-  engine_.set_matrix(w);
+  if (cfg_.abft.enabled)
+    engine_.set_matrix(abft_augment(w));
+  else
+    engine_.set_matrix(w);
   stats_.weight_write_energy_j +=
       engine_.counters().weight_write_energy_j - before;
 
@@ -36,10 +53,48 @@ void GemmCore::set_weights(const CMat& w) {
   }
 }
 
+void GemmCore::pad_input(const CMat& x) {
+  const std::size_t n = data_ports();
+  if (x.rows() != n)
+    throw std::invalid_argument("GemmCore: input rows != data ports");
+  const std::size_t m = x.cols();
+  abft_x_.resize(n + kAbftRows, m);  // resize zero-fills the checksum rows
+  for (std::size_t c = 0; c < m; ++c)
+    for (std::size_t r = 0; r < n; ++r) abft_x_(r, c) = x(r, c);
+}
+
 CMat GemmCore::multiply(const CMat& x) {
+  if (!cfg_.abft.enabled) return multiply_physical(x);
+  pad_input(x);
+  CMat full = multiply_physical(abft_x_);
+  last_abft_ = abft_check(full, cfg_.abft.tolerance);
+  abft_counters_.add(last_abft_.counts);
+  const std::size_t n = data_ports();
+  CMat out(n, x.cols());
+  for (std::size_t c = 0; c < x.cols(); ++c)
+    for (std::size_t r = 0; r < n; ++r) out(r, c) = full(r, c);
+  return out;
+}
+
+void GemmCore::multiply_noiseless(const CMat& x, CMat& out) {
+  if (!cfg_.abft.enabled) {
+    engine_.multiply_noiseless_batch_into(x, out);
+    return;
+  }
+  pad_input(x);
+  engine_.multiply_noiseless_batch_into(abft_x_, abft_y_);
+  last_abft_ = abft_check(abft_y_, cfg_.abft.tolerance);
+  abft_counters_.add(last_abft_.counts);
+  const std::size_t n = data_ports();
+  out.resize(n, x.cols());
+  for (std::size_t c = 0; c < x.cols(); ++c)
+    for (std::size_t r = 0; r < n; ++r) out(r, c) = abft_y_(r, c);
+}
+
+CMat GemmCore::multiply_physical(const CMat& x) {
   const std::size_t n = engine_.config().ports;
   if (x.rows() != n)
-    throw std::invalid_argument("GemmCore::multiply: row mismatch");
+    throw std::invalid_argument("GemmCore: input rows != engine ports");
   const std::size_t m = x.cols();
   const auto k = static_cast<std::size_t>(cfg_.wdm_channels);
 

@@ -14,7 +14,12 @@
 ///       detector bank but no additional mesh. Finite channel isolation
 ///       leaks a fraction of each neighbouring channel's field into the
 ///       detected signal (incoherent crosstalk penalty).
+///
+/// With ABFT enabled the core transparently programs the checksum-
+/// augmented (N+2)x(N+2) matrix onto an (N+2)-port engine and verifies /
+/// repairs every output column on readout; callers keep the N x N view.
 
+#include "core/abft.hpp"
 #include "core/mvm_engine.hpp"
 
 namespace aspen::core {
@@ -29,6 +34,8 @@ struct GemmConfig {
   /// splitting ratios — the physical cost of "free" WDM parallelism.
   /// 0 disables (ideal wavelength-flat mesh).
   double channel_spacing_nm = 0.0;
+  /// Checksum-row fault detection/correction on every tile (see abft.hpp).
+  AbftConfig abft;
 };
 
 /// Cost/throughput statistics of one GeMM call.
@@ -61,15 +68,34 @@ class GemmCore {
  public:
   explicit GemmCore(GemmConfig cfg);
 
-  /// Program the weight matrix W (N x N).
+  /// Program the weight matrix W (N x N, the data tile; checksum rows are
+  /// appended internally when ABFT is on).
   void set_weights(const lina::CMat& w);
 
   /// C = W * X for an N x M input matrix X (columns are input vectors,
   /// |entries| <= 1). Full physical simulation, TDM or WDM per config.
+  /// With ABFT on, the returned block is the verified/repaired N x M data
+  /// view (checksum rows stripped).
   [[nodiscard]] lina::CMat multiply(const lina::CMat& x);
+
+  /// Deterministic tile path used by the memory-mapped accelerator:
+  /// noiseless batched multiply, plus ABFT verify/repair when enabled.
+  /// With ABFT off this delegates straight to the engine (bit-identical
+  /// to calling multiply_noiseless_batch_into directly).
+  void multiply_noiseless(const lina::CMat& x, lina::CMat& out);
+
+  /// Rows/columns of the data tile callers see (engine ports minus the
+  /// checksum rows when ABFT is on).
+  [[nodiscard]] std::size_t data_ports() const { return cfg_.mvm.ports; }
 
   /// Statistics of the most recent multiply().
   [[nodiscard]] const GemmStats& last_stats() const { return stats_; }
+  /// Cumulative ABFT event counts (all zero when ABFT is off).
+  [[nodiscard]] const AbftCounters& abft_counters() const {
+    return abft_counters_;
+  }
+  /// ABFT report of the most recent checked multiply.
+  [[nodiscard]] const AbftReport& last_abft() const { return last_abft_; }
   [[nodiscard]] MvmEngine& engine() { return engine_; }
   [[nodiscard]] const MvmEngine& engine() const { return engine_; }
   [[nodiscard]] const GemmConfig& config() const { return cfg_; }
@@ -79,20 +105,29 @@ class GemmCore {
     MvmEngine::Snapshot engine;
     GemmStats stats;
     std::vector<lina::CMat> channel_transfer;
+    AbftCounters abft;
   };
   [[nodiscard]] Snapshot snapshot() const {
-    return {engine_.snapshot(), stats_, channel_transfer_};
+    return {engine_.snapshot(), stats_, channel_transfer_, abft_counters_};
   }
   void restore(const Snapshot& s) {
     engine_.restore(s.engine);
     stats_ = s.stats;
     channel_transfer_ = s.channel_transfer;
+    abft_counters_ = s.abft;
   }
 
  private:
+  /// The physical multiply at engine dimensions (the pre-ABFT body).
+  [[nodiscard]] lina::CMat multiply_physical(const lina::CMat& x);
+  /// Copy x (data rows) into abft_x_ with zeroed checksum rows.
+  void pad_input(const lina::CMat& x);
+
   GemmConfig cfg_;
   MvmEngine engine_;
   GemmStats stats_;
+  AbftCounters abft_counters_;
+  AbftReport last_abft_;
   /// Per-channel transfers under dispersion (rebuilt on set_weights).
   std::vector<lina::CMat> channel_transfer_;
   /// Reusable per-group scratch blocks (ports x wdm_channels), hoisted out
@@ -101,6 +136,9 @@ class GemmCore {
   lina::CMat fields_;
   lina::CMat outputs_;
   lina::CMat mixed_;
+  /// ABFT scratch: zero-padded input and full augmented output blocks.
+  lina::CMat abft_x_;
+  lina::CMat abft_y_;
 };
 
 }  // namespace aspen::core

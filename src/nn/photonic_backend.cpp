@@ -60,16 +60,42 @@ Matrix PhotonicBackend::matmul(const Matrix& w, const Matrix& x) {
       }
       if (!nonzero) continue;
 
-      gemm_.set_weights(wt);
-      if (drift_time_s_ > 0.0)
-        gemm_.engine().set_pcm_drift_time(drift_time_s_);
-      ++totals_.tiles_programmed;
+      const auto program_and_run = [&]() -> CMat {
+        gemm_.set_weights(wt);
+        if (drift_time_s_ > 0.0)
+          gemm_.engine().set_pcm_drift_time(drift_time_s_);
+        ++totals_.tiles_programmed;
+        CMat y = gemm_.multiply(xt);
+        const auto& st = gemm_.last_stats();
+        totals_.macs += st.macs;
+        totals_.optical_time_s += st.wall_time_s;
+        totals_.energy_j += st.total_energy_j();
+        return y;
+      };
 
-      const CMat part = gemm_.multiply(xt);
-      const auto& st = gemm_.last_stats();
-      totals_.macs += st.macs;
-      totals_.optical_time_s += st.wall_time_s;
-      totals_.energy_j += st.total_energy_j();
+      CMat part = program_and_run();
+      if (cfg_.gemm.abft.enabled) {
+        // Detect -> bounded retry -> digital fallback. Reprogramming the
+        // tile rewrites every mesh phase from the host-held weights, so a
+        // retry clears transient configuration upsets; a fault that
+        // survives the retry budget is treated as permanent and the tile
+        // is recomputed digitally (exact, so the layer output stays
+        // trustworthy at the cost of this tile's speedup).
+        if (gemm_.last_abft().counts.detected > 0) ++recovery_.tiles_detected;
+        if (gemm_.last_abft().counts.corrected > 0)
+          ++recovery_.tiles_corrected;
+        unsigned tries = 0;
+        while (gemm_.last_abft().counts.uncorrectable > 0 &&
+               tries < cfg_.max_tile_retries) {
+          ++tries;
+          ++recovery_.tiles_retried;
+          part = program_and_run();
+        }
+        if (gemm_.last_abft().counts.uncorrectable > 0) {
+          ++recovery_.tiles_fell_back;
+          digital_tile(wt, xt, part);
+        }
+      }
 
       for (std::size_t r = 0; r < n; ++r) {
         const std::size_t cr = rt * n + r;
@@ -80,6 +106,19 @@ Matrix PhotonicBackend::matmul(const Matrix& w, const Matrix& x) {
     }
   }
   return c;
+}
+
+void PhotonicBackend::digital_tile(const CMat& wt, const CMat& xt,
+                                   CMat& part) const {
+  const std::size_t n = wt.rows();
+  const std::size_t batch = xt.cols();
+  part.resize(n, batch);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t b = 0; b < batch; ++b) {
+      cplx acc{0.0, 0.0};
+      for (std::size_t k = 0; k < wt.cols(); ++k) acc += wt(r, k) * xt(k, b);
+      part(r, b) = acc;
+    }
 }
 
 Matrix PhotonicBackend::forward(const Mlp& mlp, const Matrix& x) {

@@ -16,6 +16,11 @@ namespace aspen::nn {
 
 struct PhotonicBackendConfig {
   core::GemmConfig gemm;  ///< engine config; gemm.mvm.ports = tile size
+  /// Tile-level recovery (active when gemm.abft.enabled): a tile whose
+  /// ABFT check reports uncorrectable columns is reprogrammed and re-run
+  /// up to this many times; if the check still fails, the tile's partial
+  /// product is recomputed digitally (the host keeps the exact weights).
+  unsigned max_tile_retries = 2;
 };
 
 /// Aggregated cost of everything executed on the backend so far.
@@ -24,6 +29,15 @@ struct BackendTotals {
   std::uint64_t macs = 0;
   double optical_time_s = 0.0;
   double energy_j = 0.0;
+};
+
+/// Tile-level fault accounting (detect -> bounded retry -> digital
+/// fallback); only ABFT-enabled backends ever move these counters.
+struct BackendRecoveryStats {
+  std::uint64_t tiles_detected = 0;   ///< tiles with >= 1 flagged column
+  std::uint64_t tiles_corrected = 0;  ///< tiles ABFT repaired in place
+  std::uint64_t tiles_retried = 0;    ///< reprogram+rerun attempts
+  std::uint64_t tiles_fell_back = 0;  ///< tiles recomputed digitally
 };
 
 class PhotonicBackend {
@@ -45,12 +59,20 @@ class PhotonicBackend {
   void set_pcm_drift_time(double seconds);
 
   [[nodiscard]] const BackendTotals& totals() const { return totals_; }
+  [[nodiscard]] const BackendRecoveryStats& recovery() const {
+    return recovery_;
+  }
   [[nodiscard]] core::GemmCore& core() { return gemm_; }
 
  private:
+  /// Exact digital recomputation of one tile product (the fallback path).
+  void digital_tile(const lina::CMat& wt, const lina::CMat& xt,
+                    lina::CMat& part) const;
+
   PhotonicBackendConfig cfg_;
   core::GemmCore gemm_;
   BackendTotals totals_;
+  BackendRecoveryStats recovery_;
   double drift_time_s_ = 0.0;
 };
 

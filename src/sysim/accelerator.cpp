@@ -4,6 +4,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "sysim/crc32.hpp"
+
 namespace aspen::sys {
 
 using lina::CMat;
@@ -68,10 +70,22 @@ std::uint32_t PhotonicAccelerator::read(std::uint32_t offset, unsigned size) {
   switch (offset) {
     case kRegCtrl: return ctrl_;
     case kRegStatus:
-      return (busy() ? kStatusBusy : 0u) | (done_ ? kStatusDone : 0u);
+      return (busy() ? kStatusBusy : 0u) | (done_ ? kStatusDone : 0u) |
+             (error_ ? kStatusError : 0u);
     case kRegCols: return cols_;
     case kRegPorts: return static_cast<std::uint32_t>(cfg_.gemm.mvm.ports);
     case kRegCycles: return last_op_cycles_;
+    case kRegErr: return err_cause_;
+    case kRegAbftDetected:
+      return static_cast<std::uint32_t>(gemm_.abft_counters().detected);
+    case kRegAbftCorrected:
+      return static_cast<std::uint32_t>(gemm_.abft_counters().corrected);
+    case kRegCrcW: return crc_w_expect_;
+    case kRegCrcX: return crc_x_expect_;
+    case kRegWdog:
+      return watchdog_cycles_ > 0xFFFFFFFFull
+                 ? 0xFFFFFFFFu
+                 : static_cast<std::uint32_t>(watchdog_cycles_);
     default: return 0;
   }
 }
@@ -104,10 +118,18 @@ void PhotonicAccelerator::write(std::uint32_t offset, std::uint32_t value,
         done_ = false;
         irq_ = false;
       }
+      if (value & kStatusError) {
+        error_ = false;
+        err_cause_ = 0;
+        irq_ = false;
+      }
       break;
     case kRegCols:
       if (value >= 1 && value <= cfg_.max_cols) cols_ = value;
       break;
+    case kRegCrcW: crc_w_expect_ = value; break;
+    case kRegCrcX: crc_x_expect_ = value; break;
+    case kRegWdog: watchdog_cycles_ = value; break;
     default: break;
   }
 }
@@ -129,72 +151,111 @@ void PhotonicAccelerator::start_operation(std::uint32_t ctrl) {
   pending_op_ = ctrl;
   const std::size_t n = cfg_.gemm.mvm.ports;
   double op_seconds = 0.0;
+  std::uint64_t extra_cycles = 0;
+  // A CRC mismatch aborts the remainder of this operation (a combined
+  // LOAD+START must not compute on unprogrammed weights); the latch from
+  // a *previous* operation does not block new ones.
+  bool aborted = false;
 
   if (ctrl & kCtrlLoadWeights) {
     CMat w(n, n);
     const BusDevice::DirectSpan ws = spm_w_.direct_span();
+    std::uint32_t crc = kCrc32Init;
     for (std::size_t r = 0; r < n; ++r)
-      for (std::size_t c = 0; c < n; ++c)
-        w(r, c) = cplx{from_fixed(spm_fixed_at(spm_w_, ws, r * n + c)), 0.0};
-    gemm_.set_weights(w);
-    op_seconds += gemm_.engine().program_time_s();
+      for (std::size_t c = 0; c < n; ++c) {
+        const std::int16_t fixed = spm_fixed_at(spm_w_, ws, r * n + c);
+        crc = crc32_le16(crc, static_cast<std::uint16_t>(fixed));
+        w(r, c) = cplx{from_fixed(fixed), 0.0};
+      }
+    if ((ctrl & kCtrlCrcW) && (crc ^ kCrc32FinalXor) != crc_w_expect_) {
+      latch_error(kErrCrcW);
+      aborted = true;
+    } else {
+      gemm_.set_weights(w);
+      op_seconds += gemm_.engine().program_time_s();
+    }
   }
 
-  if (ctrl & kCtrlStart) {
+  if ((ctrl & kCtrlStart) && !aborted) {
     const std::size_t m = cols_;
     scratch_x_.resize(n, m);
     const BusDevice::DirectSpan xs = spm_x_.direct_span();
-    for (std::size_t c = 0; c < m; ++c)
-      for (std::size_t r = 0; r < n; ++r)
-        scratch_x_(r, c) =
-            cplx{from_fixed(spm_fixed_at(spm_x_, xs, c * n + r)), 0.0};
-
-    if (cfg_.deterministic) {
-      gemm_.engine().multiply_noiseless_batch_into(scratch_x_, scratch_y_);
-    } else {
-      scratch_y_ = gemm_.multiply(scratch_x_);
-    }
-    // Direct span writeback unless a master caches state derived from
-    // this SPM (then write() must run so its observer fires).
-    const BusDevice::DirectSpan ys =
-        spm_y_.observed() ? BusDevice::DirectSpan{} : spm_y_.direct_span();
+    std::uint32_t crc = kCrc32Init;
     for (std::size_t c = 0; c < m; ++c)
       for (std::size_t r = 0; r < n; ++r) {
-        const auto fixed =
-            static_cast<std::uint16_t>(to_fixed(scratch_y_(r, c).real()));
-        if (ys.data != nullptr) {
-          std::memcpy(ys.data + 2 * (c * n + r), &fixed, 2);
-        } else {
-          spm_y_.write(static_cast<std::uint32_t>(2 * (c * n + r)), fixed, 2);
-        }
+        const std::int16_t fixed = spm_fixed_at(spm_x_, xs, c * n + r);
+        crc = crc32_le16(crc, static_cast<std::uint16_t>(fixed));
+        scratch_x_(r, c) = cplx{from_fixed(fixed), 0.0};
       }
+    if ((ctrl & kCtrlCrcX) && (crc ^ kCrc32FinalXor) != crc_x_expect_) {
+      latch_error(kErrCrcX);
+    } else {
+      if (cfg_.deterministic) {
+        gemm_.multiply_noiseless(scratch_x_, scratch_y_);
+      } else {
+        scratch_y_ = gemm_.multiply(scratch_x_);
+      }
+      if (cfg_.gemm.abft.enabled) {
+        if (gemm_.last_abft().counts.uncorrectable > 0) latch_error(kErrAbft);
+        // Pipelined checksum verifiers retire eight columns per cycle.
+        extra_cycles += (m + 7) / 8;
+      }
+      // Direct span writeback unless a master caches state derived from
+      // this SPM (then write() must run so its observer fires).
+      const BusDevice::DirectSpan ys =
+          spm_y_.observed() ? BusDevice::DirectSpan{} : spm_y_.direct_span();
+      for (std::size_t c = 0; c < m; ++c)
+        for (std::size_t r = 0; r < n; ++r) {
+          const auto fixed =
+              static_cast<std::uint16_t>(to_fixed(scratch_y_(r, c).real()));
+          if (ys.data != nullptr) {
+            std::memcpy(ys.data + 2 * (c * n + r), &fixed, 2);
+          } else {
+            spm_y_.write(static_cast<std::uint32_t>(2 * (c * n + r)), fixed,
+                         2);
+          }
+        }
 
-    const auto k = static_cast<std::size_t>(
-        std::max(1, cfg_.gemm.wdm_channels));
-    const auto groups = static_cast<double>((m + k - 1) / k);
-    op_seconds += groups * gemm_.engine().symbol_time_s();
+      const auto k = static_cast<std::size_t>(
+          std::max(1, cfg_.gemm.wdm_channels));
+      const auto groups = static_cast<double>((m + k - 1) / k);
+      op_seconds += groups * gemm_.engine().symbol_time_s();
+    }
   }
 
   const double cycles = std::ceil(op_seconds * cfg_.clock_hz);
-  busy_cycles_ = static_cast<std::uint64_t>(cycles) + cfg_.handshake_cycles;
+  busy_cycles_ = static_cast<std::uint64_t>(cycles) + cfg_.handshake_cycles +
+                 extra_cycles;
   total_busy_cycles_ += busy_cycles_;
   last_op_cycles_ = static_cast<std::uint32_t>(busy_cycles_);
 }
 
 void PhotonicAccelerator::finish_operation() {
   done_ = true;
+  watchdog_cycles_ = 0;  // deadline met: the operation retired
   if (pending_op_ & kCtrlIrqEn) irq_ = true;
 }
 
+void PhotonicAccelerator::watchdog_fire() {
+  latch_error(kErrWatchdog);
+  irq_ = true;
+}
+
 void PhotonicAccelerator::tick() {
-  if (busy_cycles_ == 0) return;
-  if (--busy_cycles_ == 0) finish_operation();
+  if (busy_cycles_ > 0 && --busy_cycles_ == 0) finish_operation();
+  if (watchdog_cycles_ > 0 && --watchdog_cycles_ == 0) watchdog_fire();
 }
 
 void PhotonicAccelerator::skip_cycles(std::uint64_t n) {
-  if (busy_cycles_ == 0 || n == 0) return;
-  busy_cycles_ -= n < busy_cycles_ ? n : busy_cycles_;
-  if (busy_cycles_ == 0) finish_operation();
+  if (n == 0) return;
+  if (busy_cycles_ > 0) {
+    busy_cycles_ -= n < busy_cycles_ ? n : busy_cycles_;
+    if (busy_cycles_ == 0) finish_operation();  // also disarms the watchdog
+  }
+  if (watchdog_cycles_ > 0) {
+    watchdog_cycles_ -= n < watchdog_cycles_ ? n : watchdog_cycles_;
+    if (watchdog_cycles_ == 0) watchdog_fire();
+  }
 }
 
 void PhotonicAccelerator::inject_phase_fault(std::size_t phase_index,
@@ -216,6 +277,11 @@ PhotonicAccelerator::Snapshot PhotonicAccelerator::snapshot() const {
   s.total_busy_cycles = total_busy_cycles_;
   s.last_op_cycles = last_op_cycles_;
   s.pending_op = pending_op_;
+  s.error = error_;
+  s.err_cause = err_cause_;
+  s.crc_w_expect = crc_w_expect_;
+  s.crc_x_expect = crc_x_expect_;
+  s.watchdog_cycles = watchdog_cycles_;
   return s;
 }
 
@@ -232,6 +298,11 @@ void PhotonicAccelerator::restore(const Snapshot& s) {
   total_busy_cycles_ = s.total_busy_cycles;
   last_op_cycles_ = s.last_op_cycles;
   pending_op_ = s.pending_op;
+  error_ = s.error;
+  err_cause_ = s.err_cause;
+  crc_w_expect_ = s.crc_w_expect;
+  crc_x_expect_ = s.crc_x_expect;
+  watchdog_cycles_ = s.watchdog_cycles;
 }
 
 }  // namespace aspen::sys

@@ -35,6 +35,7 @@ class Writer {
     u64(bits);
   }
   void bytes(const void* p, std::size_t n) {
+    if (n == 0) return;  // empty vectors hand over data() == nullptr
     const auto* s = static_cast<const std::uint8_t*>(p);
     buf_.insert(buf_.end(), s, s + n);
   }
@@ -77,6 +78,7 @@ class Reader {
     return d;
   }
   void bytes(void* dst, std::size_t n) {
+    if (n == 0) return;  // empty vectors hand over data() == nullptr
     need(n);
     std::memcpy(dst, p_ + pos_, n);
     pos_ += n;
@@ -355,6 +357,10 @@ void put_gemm(Writer& w, const core::GemmCore::Snapshot& s) {
   w.f64(s.stats.weight_write_energy_j);
   w.u64(s.channel_transfer.size());
   for (const lina::CMat& m : s.channel_transfer) put_cmat(w, m);
+  w.u64(s.abft.columns_checked);
+  w.u64(s.abft.detected);
+  w.u64(s.abft.corrected);
+  w.u64(s.abft.uncorrectable);
 }
 core::GemmCore::Snapshot get_gemm(Reader& r) {
   core::GemmCore::Snapshot s;
@@ -368,6 +374,10 @@ core::GemmCore::Snapshot get_gemm(Reader& r) {
   s.stats.weight_write_energy_j = r.f64();
   s.channel_transfer.resize(r.count(16));
   for (lina::CMat& m : s.channel_transfer) m = get_cmat(r);
+  s.abft.columns_checked = r.u64();
+  s.abft.detected = r.u64();
+  s.abft.corrected = r.u64();
+  s.abft.uncorrectable = r.u64();
   return s;
 }
 
@@ -384,6 +394,11 @@ void put_pe(Writer& w, const PhotonicAccelerator::Snapshot& s) {
   w.u64(s.total_busy_cycles);
   w.u32(s.last_op_cycles);
   w.u32(s.pending_op);
+  w.b(s.error);
+  w.u32(s.err_cause);
+  w.u32(s.crc_w_expect);
+  w.u32(s.crc_x_expect);
+  w.u64(s.watchdog_cycles);
 }
 PhotonicAccelerator::Snapshot get_pe(Reader& r) {
   PhotonicAccelerator::Snapshot s;
@@ -399,6 +414,11 @@ PhotonicAccelerator::Snapshot get_pe(Reader& r) {
   s.total_busy_cycles = r.u64();
   s.last_op_cycles = r.u32();
   s.pending_op = r.u32();
+  s.error = r.b();
+  s.err_cause = r.u32();
+  s.crc_w_expect = r.u32();
+  s.crc_x_expect = r.u32();
+  s.watchdog_cycles = r.u64();
   return s;
 }
 
@@ -494,6 +514,7 @@ void put_point(Writer& w, const SweepPoint& p) {
   w.f64(p.pcm_drift_time_s);
   w.f64(p.temperature_k);
   w.u32(static_cast<std::uint32_t>(p.adc_bits));
+  w.b(p.abft);
 }
 SweepPoint get_point(Reader& r) {
   SweepPoint p;
@@ -506,6 +527,7 @@ SweepPoint get_point(Reader& r) {
   p.pcm_drift_time_s = r.f64();
   p.temperature_k = r.f64();
   p.adc_bits = static_cast<int>(r.u32());
+  p.abft = r.b();
   return p;
 }
 
@@ -544,8 +566,8 @@ CampaignResult get_histogram(Reader& r) {
   CampaignResult res;
   const std::size_t n = r.count(9);
   for (std::size_t i = 0; i < n; ++i) {
-    const auto outcome = static_cast<Outcome>(
-        r.u8_enum(static_cast<std::uint8_t>(Outcome::kDueHang), "outcome"));
+    const auto outcome = static_cast<Outcome>(r.u8_enum(
+        static_cast<std::uint8_t>(Outcome::kDetectedRecovered), "outcome"));
     res.counts[outcome] = static_cast<int>(r.u64());
   }
   res.total = static_cast<int>(r.u64());
@@ -585,6 +607,8 @@ std::vector<std::uint8_t> serialize_shard(const CampaignShard& shard) {
   put_system(w, shard.staged);
   w.u64(shard.golden.size());
   w.bytes(shard.golden.data(), shard.golden.size());
+  w.u64(shard.fallback_golden.size());
+  w.bytes(shard.fallback_golden.data(), shard.fallback_golden.size());
   w.u64(shard.golden_cycles);
   w.u64(shard.max_cycles);
   w.u32(shard.ladder_rungs);
@@ -628,6 +652,8 @@ CampaignShard deserialize_shard(const std::uint8_t* data, std::size_t size) {
   shard.staged = get_system(r);
   shard.golden.resize(r.count(1));
   r.bytes(shard.golden.data(), shard.golden.size());
+  shard.fallback_golden.resize(r.count(1));
+  r.bytes(shard.fallback_golden.data(), shard.fallback_golden.size());
   shard.golden_cycles = r.u64();
   shard.max_cycles = r.u64();
   shard.ladder_rungs = r.u32();
@@ -734,6 +760,7 @@ std::vector<CampaignShard> plan_shards(FaultCampaign& campaign,
     shard.point = point;
     shard.staged = campaign.staged_snapshot();
     shard.golden = campaign.golden();
+    shard.fallback_golden = campaign.fallback_golden();
     shard.golden_cycles = campaign.golden_cycles();
     shard.max_cycles = campaign.max_cycles();
     shard.ladder_rungs = ladder_rungs;

@@ -43,7 +43,11 @@ namespace aspen::sys {
 /// Format version; bump on any layout change (readers reject mismatches).
 /// v2: CampaignShard gained `seq` + `point` (sweep-cell parameters), and
 /// the stream kinds kProgress / kJournal joined the protocol.
-inline constexpr std::uint16_t kCampaignWireVersion = 2;
+/// v3: fault-detection state joined the platform image (accelerator
+/// ERROR latch, CRC expectations, watchdog countdown, ABFT counters),
+/// SweepPoint gained the `abft` axis, CampaignShard gained the
+/// software-fallback golden, and histograms carry the recovery verdicts.
+inline constexpr std::uint16_t kCampaignWireVersion = 3;
 
 /// Payload discriminator carried in the header.
 enum class PayloadKind : std::uint16_t {
@@ -69,6 +73,7 @@ struct SweepPoint {
   double pcm_drift_time_s = 0.0;  ///< seconds since PCM programming
   double temperature_k = 300.0;   ///< detector temperature
   int adc_bits = 8;               ///< ADC resolution (ENOB axis)
+  bool abft = false;              ///< ABFT-protected offload (v3 axis)
 };
 
 /// One worker's complete campaign input: the coordinator's staged
@@ -84,6 +89,11 @@ struct CampaignShard {
   SweepPoint point;
   System::SystemSnapshot staged;
   std::vector<std::uint8_t> golden;
+  /// Software-fallback reference output for recovery-aware campaigns
+  /// (empty otherwise): a worker running a checked workload classifies
+  /// fell-back trials against these bytes (see
+  /// FaultCampaign::set_recovery).
+  std::vector<std::uint8_t> fallback_golden;
   std::uint64_t golden_cycles = 0;
   std::uint64_t max_cycles = 0;
   /// Checkpoint-ladder rungs the worker should build (<= 1 disables).

@@ -110,6 +110,12 @@ std::map<std::uint64_t, CampaignResult> load_journal(
   try {
     while (const auto payload = frames.next()) {
       const JournalEntry e = deserialize_journal_entry(*payload);
+      // Replay is idempotent: a seq journaled twice (a resume re-ran a
+      // shard whose record landed after the cut the resumer read, or the
+      // append was duplicated) keeps only the last record. Trials are
+      // deterministic, so duplicate records are identical and "last"
+      // equals "first" — the shard merges into the campaign once either
+      // way.
       entries[e.shard_seq] = e.hist;
     }
     // A partial frame at the tail (orchestrator killed mid-append) is
@@ -514,13 +520,16 @@ std::vector<ShardOutcome> CampaignOrchestrator::run(
 
 int campaign_worker_main(int in_fd, int out_fd, const PointFactory& factory,
                          const FaultCampaign::OutputReader& read_output,
-                         int progress_every) {
+                         int progress_every,
+                         const FaultCampaign::RecoveryReader& recovery) {
   std::signal(SIGPIPE, SIG_IGN);  // orchestrator death = write error, not kill
   try {
     const CampaignShard shard = deserialize_shard(io::read_all(in_fd));
     FaultCampaign campaign(factory(shard.point), read_output,
                            shard.max_cycles);
     campaign.adopt_staged(shard.staged, shard.golden, shard.golden_cycles);
+    if (recovery && !shard.fallback_golden.empty())
+      campaign.set_recovery(recovery, shard.fallback_golden);
     if (shard.ladder_rungs > 1) campaign.build_ladder(shard.ladder_rungs);
 
     if (progress_every <= 0) progress_every = 16;
@@ -584,7 +593,8 @@ std::vector<ShardOutcome> CampaignOrchestrator::run(
 }
 
 int campaign_worker_main(int, int, const PointFactory&,
-                         const FaultCampaign::OutputReader&, int) {
+                         const FaultCampaign::OutputReader&, int,
+                         const FaultCampaign::RecoveryReader&) {
   return 1;
 }
 
@@ -600,23 +610,31 @@ SweepGrid::SweepGrid(SweepAxes axes, PointFactory factory,
       read_output_(std::move(read_output)),
       max_cycles_(max_cycles) {}
 
+void SweepGrid::set_recovery(FaultCampaign::RecoveryReader reader,
+                             std::vector<std::uint8_t> fallback_golden) {
+  recovery_ = std::move(reader);
+  recovery_fallback_golden_ = std::move(fallback_golden);
+}
+
 std::vector<SweepPoint> SweepGrid::points() const {
   std::vector<SweepPoint> pts;
   std::uint32_t cell = 0;
   for (const auto& [target, model] : axes_.faults)
     for (const double drift : axes_.pcm_drift_times_s)
       for (const double temp : axes_.temperatures_k)
-        for (const int bits : axes_.adc_bits) {
-          SweepPoint p;
-          p.cell = cell++;
-          p.target = target;
-          p.model = model;
-          p.pcm_drift_time_s = drift;
-          p.pcm_weights = drift > 0.0;
-          p.temperature_k = temp;
-          p.adc_bits = bits;
-          pts.push_back(p);
-        }
+        for (const int bits : axes_.adc_bits)
+          for (const bool abft : axes_.abft) {
+            SweepPoint p;
+            p.cell = cell++;
+            p.target = target;
+            p.model = model;
+            p.pcm_drift_time_s = drift;
+            p.pcm_weights = drift > 0.0;
+            p.temperature_k = temp;
+            p.adc_bits = bits;
+            p.abft = abft;
+            pts.push_back(p);
+          }
   return pts;
 }
 
@@ -625,6 +643,8 @@ SweepGrid::Cell SweepGrid::make_cell(const SweepPoint& p,
   Cell cell;
   cell.campaign = std::make_unique<FaultCampaign>(factory_(p), read_output_,
                                                   max_cycles_);
+  if (p.abft && recovery_)
+    cell.campaign->set_recovery(recovery_, recovery_fallback_golden_);
   // Per-cell spec stream: deterministic in (seed, cell) only, so the
   // serial oracle and the orchestrated run draw identical trials.
   lina::Rng rng(rc.seed + 0x9E3779B97F4A7C15ULL * (p.cell + 1));

@@ -166,26 +166,34 @@ class CampaignOrchestrator {
 /// coordinator's staged snapshot + golden reference, execute the specs in
 /// chunks of `progress_every` trials with a progress frame after each
 /// chunk (and one before the first — the "platform built" heartbeat),
-/// then write the final histogram frame. Returns the process exit code;
-/// diagnostics go to stderr so the frame stream stays clean. SIGPIPE is
-/// ignored: a vanished orchestrator surfaces as a write error, not a
-/// signal death.
+/// then write the final histogram frame. When the shard carries a
+/// software-fallback golden and a `recovery` reader is supplied, the
+/// worker classifies with the recovery-aware six-outcome taxonomy —
+/// exactly what the coordinator's serial oracle does, keeping merged
+/// histograms bit-identical. Returns the process exit code; diagnostics
+/// go to stderr so the frame stream stays clean. SIGPIPE is ignored: a
+/// vanished orchestrator surfaces as a write error, not a signal death.
 int campaign_worker_main(int in_fd, int out_fd, const PointFactory& factory,
                          const FaultCampaign::OutputReader& read_output,
-                         int progress_every = 16);
+                         int progress_every = 16,
+                         const FaultCampaign::RecoveryReader& recovery = {});
 
 // -- Multi-axis sweep harness ----------------------------------------------
 
 /// Axes of the NEUROPULS robustness sweep. Cells are the cross product,
-/// enumerated faults-major / adc_bits-minor; a drift time > 0 selects
+/// enumerated faults-major / abft-minor; a drift time > 0 selects
 /// PCM weight technology for that cell (drift is a no-op on volatile
-/// thermo-optic weights).
+/// thermo-optic weights). The `abft` axis toggles the ABFT-protected
+/// checked-offload platform (the factory decides what that means —
+/// typically GemmConfig::abft plus the checked guest workload), letting
+/// one sweep report unprotected SDC rates next to detection coverage.
 struct SweepAxes {
   std::vector<std::pair<FaultTarget, FaultModel>> faults = {
       {FaultTarget::kCpuRegfile, FaultModel::kTransientFlip}};
   std::vector<double> pcm_drift_times_s = {0.0};
   std::vector<double> temperatures_k = {300.0};
   std::vector<int> adc_bits = {8};
+  std::vector<bool> abft = {false};
 };
 
 struct SweepRunConfig {
@@ -206,6 +214,16 @@ class SweepGrid {
  public:
   SweepGrid(SweepAxes axes, PointFactory factory,
             FaultCampaign::OutputReader read_output, std::uint64_t max_cycles);
+
+  /// Recovery-aware classification for the grid's ABFT cells: `reader`
+  /// extracts the guest recovery record, `fallback_golden` is the
+  /// software-fallback reference output (the scalar guest kernel's
+  /// rounding differs from the photonic golden). Applied to every cell
+  /// whose point has abft set — both the serial oracle and the
+  /// orchestrated run, so the bit-identity contract extends to the
+  /// six-outcome taxonomy.
+  void set_recovery(FaultCampaign::RecoveryReader reader,
+                    std::vector<std::uint8_t> fallback_golden);
 
   /// The grid's cells in execution order (cell ids are indices here).
   [[nodiscard]] std::vector<SweepPoint> points() const;
@@ -238,6 +256,8 @@ class SweepGrid {
   PointFactory factory_;
   FaultCampaign::OutputReader read_output_;
   std::uint64_t max_cycles_;
+  FaultCampaign::RecoveryReader recovery_;
+  std::vector<std::uint8_t> recovery_fallback_golden_;
 };
 
 }  // namespace aspen::sys

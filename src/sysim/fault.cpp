@@ -33,6 +33,8 @@ std::string to_string(Outcome o) {
     case Outcome::kSdc: return "SDC";
     case Outcome::kDueTrap: return "DUE-trap";
     case Outcome::kDueHang: return "DUE-hang";
+    case Outcome::kDetectedCorrected: return "detected-corrected";
+    case Outcome::kDetectedRecovered: return "detected-recovered";
   }
   return "?";
 }
@@ -41,6 +43,17 @@ double CampaignResult::fraction(Outcome o) const {
   const auto it = counts.find(o);
   if (it == counts.end() || total == 0) return 0.0;
   return static_cast<double>(it->second) / static_cast<double>(total);
+}
+
+double CampaignResult::detection_coverage() const {
+  int corrupting = 0, detected = 0;
+  for (const auto& [o, n] : counts) {
+    if (o == Outcome::kMasked) continue;
+    corrupting += n;
+    if (o != Outcome::kSdc) detected += n;
+  }
+  if (corrupting == 0) return 1.0;
+  return static_cast<double>(detected) / static_cast<double>(corrupting);
 }
 
 CampaignResult histogram_of(const std::vector<Outcome>& outcomes) {
@@ -127,6 +140,12 @@ void FaultCampaign::build_ladder(unsigned rungs) {
   }
 }
 
+void FaultCampaign::set_recovery(RecoveryReader reader,
+                                 std::vector<std::uint8_t> fallback_golden) {
+  recovery_reader_ = std::move(reader);
+  fallback_golden_ = std::move(fallback_golden);
+}
+
 void FaultCampaign::adopt_staged(System::SystemSnapshot staged,
                                  std::vector<std::uint8_t> golden,
                                  std::uint64_t golden_cycles) {
@@ -189,6 +208,34 @@ Outcome FaultCampaign::classify(System& system,
   return read_output(system) == golden ? Outcome::kMasked : Outcome::kSdc;
 }
 
+Outcome FaultCampaign::classify_trial(System& system) const {
+  if (!recovery_reader_)
+    return classify(system, read_output_, golden_);
+  if (!system.cpu().halted()) return Outcome::kDueHang;
+  const rv::Halt h = system.cpu().halt_reason();
+  if (h == rv::Halt::kBusFault || h == rv::Halt::kIllegal)
+    return Outcome::kDueTrap;
+  const GemmRecoveryRecord rec = recovery_reader_(system);
+  const std::vector<std::uint8_t> out = read_output_(system);
+  if (rec.fell_back != 0) {
+    // The guest abandoned the accelerator: correct means matching the
+    // software-path reference (its rounding differs from the photonic
+    // golden, so comparing against golden_ would mislabel every
+    // successful fallback as SDC).
+    return out == fallback_golden_ ? Outcome::kDetectedRecovered
+                                   : Outcome::kSdc;
+  }
+  if (out == golden_) {
+    // Correct output, accelerator path. Errors the guest observed (CRC /
+    // watchdog retries) or the ABFT unit silently repaired mean the
+    // fault was real and the protection earned the verdict.
+    return (rec.detected != 0 || rec.corrected != 0 || rec.retried != 0)
+               ? Outcome::kDetectedCorrected
+               : Outcome::kMasked;
+  }
+  return Outcome::kSdc;
+}
+
 std::size_t FaultCampaign::rung_index(std::uint64_t cycle) const {
   // Latest rung at or before the injection cycle. Rung cycles ascend, so
   // this is one upper_bound.
@@ -246,7 +293,7 @@ Outcome FaultCampaign::run_trial(System& system, const FaultSpec& spec,
   system.run_until(spec.cycle);
   inject(system, spec);
   system.run_until(max_cycles_);
-  return classify(system, read_output_, golden_);
+  return classify_trial(system);
 }
 
 Outcome FaultCampaign::run_one(const FaultSpec& spec) {

@@ -15,6 +15,17 @@
 ///   DUE-trap — detected: CPU halted on an access/illegal fault
 ///   DUE-hang — detected: run exceeded the cycle budget (watchdog)
 ///
+/// Recovery-aware campaigns (a checked workload + set_recovery()) split
+/// the survived-and-correct space by the guest's recovery record:
+///
+///   Detected+corrected — output correct AND the guest observed errors
+///                        (retry succeeded or ABFT repaired in place)
+///   Detected+recovered — guest fell back to the software GEMM and its
+///                        output matches the software-path golden
+///
+/// so "Masked" keeps meaning the fault genuinely changed nothing and
+/// "SDC" keeps meaning corruption escaped every installed detector.
+///
 /// Trials are independent, so they shard across a worker pool: every
 /// worker owns a private factory-built System restored from the shared
 /// snapshot per trial. Fault specs are pre-drawn serially from the
@@ -29,6 +40,7 @@
 
 #include "lina/random.hpp"
 #include "sysim/system.hpp"
+#include "sysim/workloads.hpp"
 
 namespace aspen::sys {
 
@@ -48,7 +60,16 @@ enum class FaultModel {
 };
 [[nodiscard]] std::string to_string(FaultModel m);
 
-enum class Outcome { kMasked, kSdc, kDueTrap, kDueHang };
+/// Trial verdicts. New values are only ever appended (the campaign wire
+/// format and sweep reports serialize the underlying integer).
+enum class Outcome {
+  kMasked,
+  kSdc,
+  kDueTrap,
+  kDueHang,
+  kDetectedCorrected,  ///< detected; retry/ABFT restored the exact output
+  kDetectedRecovered,  ///< detected; software fallback produced the output
+};
 [[nodiscard]] std::string to_string(Outcome o);
 
 struct FaultSpec {
@@ -65,6 +86,12 @@ struct CampaignResult {
   std::map<Outcome, int> counts;
   int total = 0;
   [[nodiscard]] double fraction(Outcome o) const;
+  /// Fraction of *corrupting* faults (everything except Masked) that some
+  /// detector caught: trap, hang, corrected, or recovered. 1.0 when no
+  /// fault corrupted anything (vacuous coverage).
+  [[nodiscard]] double detection_coverage() const;
+  /// Fraction of all trials ending in silent data corruption.
+  [[nodiscard]] double sdc_rate() const { return fraction(Outcome::kSdc); }
 };
 
 /// Histogram of a verdict list — the one reduction every campaign
@@ -81,6 +108,7 @@ class FaultCampaign {
   /// Systems (a pure read of the passed system is).
   using SystemFactory = std::function<std::unique_ptr<System>()>;
   using OutputReader = std::function<std::vector<std::uint8_t>(System&)>;
+  using RecoveryReader = std::function<GemmRecoveryRecord(System&)>;
 
   FaultCampaign(SystemFactory factory, OutputReader read_output,
                 std::uint64_t max_cycles);
@@ -107,6 +135,29 @@ class FaultCampaign {
   void build_ladder(unsigned rungs);
   /// Number of ladder rungs currently held (0 = ladder disabled).
   [[nodiscard]] std::size_t ladder_rungs() const { return ladder_.size(); }
+
+  /// Enable recovery-aware classification for checked workloads:
+  /// `reader` extracts the guest-written recovery record after each
+  /// trial, and `fallback_golden` is the reference output of the
+  /// software-GEMM fallback path (it differs from the photonic golden —
+  /// the scalar guest kernel truncates where the accelerator rounds).
+  /// With recovery set, a trial whose guest fell back is classified
+  /// against `fallback_golden` (match = Detected+recovered), and a trial
+  /// matching the photonic golden after observed errors becomes
+  /// Detected+corrected. Without it classification is exactly the
+  /// four-outcome legacy behavior. `reader` must be safe to call
+  /// concurrently on distinct Systems (a pure read of the passed system
+  /// is).
+  void set_recovery(RecoveryReader reader,
+                    std::vector<std::uint8_t> fallback_golden);
+  /// The software-fallback reference (empty when recovery is off) —
+  /// shipped to worker processes alongside the photonic golden.
+  [[nodiscard]] const std::vector<std::uint8_t>& fallback_golden() const {
+    return fallback_golden_;
+  }
+  [[nodiscard]] bool recovery_enabled() const {
+    return static_cast<bool>(recovery_reader_);
+  }
 
   /// Adopt an externally produced staged snapshot + golden reference —
   /// the worker-process entry point: a coordinator serializes its staged
@@ -159,7 +210,9 @@ class FaultCampaign {
   /// systems instead of duplicating it).
   static void inject(System& system, const FaultSpec& spec);
   /// Classify a finished run against a golden output (DUE-hang/-trap
-  /// from the halt state, Masked/SDC from the output comparison).
+  /// from the halt state, Masked/SDC from the output comparison) — the
+  /// legacy four-outcome classifier, which recovery-off campaigns use
+  /// unchanged.
   static Outcome classify(System& system, const OutputReader& read_output,
                           const std::vector<std::uint8_t>& golden);
 
@@ -193,6 +246,9 @@ class FaultCampaign {
   /// current image is unknown — the restore then scans the whole image.
   Outcome run_trial(System& system, const FaultSpec& spec,
                     std::size_t* last_rung = nullptr);
+  /// Classification used by run_trial: the legacy static classify when
+  /// recovery is off, the six-outcome recovery-aware split otherwise.
+  [[nodiscard]] Outcome classify_trial(System& system) const;
   /// Ladder index for an injection cycle (latest rung.cycle <= cycle).
   [[nodiscard]] std::size_t rung_index(std::uint64_t cycle) const;
 
@@ -212,6 +268,10 @@ class FaultCampaign {
   std::vector<std::uint8_t> golden_;
   std::uint64_t golden_cycles_ = 0;
   bool have_golden_ = false;
+  /// Recovery-aware classification (set_recovery): guest record reader +
+  /// the software-fallback reference output.
+  RecoveryReader recovery_reader_;
+  std::vector<std::uint8_t> fallback_golden_;
   /// Checkpoint ladder over the injection window (empty = disabled;
   /// otherwise ladder_[0] is the staged snapshot). Read-only while
   /// run_trials shards across threads.

@@ -93,9 +93,15 @@ std::uint64_t System::skippable_cycles() const {
     device_event = dma_->bulk_cycles_remaining();
     if (device_event == 0) return 0;  // MMIO endpoint or overlap: tick
   }
-  for (const auto& pe : pes_)
+  for (const auto& pe : pes_) {
     if (pe->busy())
       device_event = std::min(device_event, pe->busy_cycles_remaining());
+    // An armed watchdog is a second scheduled device event: its expiry
+    // latches ERROR and raises the interrupt line, so skipping must not
+    // jump past the deadline.
+    if (pe->watchdog_armed())
+      device_event = std::min(device_event, pe->watchdog_cycles_remaining());
+  }
   return std::min(cpu_idle, device_event);
 }
 
@@ -113,7 +119,7 @@ bool System::can_burst() const {
   if (cfg_.cpu.legacy_decode) return false;
   if (dma_->busy() || dma_->irq_pending()) return false;
   for (const auto& pe : pes_)
-    if (pe->busy() || pe->irq_pending()) return false;
+    if (pe->busy() || pe->irq_pending() || pe->watchdog_armed()) return false;
   return !cpu_->waiting_for_interrupt() && cpu_->stall_remaining() == 0;
 }
 

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "sysim/crc32.hpp"
+
 namespace aspen::sys {
 
 using namespace rv;
@@ -61,11 +63,31 @@ void emit_wait_done(Assembler& as, int base_reg, std::int32_t status_off,
   as.sw(t0, base_reg, status_off);
 }
 
-}  // namespace
+/// Fault-aware accelerator wait: sleeps until DONE *or* ERROR is up (the
+/// watchdog guarantees the line eventually rises even if the operation
+/// wedges), then clears DONE/IRQ and leaves the ERROR latch for the
+/// caller to inspect. Clobbers t0.
+void emit_wait_done_or_error(Assembler& as, int base_reg,
+                             const std::string& tag) {
+  as.label(tag);
+  as.lw(t0, base_reg, PhotonicAccelerator::kRegStatus);
+  as.andi(t0, t0,
+          PhotonicAccelerator::kStatusDone | PhotonicAccelerator::kStatusError);
+  as.bne(t0, zero, tag + "_done");
+  as.wfi();
+  as.j(tag);
+  as.label(tag + "_done");
+  as.li(t0, PhotonicAccelerator::kStatusDone);
+  as.sw(t0, base_reg, PhotonicAccelerator::kRegStatus);
+}
 
-std::vector<std::uint32_t> build_gemm_software(const GemmWorkload& wl,
-                                               const SystemConfig& sys) {
-  Assembler as(sys.dram_base);
+/// Scalar triple-loop GEMM body reading A/X from DRAM and writing Y —
+/// shared between the standalone software baseline and the checked
+/// offload's fallback path. Re-establishes a0-a2 itself; clobbers
+/// a0-a2, t0-t5 and s0-s3 (labels are `tag`-prefixed so the body can be
+/// emitted alongside other code).
+void emit_software_gemm(Assembler& as, const GemmWorkload& wl,
+                        const SystemConfig& sys, const std::string& tag) {
   const auto n = static_cast<std::uint32_t>(wl.n);
   const auto m = static_cast<std::uint32_t>(wl.m);
 
@@ -76,14 +98,14 @@ std::vector<std::uint32_t> build_gemm_software(const GemmWorkload& wl,
   as.li(t5, m);
 
   as.li(s0, 0);  // r
-  as.label("r_loop");
+  as.label(tag + "r_loop");
   as.li(s1, 0);  // c
-  as.label("c_loop");
+  as.label(tag + "c_loop");
   as.li(s3, 0);           // acc
   as.li(s2, 0);           // k
   as.mul(t0, s0, t4);     // r * n
   as.mul(t1, s1, t4);     // c * n
-  as.label("k_loop");
+  as.label(tag + "k_loop");
   as.add(t2, t0, s2);
   as.slli(t2, t2, 1);
   as.add(t2, t2, a0);
@@ -95,16 +117,24 @@ std::vector<std::uint32_t> build_gemm_software(const GemmWorkload& wl,
   as.mul(t2, t2, t3);
   as.add(s3, s3, t2);
   as.addi(s2, s2, 1);
-  as.blt(s2, t4, "k_loop");
+  as.blt(s2, t4, tag + "k_loop");
   as.srai(s3, s3, 12);    // Q3.12 renormalization
   as.add(t3, t1, s0);     // c*n + r
   as.slli(t3, t3, 1);
   as.add(t3, t3, a2);
   as.sh(s3, t3, 0);
   as.addi(s1, s1, 1);
-  as.blt(s1, t5, "c_loop");
+  as.blt(s1, t5, tag + "c_loop");
   as.addi(s0, s0, 1);
-  as.blt(s0, t4, "r_loop");
+  as.blt(s0, t4, tag + "r_loop");
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> build_gemm_software(const GemmWorkload& wl,
+                                               const SystemConfig& sys) {
+  Assembler as(sys.dram_base);
+  emit_software_gemm(as, wl, sys, "");
   emit_exit(as);
   return as.assemble();
 }
@@ -179,6 +209,109 @@ std::vector<std::uint32_t> build_gemm_offload(const GemmWorkload& wl,
   } else {
     emit_copy_words(as, s6, a2, bytes_xy, "copy_y");
   }
+  emit_exit(as);
+  return as.assemble();
+}
+
+std::vector<std::uint32_t> build_gemm_offload_checked(const GemmWorkload& wl,
+                                                      const SystemConfig& sys,
+                                                      std::size_t pe_index) {
+  Assembler as(sys.dram_base);
+  const auto n = static_cast<std::uint32_t>(wl.n);
+  const auto m = static_cast<std::uint32_t>(wl.m);
+  const std::uint32_t pe_base =
+      sys.accel_base + static_cast<std::uint32_t>(pe_index) * sys.accel_stride;
+  const std::uint32_t bytes_w = n * n * 2;
+  const std::uint32_t bytes_xy = n * m * 2;
+
+  as.li(s0, pe_base);
+  as.li(a0, sys.dram_base + wl.a_offset);
+  as.li(a1, sys.dram_base + wl.x_offset);
+  as.li(a2, sys.dram_base + wl.y_offset);
+  as.li(s4, pe_base + PhotonicAccelerator::kSpmWBase);
+  as.li(s5, pe_base + PhotonicAccelerator::kSpmXBase);
+  as.li(s6, pe_base + PhotonicAccelerator::kSpmYBase);
+
+  // Host-precomputed tile CRCs.
+  as.li(t0, sys.dram_base + wl.crc_offset);
+  as.lw(s2, t0, 0);  // expected CRC of the A tile
+  as.lw(s3, t0, 4);  // expected CRC of the X tile
+
+  as.li(t0, m);
+  as.sw(t0, s0, PhotonicAccelerator::kRegCols);
+
+  as.li(s7, 0);                // fell-back flag
+  as.li(s8, 0);                // errors observed
+  as.li(s9, wl.max_retries);   // retry budget
+
+  // One full load+compute attempt; any latched ERROR funnels to "err".
+  as.label("try");
+  emit_copy_words(as, a0, s4, bytes_w, "copy_a");
+  as.sw(s2, s0, PhotonicAccelerator::kRegCrcW);
+  as.li(t0, wl.watchdog_cycles);
+  as.sw(t0, s0, PhotonicAccelerator::kRegWdog);
+  as.li(t0, PhotonicAccelerator::kCtrlLoadWeights |
+                PhotonicAccelerator::kCtrlIrqEn |
+                PhotonicAccelerator::kCtrlCrcW);
+  as.sw(t0, s0, PhotonicAccelerator::kRegCtrl);
+  emit_wait_done_or_error(as, s0, "ldw");
+  as.sw(zero, s0, PhotonicAccelerator::kRegWdog);
+  as.lw(t0, s0, PhotonicAccelerator::kRegStatus);
+  as.andi(t0, t0, PhotonicAccelerator::kStatusError);
+  as.bne(t0, zero, "err");
+
+  emit_copy_words(as, a1, s5, bytes_xy, "copy_x");
+  as.sw(s3, s0, PhotonicAccelerator::kRegCrcX);
+  as.li(t0, wl.watchdog_cycles);
+  as.sw(t0, s0, PhotonicAccelerator::kRegWdog);
+  as.li(t0, PhotonicAccelerator::kCtrlStart |
+                PhotonicAccelerator::kCtrlIrqEn |
+                PhotonicAccelerator::kCtrlCrcX);
+  as.sw(t0, s0, PhotonicAccelerator::kRegCtrl);
+  emit_wait_done_or_error(as, s0, "go");
+  as.sw(zero, s0, PhotonicAccelerator::kRegWdog);
+  as.lw(t0, s0, PhotonicAccelerator::kRegStatus);
+  as.andi(t0, t0, PhotonicAccelerator::kStatusError);
+  as.bne(t0, zero, "err");
+
+  emit_copy_words(as, s6, a2, bytes_xy, "copy_y");
+  as.j("rec");
+
+  // Detected error: quiesce the device, clear the latches, retry while
+  // budget remains, then fall back to the exact software GEMM.
+  as.label("err");
+  as.addi(s8, s8, 1);
+  // An aborted operation still runs out its busy window and raises DONE
+  // at the end (the no-wedge handshake guarantee). The wait above exits
+  // on ERROR *before* that DONE lands, so clearing ERROR alone would
+  // leave a stale DONE behind — and the retry's next wait would fall
+  // through mid-operation, reading back a stale SPM_Y. Drain BUSY first,
+  // then clear DONE and ERROR together so the retry handshake starts
+  // from a clean STATUS.
+  as.label("err_drain");
+  as.lw(t0, s0, PhotonicAccelerator::kRegStatus);
+  as.andi(t0, t0, PhotonicAccelerator::kStatusBusy);
+  as.bne(t0, zero, "err_drain");
+  as.li(t0, PhotonicAccelerator::kStatusDone |
+                PhotonicAccelerator::kStatusError);
+  as.sw(t0, s0, PhotonicAccelerator::kRegStatus);
+  as.bge(s9, s8, "try");
+  as.li(s7, 1);
+  emit_software_gemm(as, wl, sys, "fb_");
+  as.li(s0, pe_base);  // the fallback body clobbered s0
+
+  // Recovery record: {detected, corrected, retried, fell_back}.
+  as.label("rec");
+  as.li(t0, sys.dram_base + wl.rec_offset);
+  as.sw(s8, t0, 0);
+  as.lw(t1, s0, PhotonicAccelerator::kRegAbftCorrected);
+  as.sw(t1, t0, 4);
+  as.addi(t2, s8, 0);  // retried = min(errors, budget)
+  as.bge(s9, t2, "rec_min");
+  as.addi(t2, s9, 0);
+  as.label("rec_min");
+  as.sw(t2, t0, 8);
+  as.sw(s7, t0, 12);
   emit_exit(as);
   return as.assemble();
 }
@@ -343,6 +476,22 @@ void stage_gemm_data(System& system, const GemmWorkload& wl,
     throw std::invalid_argument("stage_gemm_data: size mismatch");
   system.write_dram(wl.a_offset, a.data(), a.size() * 2);
   system.write_dram(wl.x_offset, x.data(), x.size() * 2);
+}
+
+void stage_gemm_data_checked(System& system, const GemmWorkload& wl,
+                             const std::vector<std::int16_t>& a,
+                             const std::vector<std::int16_t>& x) {
+  stage_gemm_data(system, wl, a, x);
+  const std::uint32_t crc[2] = {crc32(a.data(), a.size() * 2),
+                                crc32(x.data(), x.size() * 2)};
+  system.write_dram(wl.crc_offset, crc, sizeof(crc));
+}
+
+GemmRecoveryRecord read_gemm_recovery(System& system,
+                                      const GemmWorkload& wl) {
+  GemmRecoveryRecord rec;
+  system.read_dram(wl.rec_offset, &rec, sizeof(rec));
+  return rec;
 }
 
 std::vector<std::int16_t> read_gemm_result(System& system,

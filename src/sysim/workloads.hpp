@@ -25,6 +25,24 @@ struct GemmWorkload {
   std::uint32_t a_offset = 0x10000;  ///< DRAM offsets (from dram_base)
   std::uint32_t x_offset = 0x20000;
   std::uint32_t y_offset = 0x30000;
+  /// Checked-offload extras (build_gemm_offload_checked only): staged
+  /// {crc32(A), crc32(X)} pair, the guest-written recovery record, the
+  /// retry budget before falling back to the software GEMM, and the
+  /// accelerator watchdog deadline armed around each wait.
+  std::uint32_t crc_offset = 0x38000;
+  std::uint32_t rec_offset = 0x3C000;
+  std::uint32_t max_retries = 2;
+  std::uint32_t watchdog_cycles = 100000;
+};
+
+/// Guest-side recovery counters written at `rec_offset` by the checked
+/// offload workload: {errors detected, ABFT columns corrected (from the
+/// accelerator's cumulative counter), retries launched, fell back}.
+struct GemmRecoveryRecord {
+  std::uint32_t detected = 0;
+  std::uint32_t corrected = 0;
+  std::uint32_t retried = 0;
+  std::uint32_t fell_back = 0;
 };
 
 /// Scalar triple-loop GEMM on the CPU (the software baseline).
@@ -41,6 +59,16 @@ enum class OffloadPath {
 [[nodiscard]] std::vector<std::uint32_t> build_gemm_offload(
     const GemmWorkload& wl, const SystemConfig& sys, OffloadPath path,
     std::size_t pe_index = 0);
+
+/// Fault-aware offload: every tile transfer is CRC-checked by the
+/// accelerator, ABFT (when enabled in the accelerator config) guards the
+/// compute, a watchdog deadline is armed around each WFI wait, and on any
+/// latched ERROR the guest retries the full load+compute sequence up to
+/// `wl.max_retries` times before falling back to the software GEMM. The
+/// recovery record lands at `wl.rec_offset`. Stage data with
+/// stage_gemm_data_checked().
+[[nodiscard]] std::vector<std::uint32_t> build_gemm_offload_checked(
+    const GemmWorkload& wl, const SystemConfig& sys, std::size_t pe_index = 0);
 
 /// Offload with the columns partitioned across all `num_pes` PEs (DMA +
 /// polling across PEs); demonstrates multi-PE clustering (Fig. 3 right).
@@ -61,6 +89,16 @@ enum class OffloadPath {
 void stage_gemm_data(System& system, const GemmWorkload& wl,
                      const std::vector<std::int16_t>& a,
                      const std::vector<std::int16_t>& x);
+
+/// Stage A and X plus the CRC-32 expectations the checked offload
+/// workload programs into the accelerator.
+void stage_gemm_data_checked(System& system, const GemmWorkload& wl,
+                             const std::vector<std::int16_t>& a,
+                             const std::vector<std::int16_t>& x);
+
+/// Read back the checked-offload recovery record.
+[[nodiscard]] GemmRecoveryRecord read_gemm_recovery(System& system,
+                                                    const GemmWorkload& wl);
 
 /// Read back Y.
 [[nodiscard]] std::vector<std::int16_t> read_gemm_result(

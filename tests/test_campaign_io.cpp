@@ -7,6 +7,8 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <functional>
+#include <string>
 
 #include "sysim/campaign_io.hpp"
 #include "sysim/fault.hpp"
@@ -404,6 +406,173 @@ TEST(CampaignIoTest, MalformedPayloadErrorsCarryOffsetsAndSizes) {
   EXPECT_NE(trail.find("byte offset " + std::to_string(good.size())),
             std::string::npos)
       << trail;
+}
+
+/// Every mutation an adversarial (or merely crashed) peer can apply to a
+/// wire payload — truncation at every byte, damaged header fields, an
+/// unknown payload tag, a hostile element count, trailing garbage — must
+/// surface as the offset-tagged campaign_io error, never as an
+/// out-of-bounds read or a silent half-parse. Exhaustive truncation is
+/// the part the sanitizer leg leans on: each cut length walks the reader
+/// up to a different field boundary.
+TEST(CampaignIoTest, CorruptFrameTableRejectsEveryMutation) {
+  FaultCampaign campaign(make_factory(512), make_reader(), kMaxCycles);
+  aspen::lina::Rng rng(513);
+  const auto specs = campaign.sample_specs(FaultTarget::kAccelSpmW,
+                                           FaultModel::kStuckAt1, 4, rng);
+  CampaignResult hist;
+  hist.counts[Outcome::kMasked] = 5;
+  hist.counts[Outcome::kDetectedCorrected] = 3;
+  hist.counts[Outcome::kDetectedRecovered] = 2;
+  hist.counts[Outcome::kSdc] = 1;
+  hist.total = 11;
+  JournalEntry entry;
+  entry.shard_seq = 77;
+  entry.hist = hist;
+
+  struct Case {
+    const char* name;
+    std::vector<std::uint8_t> wire;
+    std::function<void(const std::uint8_t*, std::size_t)> parse;
+    bool counted;  ///< body starts with an element count at offset 8
+  };
+  const std::vector<Case> cases = {
+      {"specs", serialize_specs(specs),
+       [](const std::uint8_t* d, std::size_t n) { (void)deserialize_specs(d, n); },
+       true},
+      {"histogram", serialize_histogram(hist),
+       [](const std::uint8_t* d, std::size_t n) {
+         (void)deserialize_histogram(d, n);
+       },
+       true},
+      {"progress", serialize_progress({3, 9, 27}),
+       [](const std::uint8_t* d, std::size_t n) {
+         (void)deserialize_progress(d, n);
+       },
+       false},
+      {"journal", serialize_journal_entry(entry),
+       [](const std::uint8_t* d, std::size_t n) {
+         (void)deserialize_journal_entry(d, n);
+       },
+       false},
+  };
+
+  const auto expect_tagged_throw = [](const Case& c,
+                                      const std::vector<std::uint8_t>& wire,
+                                      const std::string& mutation) {
+    try {
+      c.parse(wire.data(), wire.size());
+      ADD_FAILURE() << c.name << ": " << mutation << " was accepted";
+    } catch (const std::runtime_error& e) {
+      const std::string msg = e.what();
+      EXPECT_NE(msg.find("campaign_io:"), std::string::npos)
+          << c.name << "/" << mutation << ": " << msg;
+      EXPECT_NE(msg.find("byte offset"), std::string::npos)
+          << c.name << "/" << mutation << ": " << msg;
+    }
+  };
+
+  for (const Case& c : cases) {
+    // The pristine payload parses (the table tests the mutations, not
+    // the serializer).
+    ASSERT_NO_THROW(c.parse(c.wire.data(), c.wire.size())) << c.name;
+
+    // Truncation at every length, header through last-byte-missing.
+    for (std::size_t cut = 0; cut < c.wire.size(); ++cut)
+      expect_tagged_throw(c, {c.wire.begin(), c.wire.begin() + cut},
+                          "truncate@" + std::to_string(cut));
+
+    // Each damaged header field: magic bytes, version, payload kind
+    // (both zero and far out of range).
+    for (const std::size_t at : {0u, 1u, 2u, 3u, 4u, 5u}) {
+      std::vector<std::uint8_t> bad = c.wire;
+      bad[at] ^= 0xFF;
+      expect_tagged_throw(c, bad, "header-flip@" + std::to_string(at));
+    }
+    for (const std::uint8_t kind : {0x00, 0x63}) {
+      std::vector<std::uint8_t> bad = c.wire;
+      bad[6] = kind;
+      bad[7] = 0;
+      expect_tagged_throw(c, bad, "kind=" + std::to_string(kind));
+    }
+
+    // Trailing garbage after a complete payload.
+    std::vector<std::uint8_t> bad = c.wire;
+    bad.insert(bad.end(), {0xDE, 0xAD});
+    expect_tagged_throw(c, bad, "trailing-bytes");
+
+    // A hostile element count must be rejected by the remaining-payload
+    // bound before it sizes any allocation.
+    if (c.counted) {
+      bad = c.wire;
+      for (std::size_t i = 0; i < 8; ++i) bad[8 + i] = 0xFF;
+      expect_tagged_throw(c, bad, "count=2^64-1");
+    }
+  }
+}
+
+/// The v3 additions — recovery verdicts in histograms, the ABFT sweep
+/// axis, the software-fallback golden, and the accelerator's fault state
+/// (ERROR latch, CRC expectations, watchdog countdown, ABFT counters) —
+/// must all survive the wire bit-exactly; a worker that dropped any of
+/// them would classify recovery trials against the wrong reference.
+TEST(CampaignIoTest, RecoveryFieldsRoundTripInV3Payloads) {
+  CampaignResult hist;
+  hist.counts[Outcome::kMasked] = 9;
+  hist.counts[Outcome::kDetectedCorrected] = 6;
+  hist.counts[Outcome::kDetectedRecovered] = 4;
+  hist.counts[Outcome::kSdc] = 2;
+  hist.counts[Outcome::kDueTrap] = 1;
+  hist.total = 22;
+  const std::vector<std::uint8_t> hw = serialize_histogram(hist);
+  const CampaignResult hb = deserialize_histogram(hw);
+  EXPECT_EQ(hb.counts, hist.counts);
+  EXPECT_EQ(serialize_histogram(hb), hw);
+
+  const auto factory = make_factory(514);
+  FaultCampaign campaign(make_factory(514), make_reader(), kMaxCycles);
+
+  CampaignShard shard;
+  shard.seq = 99;
+  shard.point.cell = 3;
+  shard.point.abft = true;
+  shard.golden = campaign.golden();
+  shard.fallback_golden = campaign.golden();
+  shard.fallback_golden[0] ^= 0x55;  // distinct from the primary golden
+  shard.golden_cycles = campaign.golden_cycles();
+  shard.max_cycles = kMaxCycles;
+  shard.staged = factory()->snapshot();
+  ASSERT_FALSE(shard.staged.pes.empty());
+  // Fault-detection state a v2 reader had no fields for.
+  PhotonicAccelerator::Snapshot& pe = shard.staged.pes[0];
+  pe.error = true;
+  pe.err_cause = 2;
+  pe.crc_w_expect = 0xDEADBEEFu;
+  pe.crc_x_expect = 0x1234ABCDu;
+  pe.watchdog_cycles = 4096;
+  pe.gemm.abft.columns_checked = 40;
+  pe.gemm.abft.detected = 7;
+  pe.gemm.abft.corrected = 5;
+  pe.gemm.abft.uncorrectable = 2;
+  shard.staged.dma.error = true;
+
+  const std::vector<std::uint8_t> wire = serialize_shard(shard);
+  const CampaignShard back = deserialize_shard(wire);
+  EXPECT_EQ(serialize_shard(back), wire);
+  EXPECT_TRUE(back.point.abft);
+  EXPECT_EQ(back.fallback_golden, shard.fallback_golden);
+  ASSERT_FALSE(back.staged.pes.empty());
+  const PhotonicAccelerator::Snapshot& bpe = back.staged.pes[0];
+  EXPECT_TRUE(bpe.error);
+  EXPECT_EQ(bpe.err_cause, pe.err_cause);
+  EXPECT_EQ(bpe.crc_w_expect, pe.crc_w_expect);
+  EXPECT_EQ(bpe.crc_x_expect, pe.crc_x_expect);
+  EXPECT_EQ(bpe.watchdog_cycles, pe.watchdog_cycles);
+  EXPECT_EQ(bpe.gemm.abft.columns_checked, pe.gemm.abft.columns_checked);
+  EXPECT_EQ(bpe.gemm.abft.detected, pe.gemm.abft.detected);
+  EXPECT_EQ(bpe.gemm.abft.corrected, pe.gemm.abft.corrected);
+  EXPECT_EQ(bpe.gemm.abft.uncorrectable, pe.gemm.abft.uncorrectable);
+  EXPECT_TRUE(back.staged.dma.error);
 }
 
 // ------------------------------------------- sharded execution end to end

@@ -399,6 +399,66 @@ TEST(CampaignOrchestratorTest, JournalToleratesTruncatedTail) {
   std::remove(journal.c_str());
 }
 
+TEST(CampaignOrchestratorTest, JournalDuplicatedTailRecordMergesOnce) {
+  // Crash window the journal must survive: the orchestrator fsyncs a
+  // shard's record, dies before reaping the worker, and the resumed run
+  // re-executes and re-journals the same shard — leaving two records for
+  // one seq. Replay must merge that shard once; counting it twice would
+  // inflate the histogram and break the serial bit-identity contract.
+  Drill d(619, /*per_target=*/4, /*shard_count=*/4);
+  const std::string journal =
+      ::testing::TempDir() + "aspen_orch_journal_dup_" +
+      std::to_string(::getpid()) + ".bin";
+  std::remove(journal.c_str());
+
+  {
+    OrchestratorConfig oc;
+    oc.max_workers = 1;  // deterministic completion order: seq 0 then 1
+    oc.journal_path = journal;
+    oc.stop_after_shards = 2;
+    oc.child_entry = d.healthy(619);
+    CampaignOrchestrator orch(oc, d.serial_exec());
+    (void)orch.run(d.tasks);
+  }
+
+  // Duplicate the tail record verbatim (trials are deterministic, so a
+  // re-run's record is bit-identical to the original's).
+  {
+    std::FILE* f = std::fopen(journal.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    FrameBuffer frames;
+    std::uint8_t chunk[1 << 16];
+    std::size_t n;
+    while ((n = std::fread(chunk, 1, sizeof chunk, f)) > 0)
+      frames.feed(chunk, n);
+    std::fclose(f);
+    std::vector<std::uint8_t> tail;
+    while (const auto payload = frames.next()) tail = *payload;
+    ASSERT_FALSE(tail.empty());
+    const std::vector<std::uint8_t> framed = frame(tail);
+    f = std::fopen(journal.c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    std::fwrite(framed.data(), 1, framed.size(), f);
+    std::fclose(f);
+  }
+
+  OrchestratorConfig oc;
+  oc.max_workers = 2;
+  oc.journal_path = journal;
+  oc.child_entry = d.healthy(619);
+  CampaignOrchestrator orch(oc, d.serial_exec());
+  const std::vector<ShardOutcome> outs = orch.run(d.tasks);
+
+  // Two distinct seqs satisfied from the journal — the duplicate is not a
+  // third hit — and the merged histogram counts every trial exactly once.
+  EXPECT_EQ(orch.stats().journal_hits, 2u);
+  EXPECT_EQ(orch.stats().launches, 2u);
+  const CampaignResult merged = merge_completed(outs);
+  EXPECT_EQ(merged.counts, d.serial.counts);
+  EXPECT_EQ(merged.total, d.serial.total);
+  std::remove(journal.c_str());
+}
+
 // --------------------------------------------------------- multi-axis sweep
 
 TEST(SweepGridTest, OrchestratedSweepMatchesSerialOraclePerCell) {
@@ -435,6 +495,81 @@ TEST(SweepGridTest, OrchestratedSweepMatchesSerialOraclePerCell) {
     EXPECT_EQ(swept[i].golden_cycles, serial[i].golden_cycles);
   }
   EXPECT_EQ(stats.launches, 4u);  // 2 cells x 2 shards, no failures
+  EXPECT_EQ(stats.failures, 0u);
+}
+
+/// Worker-side factory for the ABFT sweep axis: abft cells get the
+/// checked platform (CRC'd transfers, ABFT-enabled accelerator, the
+/// retry/fallback guest workload); unprotected cells get the plain
+/// offload. Both sides of the wire must make the same choice from
+/// point.abft alone.
+PointFactory make_abft_point_factory(std::uint64_t seed) {
+  return [seed](const SweepPoint& p) -> FaultCampaign::SystemFactory {
+    if (!p.abft) return make_factory(seed);
+    SystemConfig sc = small_config();
+    sc.accel.gemm.abft.enabled = true;
+    const GemmWorkload wl = small_workload();
+    const auto a = random_fixed(wl.n * wl.n, seed);
+    const auto x = random_fixed(wl.n * wl.m, seed + 1);
+    return [=]() {
+      auto system = std::make_unique<System>(sc);
+      stage_gemm_data_checked(*system, wl, a, x);
+      system->load_program(build_gemm_offload_checked(wl, sc));
+      return system;
+    };
+  };
+}
+
+TEST(SweepGridTest, AbftAxisMatchesSerialOracleWithRecoveryTaxonomy) {
+  // One fault pair swept across abft = {off, on}: the abft cell runs the
+  // checked workload and classifies with the six-outcome recovery
+  // taxonomy, and the orchestrated histograms must still match the
+  // serial oracle bit-for-bit — the same contract the legacy four
+  // outcomes have, extended to the recovery verdicts.
+  SweepAxes axes;
+  axes.faults = {{FaultTarget::kAccelSpmW, FaultModel::kStuckAt1}};
+  axes.abft = {false, true};
+  SweepGrid grid(axes, make_abft_point_factory(620), make_reader(),
+                 kMaxCycles);
+
+  const GemmWorkload wl = small_workload();
+  const auto a = random_fixed(wl.n * wl.n, 620);
+  const auto x = random_fixed(wl.n * wl.m, 621);
+  const auto fb = golden_gemm(wl, a, x);
+  std::vector<std::uint8_t> fb_bytes(fb.size() * 2);
+  std::memcpy(fb_bytes.data(), fb.data(), fb_bytes.size());
+  const auto recovery = [wl](System& s) { return read_gemm_recovery(s, wl); };
+  grid.set_recovery(recovery, fb_bytes);
+
+  SweepRunConfig rc;
+  rc.trials_per_cell = 10;
+  rc.shards_per_cell = 2;
+
+  const std::vector<SweepCell> serial = grid.run_serial(rc);
+  OrchestratorConfig oc;
+  oc.max_workers = 2;
+  oc.child_entry = [recovery](std::uint64_t, unsigned) {
+    return campaign_worker_main(0, 1, make_abft_point_factory(620),
+                                make_reader(), 4, recovery);
+  };
+  CampaignOrchestrator::Stats stats;
+  const std::vector<SweepCell> swept = grid.run(rc, oc, &stats);
+
+  ASSERT_EQ(serial.size(), 2u);
+  ASSERT_EQ(swept.size(), serial.size());
+  EXPECT_FALSE(serial[0].point.abft);
+  EXPECT_TRUE(serial[1].point.abft);
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(swept[i].hist.counts, serial[i].hist.counts)
+        << "cell " << i << " diverged from the serial oracle";
+    EXPECT_EQ(swept[i].hist.total, rc.trials_per_cell);
+  }
+  // The unprotected cell must stay in the legacy four-outcome space —
+  // recovery verdicts exist only where the abft axis enabled them.
+  for (const auto& kv : serial[0].hist.counts) {
+    EXPECT_NE(kv.first, Outcome::kDetectedCorrected);
+    EXPECT_NE(kv.first, Outcome::kDetectedRecovered);
+  }
   EXPECT_EQ(stats.failures, 0u);
 }
 

@@ -484,6 +484,69 @@ TEST(DmaTest, StartClearsLatchedError) {
   EXPECT_EQ(0, memcmp(pattern, out, 8));
 }
 
+TEST(DmaTest, ErrorLatchLifecycle) {
+  // Pin the full ERROR-latch contract: reads never clear it, STATUS W1C
+  // is per-bit, a zero STATUS write is a no-op, a START that does not
+  // actually launch (len == 0) leaves the latch alone, and checkpoints
+  // carry the latch through snapshot/restore.
+  Bus bus(0);
+  Memory ram("ram", 4096, 1);
+  bus.attach(0x80000000u, 4096, &ram);
+  DmaEngine dma(bus, 4);
+  bus.attach(0x40000000u, 0x1000, &dma);
+
+  const auto status = [&] {
+    return bus.read(0x40000000u + DmaEngine::kRegStatus, 4).value;
+  };
+
+  // Latch ERROR via an unmapped source, IRQ enabled.
+  (void)bus.write(0x40000000u + DmaEngine::kRegSrc, 0x80001000u, 4);
+  (void)bus.write(0x40000000u + DmaEngine::kRegDst, 0x80000000u, 4);
+  (void)bus.write(0x40000000u + DmaEngine::kRegLen, 8, 4);
+  (void)bus.write(0x40000000u + DmaEngine::kRegCtrl,
+                  DmaEngine::kCtrlStart | DmaEngine::kCtrlIrqEn, 4);
+  for (int i = 0; i < 100 && dma.busy(); ++i) dma.tick();
+  ASSERT_EQ(status() & DmaEngine::kStatusError, DmaEngine::kStatusError);
+  ASSERT_TRUE(dma.irq_pending());
+
+  // STATUS is a latch, not a read-to-clear register.
+  for (int i = 0; i < 8; ++i)
+    EXPECT_EQ(status() & DmaEngine::kStatusError, DmaEngine::kStatusError);
+  EXPECT_TRUE(dma.irq_pending());
+
+  // Writing 0 acknowledges nothing.
+  (void)bus.write(0x40000000u + DmaEngine::kRegStatus, 0, 4);
+  EXPECT_EQ(status() & DmaEngine::kStatusError, DmaEngine::kStatusError);
+  EXPECT_TRUE(dma.irq_pending());
+
+  // W1C is per-bit: acknowledging DONE drops the IRQ line but must not
+  // swallow the ERROR cause a handler has not looked at yet.
+  (void)bus.write(0x40000000u + DmaEngine::kRegStatus, DmaEngine::kStatusDone,
+                  4);
+  EXPECT_EQ(status() & DmaEngine::kStatusError, DmaEngine::kStatusError);
+  EXPECT_FALSE(dma.irq_pending());
+
+  // A START that does not launch (len == 0) leaves the latch alone.
+  (void)bus.write(0x40000000u + DmaEngine::kRegLen, 0, 4);
+  (void)bus.write(0x40000000u + DmaEngine::kRegCtrl, DmaEngine::kCtrlStart, 4);
+  EXPECT_FALSE(dma.busy());
+  EXPECT_EQ(status() & DmaEngine::kStatusError, DmaEngine::kStatusError);
+
+  // Checkpoint-ladder campaigns restore DMA state mid-trial; the latch
+  // must survive the round trip so a post-restore guest still sees it.
+  const DmaEngine::Snapshot snap = dma.snapshot();
+  DmaEngine twin(bus, 4);
+  twin.restore(snap);
+  EXPECT_EQ(twin.read(DmaEngine::kRegStatus, 4) & DmaEngine::kStatusError,
+            DmaEngine::kStatusError);
+
+  // Finally the documented acknowledge: W1C of ERROR clears it for good.
+  (void)bus.write(0x40000000u + DmaEngine::kRegStatus, DmaEngine::kStatusError,
+                  4);
+  EXPECT_EQ(status() & DmaEngine::kStatusError, 0u);
+  EXPECT_EQ(status(), 0u);
+}
+
 TEST(DmaTest, AdjacentRangesTakeBulkPath) {
   // dst == src + len: the ranges touch but do not overlap, so the bulk
   // mover must accept the transfer. Pin the bulk-moved image and cycle
