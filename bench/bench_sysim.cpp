@@ -15,6 +15,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 
 #include "bench_util.hpp"
 #include "lina/random.hpp"
@@ -49,13 +50,17 @@ void record_speedup(const char* name, int size, double legacy_us,
 
 /// Execution tiers under test: the seed's decode-every-fetch interpreter
 /// with per-cycle ticking, the predecoded uop-at-a-time engine, and the
-/// basic-block translation tier (block cache + chaining + fusion). All
-/// three are pinned bit-identical by tests/test_sysim_diff.cpp.
-SystemConfig tier_config(const SystemConfig& base, bool legacy, bool block) {
+/// basic-block translation tier (block cache + chaining + fusion +
+/// constant folding). All three are pinned bit-identical by
+/// tests/test_sysim_diff.cpp. Constant folding is pinned explicitly so
+/// the rows are deterministic regardless of ASPEN_BLOCK_CONSTFOLD.
+SystemConfig tier_config(const SystemConfig& base, bool legacy, bool block,
+                         bool constfold = true) {
   SystemConfig sc = base;
   sc.event_driven = !legacy;
   sc.cpu.legacy_decode = legacy;
   sc.cpu.block_tier = block;
+  sc.cpu.block_constfold = constfold;
   return sc;
 }
 
@@ -66,13 +71,15 @@ struct Workload {
   std::vector<std::int16_t> a, x;
 };
 
+/// Staging callback: writes data + program into a fresh system.
+using Stager = std::function<void(System&)>;
+
 /// One fresh-system execution; returns simulated cycles and optionally
 /// the block-tier counters of the run.
-std::uint64_t probe_run(const Workload& w, const SystemConfig& sc,
+std::uint64_t probe_run(const Stager& stage, const SystemConfig& sc,
                         rv::BlockStats* stats = nullptr) {
   System system(sc);
-  stage_gemm_data(system, w.wl, w.a, w.x);
-  system.load_program(w.program);
+  stage(system);
   const auto r = system.run();
   if (r.halt != rv::Halt::kEcallExit) {
     std::fprintf(stderr, "bench_sysim: workload did not exit cleanly\n");
@@ -82,17 +89,26 @@ std::uint64_t probe_run(const Workload& w, const SystemConfig& sc,
   return r.cycles;
 }
 
+std::uint64_t probe_run(const Workload& w, const SystemConfig& sc,
+                        rv::BlockStats* stats = nullptr) {
+  return probe_run(
+      [&](System& system) {
+        stage_gemm_data(system, w.wl, w.a, w.x);
+        system.load_program(w.program);
+      },
+      sc, stats);
+}
+
 /// Run-only wall time, averaged over enough repetitions to fill the
 /// measurement budget. The system is staged once and snapshot/restored
 /// per rep (outside the timed window): restore keeps each engine's
 /// set_matrix programming memo warm, so offload rows measure the
 /// execution tier, not per-rep weight-calibration math — the
 /// single-shot floor the PR 3 notes flagged.
-double record_runs(const char* name, const Workload& w,
+double record_runs(const char* name, std::size_t n, const Stager& stage,
                    const SystemConfig& sc) {
   System system(sc);
-  stage_gemm_data(system, w.wl, w.a, w.x);
-  system.load_program(w.program);
+  stage(system);
   const System::SystemSnapshot snap = system.snapshot();
   const auto run_once = [&]() {
     system.restore(snap);
@@ -113,10 +129,20 @@ double record_runs(const char* name, const Workload& w,
   double total = 0.0;
   for (int i = 0; i < reps; ++i) total += run_once();
   const double us = total / reps * 1e6;
-  std::printf("%-36s n=%-3zu %12.1f us/run  (%d reps)\n", name, w.wl.n, us,
-              reps);
-  rows.push_back({name, us, static_cast<int>(w.wl.n), "us/run"});
+  std::printf("%-36s n=%-3zu %12.1f us/run  (%d reps)\n", name, n, us, reps);
+  rows.push_back({name, us, static_cast<int>(n), "us/run"});
   return us;
+}
+
+double record_runs(const char* name, const Workload& w,
+                   const SystemConfig& sc) {
+  return record_runs(
+      name, w.wl.n,
+      [&](System& system) {
+        stage_gemm_data(system, w.wl, w.a, w.x);
+        system.load_program(w.program);
+      },
+      sc);
 }
 
 /// One workload across all three tiers; asserts identical simulated
@@ -127,16 +153,22 @@ void bench_workload(const char* tag, const Workload& w,
   const SystemConfig legacy_sc = tier_config(w.sc, true, false);
   const SystemConfig uop_sc = tier_config(w.sc, false, false);
   const SystemConfig block_sc = tier_config(w.sc, false, true);
+  const SystemConfig nofold_sc = tier_config(w.sc, false, true, false);
   const std::uint64_t legacy_cycles = probe_run(w, legacy_sc);
   const std::uint64_t uop_cycles = probe_run(w, uop_sc);
   rv::BlockStats st;
   const std::uint64_t block_cycles = probe_run(w, block_sc, &st);
-  if (legacy_cycles != uop_cycles || legacy_cycles != block_cycles) {
+  // Folding is host-side only; simulated cycles must not move with it.
+  const std::uint64_t nofold_cycles = probe_run(w, nofold_sc);
+  if (legacy_cycles != uop_cycles || legacy_cycles != block_cycles ||
+      legacy_cycles != nofold_cycles) {
     std::fprintf(
-        stderr, "bench_sysim: cycle mismatch on %s (%llu / %llu / %llu)\n",
+        stderr,
+        "bench_sysim: cycle mismatch on %s (%llu / %llu / %llu / %llu)\n",
         tag, static_cast<unsigned long long>(legacy_cycles),
         static_cast<unsigned long long>(uop_cycles),
-        static_cast<unsigned long long>(block_cycles));
+        static_cast<unsigned long long>(block_cycles),
+        static_cast<unsigned long long>(nofold_cycles));
     std::exit(1);
   }
 
@@ -146,9 +178,13 @@ void bench_workload(const char* tag, const Workload& w,
       record_runs((std::string(tag) + "_uop").c_str(), w, uop_sc);
   const double block_us =
       record_runs((std::string(tag) + "_block").c_str(), w, block_sc);
+  const double nofold_us =
+      record_runs((std::string(tag) + "_block_nofold").c_str(), w, nofold_sc);
   record_speedup(speedup_name, static_cast<int>(w.wl.n), legacy_us, block_us);
   record_speedup((std::string(tag) + "_block_vs_uop").c_str(),
                  static_cast<int>(w.wl.n), uop_us, block_us);
+  record_speedup((std::string(tag) + "_fold_ratio").c_str(),
+                 static_cast<int>(w.wl.n), nofold_us, block_us);
 
   const int n = static_cast<int>(w.wl.n);
   const std::string t(tag);
@@ -161,15 +197,28 @@ void bench_workload(const char* tag, const Workload& w,
   rows.push_back({t + "_blk_evictions", static_cast<double>(st.evictions), n,
                   "evictions"});
   rows.push_back({t + "_blk_hit_rate", 100.0 * st.hit_rate(), n, "%"});
+  rows.push_back({t + "_blk_fold_built", static_cast<double>(st.folded_built),
+                  n, "ops"});
+  rows.push_back({t + "_blk_fold_exec", static_cast<double>(st.folded_exec),
+                  n, "ops"});
+  rows.push_back({t + "_rvc_built", static_cast<double>(st.rvc_built), n,
+                  "insts"});
+  rows.push_back({t + "_rvc_fetch_bytes", static_cast<double>(st.fetch_bytes),
+                  n, "bytes"});
   std::printf(
       "  (cycles: %llu all tiers; blocks built %llu, dispatches %llu, "
-      "chained %llu, fused %llu, evictions %llu, fallback steps %llu, "
-      "hit rate %.1f%%)\n\n",
+      "chained %llu, fused %llu, folded %llu built / %llu exec, "
+      "rvc %llu insts / %llu fetch bytes, evictions %llu, "
+      "fallback steps %llu, hit rate %.1f%%)\n\n",
       static_cast<unsigned long long>(block_cycles),
       static_cast<unsigned long long>(st.blocks_built),
       static_cast<unsigned long long>(st.dispatches),
       static_cast<unsigned long long>(st.chained),
       static_cast<unsigned long long>(st.fused_exec),
+      static_cast<unsigned long long>(st.folded_built),
+      static_cast<unsigned long long>(st.folded_exec),
+      static_cast<unsigned long long>(st.rvc_built),
+      static_cast<unsigned long long>(st.fetch_bytes),
       static_cast<unsigned long long>(st.evictions),
       static_cast<unsigned long long>(st.fallback_steps),
       100.0 * st.hit_rate());
@@ -192,6 +241,73 @@ Workload make_workload(SystemConfig sc, std::size_t m,
   w.a = random_fixed(w.wl.n * w.wl.n, 1000 + m);
   w.x = random_fixed(w.wl.n * w.wl.m, 2000 + m);
   return w;
+}
+
+void bench_rvc_loop() {
+  // RVC-dense scramble/checksum loop: the hot loop is almost entirely
+  // 2-byte forms (c.lw/c.sw, c.addi, CA/CB ALU ops), so this tracks
+  // mixed 2/4-byte fetch, block building over compressed runs, and the
+  // compressed-fetch counters across all three tiers.
+  const SystemConfig base = base_system();
+  const std::uint32_t words = 256;
+  const std::uint32_t src_off = 0x40000, dst_off = 0x48000;
+  const auto program = build_rvc_loop(base, src_off, dst_off, words);
+  std::vector<std::uint32_t> data(words);
+  for (std::uint32_t i = 0; i < words; ++i) data[i] = 0x9E3779B9u * (i + 1);
+  const Stager stage = [&](System& system) {
+    system.write_dram(src_off,
+                      reinterpret_cast<const std::uint8_t*>(data.data()),
+                      words * 4);
+    system.load_program(program);
+  };
+
+  const SystemConfig legacy_sc = tier_config(base, true, false);
+  const SystemConfig uop_sc = tier_config(base, false, false);
+  const SystemConfig block_sc = tier_config(base, false, true);
+  const std::uint64_t legacy_cycles = probe_run(stage, legacy_sc);
+  const std::uint64_t uop_cycles = probe_run(stage, uop_sc);
+  rv::BlockStats st;
+  const std::uint64_t block_cycles = probe_run(stage, block_sc, &st);
+  if (legacy_cycles != uop_cycles || legacy_cycles != block_cycles) {
+    std::fprintf(
+        stderr, "bench_sysim: cycle mismatch on rvc_loop (%llu / %llu / %llu)\n",
+        static_cast<unsigned long long>(legacy_cycles),
+        static_cast<unsigned long long>(uop_cycles),
+        static_cast<unsigned long long>(block_cycles));
+    std::exit(1);
+  }
+
+  const double legacy_us = record_runs("rvc_loop_legacy", words, stage,
+                                       legacy_sc);
+  const double uop_us = record_runs("rvc_loop_uop", words, stage, uop_sc);
+  const double block_us = record_runs("rvc_loop_block", words, stage,
+                                      block_sc);
+  record_speedup("rvc_loop_speedup", static_cast<int>(words), legacy_us,
+                 block_us);
+  record_speedup("rvc_loop_block_vs_uop", static_cast<int>(words), uop_us,
+                 block_us);
+
+  const int n = static_cast<int>(words);
+  rows.push_back({"rvc_loop_rvc_built", static_cast<double>(st.rvc_built), n,
+                  "insts"});
+  rows.push_back({"rvc_loop_rvc_fetch_bytes",
+                  static_cast<double>(st.fetch_bytes), n, "bytes"});
+  // Fetch bytes relative to an all-4-byte encoding of the same blocks
+  // (fetch_bytes = 2*rvc + 4*rest, so the inst count is recoverable).
+  const std::uint64_t insts =
+      st.rvc_built + (st.fetch_bytes - 2 * st.rvc_built) / 4;
+  const double density =
+      insts != 0 ? 100.0 * static_cast<double>(st.fetch_bytes) /
+                       (4.0 * static_cast<double>(insts))
+                 : 100.0;
+  push_row("rvc_loop_fetch_density", n, density, "%");
+  std::printf(
+      "  (cycles: %llu all tiers; rvc %llu of %llu insts built, "
+      "%llu fetch bytes)\n\n",
+      static_cast<unsigned long long>(block_cycles),
+      static_cast<unsigned long long>(st.rvc_built),
+      static_cast<unsigned long long>(insts),
+      static_cast<unsigned long long>(st.fetch_bytes));
 }
 
 void bench_fault_campaign() {
@@ -339,6 +455,7 @@ int main() {
                       build_gemm_offload(wl, sc, OffloadPath::kDmaInterrupt)),
         "offload_e6_pcm_speedup");
   }
+  bench_rvc_loop();
   bench_fault_campaign();
 
   bench::json_report("BENCH_sysim.json", rows);

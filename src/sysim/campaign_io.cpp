@@ -441,6 +441,7 @@ void put_cpu(Writer& w, const rv::Cpu::Snapshot& s) {
   w.u32(s.mscratch);
   w.u32(s.mepc);
   w.u32(s.mcause);
+  w.u32(s.mtval);
 }
 rv::Cpu::Snapshot get_cpu(Reader& r) {
   rv::Cpu::Snapshot s;
@@ -463,6 +464,7 @@ rv::Cpu::Snapshot get_cpu(Reader& r) {
   s.mscratch = r.u32();
   s.mepc = r.u32();
   s.mcause = r.u32();
+  s.mtval = r.u32();
   return s;
 }
 

@@ -47,7 +47,9 @@ namespace aspen::sys {
 /// ERROR latch, CRC expectations, watchdog countdown, ABFT counters),
 /// SweepPoint gained the `abft` axis, CampaignShard gained the
 /// software-fallback golden, and histograms carry the recovery verdicts.
-inline constexpr std::uint16_t kCampaignWireVersion = 3;
+/// v4: the CPU snapshot gained the mtval CSR (trap value register,
+/// introduced with the RV32C / misaligned-fetch work).
+inline constexpr std::uint16_t kCampaignWireVersion = 4;
 
 /// Payload discriminator carried in the header.
 enum class PayloadKind : std::uint16_t {

@@ -1,10 +1,16 @@
 #include "sysim/riscv/assembler.hpp"
 
+#include <cstring>
 #include <stdexcept>
 
 namespace aspen::sys::rv {
 
 namespace {
+
+/// RVC "prime" registers (x8..x15), the only ones most C forms address.
+bool crv(int r) { return r >= 8 && r <= 15; }
+std::uint16_t c3(int r) { return static_cast<std::uint16_t>(r & 7); }
+bool fits6(std::int32_t imm) { return imm >= -32 && imm <= 31; }
 
 std::uint32_t rtype(unsigned funct7, int rs2, int rs1, unsigned funct3,
                     int rd, unsigned opcode) {
@@ -54,10 +60,20 @@ void check_reg(int r) {
 
 }  // namespace
 
-void Assembler::emit(std::uint32_t word) { words_.push_back(word); }
+void Assembler::emit(std::uint32_t word) {
+  bytes_.push_back(static_cast<std::uint8_t>(word));
+  bytes_.push_back(static_cast<std::uint8_t>(word >> 8));
+  bytes_.push_back(static_cast<std::uint8_t>(word >> 16));
+  bytes_.push_back(static_cast<std::uint8_t>(word >> 24));
+}
+
+void Assembler::emit16(std::uint16_t half) {
+  bytes_.push_back(static_cast<std::uint8_t>(half));
+  bytes_.push_back(static_cast<std::uint8_t>(half >> 8));
+}
 
 std::uint32_t Assembler::current_address() const {
-  return base_ + static_cast<std::uint32_t>(words_.size() * 4);
+  return base_ + static_cast<std::uint32_t>(bytes_.size());
 }
 
 void Assembler::label(const std::string& name) {
@@ -75,6 +91,16 @@ std::uint32_t Assembler::address_of(const std::string& label) const {
 
 void Assembler::lui(int rd, std::uint32_t imm20) {
   check_reg(rd);
+  // c.lui rd, nzimm6 — rd outside {x0, x2}, imm20 a nonzero 6-bit
+  // sign-extendable value (the encoded field is nzimm[17:12]).
+  if (compress_ && rd != 0 && rd != 2 && imm20 != 0 &&
+      ((imm20 + 32) & 0xFFFFFu) < 64) {
+    emit16(static_cast<std::uint16_t>(
+        (0x3u << 13) | (((imm20 >> 5) & 1u) << 12) |
+        (static_cast<std::uint32_t>(rd) << 7) | ((imm20 & 0x1Fu) << 2) |
+        0x1u));
+    return;
+  }
   emit((imm20 << 12) | (static_cast<std::uint32_t>(rd) << 7) | 0x37);
 }
 void Assembler::auipc(int rd, std::uint32_t imm20) {
@@ -83,12 +109,19 @@ void Assembler::auipc(int rd, std::uint32_t imm20) {
 }
 void Assembler::jal(int rd, const std::string& target) {
   check_reg(rd);
-  fixups_.push_back({words_.size(), target, /*is_branch=*/false});
+  fixups_.push_back({bytes_.size(), target, /*is_branch=*/false});
   emit((static_cast<std::uint32_t>(rd) << 7) | 0x6F);
 }
 void Assembler::jalr(int rd, int rs1, std::int32_t imm) {
   check_reg(rd);
   check_reg(rs1);
+  // c.jr / c.jalr: zero offset through a nonzero base register.
+  if (compress_ && imm == 0 && rs1 != 0 && (rd == 0 || rd == 1)) {
+    emit16(static_cast<std::uint16_t>(
+        (rd == 0 ? 0x8002u : 0x9002u) |
+        (static_cast<std::uint32_t>(rs1) << 7)));
+    return;
+  }
   emit(itype(imm, rs1, 0, rd, 0x67));
 }
 
@@ -96,7 +129,7 @@ void Assembler::branch(unsigned funct3, int rs1, int rs2,
                        const std::string& target) {
   check_reg(rs1);
   check_reg(rs2);
-  fixups_.push_back({words_.size(), target, /*is_branch=*/true});
+  fixups_.push_back({bytes_.size(), target, /*is_branch=*/true});
   emit((static_cast<std::uint32_t>(rs2) << 20) |
        (static_cast<std::uint32_t>(rs1) << 15) | (funct3 << 12) | 0x63);
 }
@@ -114,6 +147,22 @@ void Assembler::lh(int rd, int rs1, std::int32_t imm) {
   emit(itype(imm, rs1, 1, rd, 0x03));
 }
 void Assembler::lw(int rd, int rs1, std::int32_t imm) {
+  if (compress_ && (imm & 3) == 0 && imm >= 0) {
+    const auto u = static_cast<std::uint32_t>(imm);
+    if (crv(rd) && crv(rs1) && u < 128) {  // c.lw rd', uimm7(rs1')
+      emit16(static_cast<std::uint16_t>(
+          (0x2u << 13) | (((u >> 3) & 7u) << 10) | (c3(rs1) << 7) |
+          (((u >> 2) & 1u) << 6) | (((u >> 6) & 1u) << 5) | (c3(rd) << 2)));
+      return;
+    }
+    if (rd != 0 && rs1 == 2 && u < 256) {  // c.lwsp rd, uimm8(sp)
+      emit16(static_cast<std::uint16_t>(
+          (0x2u << 13) | (((u >> 5) & 1u) << 12) |
+          (static_cast<std::uint32_t>(rd) << 7) | (((u >> 2) & 7u) << 4) |
+          (((u >> 6) & 3u) << 2) | 0x2u));
+      return;
+    }
+  }
   emit(itype(imm, rs1, 2, rd, 0x03));
 }
 void Assembler::lbu(int rd, int rs1, std::int32_t imm) {
@@ -129,10 +178,68 @@ void Assembler::sh(int rs2, int rs1, std::int32_t imm) {
   emit(stype(imm, rs2, rs1, 1, 0x23));
 }
 void Assembler::sw(int rs2, int rs1, std::int32_t imm) {
+  if (compress_ && (imm & 3) == 0 && imm >= 0) {
+    const auto u = static_cast<std::uint32_t>(imm);
+    if (crv(rs2) && crv(rs1) && u < 128) {  // c.sw rs2', uimm7(rs1')
+      emit16(static_cast<std::uint16_t>(
+          (0x6u << 13) | (((u >> 3) & 7u) << 10) | (c3(rs1) << 7) |
+          (((u >> 2) & 1u) << 6) | (((u >> 6) & 1u) << 5) | (c3(rs2) << 2)));
+      return;
+    }
+    if (rs1 == 2 && u < 256) {  // c.swsp rs2, uimm8(sp)
+      emit16(static_cast<std::uint16_t>(
+          (0x6u << 13) | (((u >> 2) & 0xFu) << 9) | (((u >> 6) & 3u) << 7) |
+          (static_cast<std::uint32_t>(rs2) << 2) | 0x2u));
+      return;
+    }
+  }
   emit(stype(imm, rs2, rs1, 2, 0x23));
 }
 
 void Assembler::addi(int rd, int rs1, std::int32_t imm) {
+  if (compress_) {
+    const auto u5 = static_cast<std::uint32_t>(imm) & 0x1Fu;
+    const auto s = static_cast<std::uint32_t>((imm >> 5) & 1);
+    if (rd == 0 && rs1 == 0 && imm == 0) {  // c.nop
+      emit16(0x0001u);
+      return;
+    }
+    if (rd != 0 && rs1 == rd && imm != 0 && fits6(imm)) {  // c.addi
+      emit16(static_cast<std::uint16_t>(
+          (s << 12) | (static_cast<std::uint32_t>(rd) << 7) | (u5 << 2) |
+          0x1u));
+      return;
+    }
+    if (rd != 0 && rs1 == 0 && fits6(imm)) {  // c.li
+      emit16(static_cast<std::uint16_t>(
+          (0x2u << 13) | (s << 12) | (static_cast<std::uint32_t>(rd) << 7) |
+          (u5 << 2) | 0x1u));
+      return;
+    }
+    if (rd != 0 && rs1 != 0 && imm == 0) {  // c.mv
+      emit16(static_cast<std::uint16_t>(
+          0x8002u | (static_cast<std::uint32_t>(rd) << 7) |
+          (static_cast<std::uint32_t>(rs1) << 2)));
+      return;
+    }
+    if (rd == 2 && rs1 == 2 && imm != 0 && (imm & 15) == 0 && imm >= -512 &&
+        imm <= 496) {  // c.addi16sp
+      const auto u = static_cast<std::uint32_t>(imm);
+      emit16(static_cast<std::uint16_t>(
+          (0x3u << 13) | (((u >> 9) & 1u) << 12) | (2u << 7) |
+          (((u >> 4) & 1u) << 6) | (((u >> 6) & 1u) << 5) |
+          (((u >> 7) & 3u) << 3) | (((u >> 5) & 1u) << 2) | 0x1u));
+      return;
+    }
+    if (crv(rd) && rs1 == 2 && imm > 0 && (imm & 3) == 0 &&
+        imm < 1024) {  // c.addi4spn
+      const auto u = static_cast<std::uint32_t>(imm);
+      emit16(static_cast<std::uint16_t>(
+          (((u >> 4) & 3u) << 11) | (((u >> 6) & 0xFu) << 7) |
+          (((u >> 2) & 1u) << 6) | (((u >> 3) & 1u) << 5) | (c3(rd) << 2)));
+      return;
+    }
+  }
   emit(itype(imm, rs1, 0, rd, 0x13));
 }
 void Assembler::slti(int rd, int rs1, std::int32_t imm) {
@@ -148,22 +255,82 @@ void Assembler::ori(int rd, int rs1, std::int32_t imm) {
   emit(itype(imm, rs1, 6, rd, 0x13));
 }
 void Assembler::andi(int rd, int rs1, std::int32_t imm) {
+  if (compress_ && rd == rs1 && crv(rd) && fits6(imm)) {  // c.andi
+    emit16(static_cast<std::uint16_t>(
+        (0x4u << 13) | (static_cast<std::uint32_t>((imm >> 5) & 1) << 12) |
+        (0x2u << 10) | (c3(rd) << 7) |
+        ((static_cast<std::uint32_t>(imm) & 0x1Fu) << 2) | 0x1u));
+    return;
+  }
   emit(itype(imm, rs1, 7, rd, 0x13));
 }
 void Assembler::slli(int rd, int rs1, unsigned shamt) {
+  if (compress_ && rd == rs1 && rd != 0 && shamt >= 1 && shamt <= 31) {
+    emit16(static_cast<std::uint16_t>(
+        (static_cast<std::uint32_t>(rd) << 7) | (shamt << 2) | 0x2u));
+    return;
+  }
   emit(rtype(0x00, static_cast<int>(shamt), rs1, 1, rd, 0x13));
 }
 void Assembler::srli(int rd, int rs1, unsigned shamt) {
+  if (compress_ && rd == rs1 && crv(rd) && shamt >= 1 && shamt <= 31) {
+    emit16(static_cast<std::uint16_t>((0x4u << 13) | (c3(rd) << 7) |
+                                      (shamt << 2) | 0x1u));
+    return;
+  }
   emit(rtype(0x00, static_cast<int>(shamt), rs1, 5, rd, 0x13));
 }
 void Assembler::srai(int rd, int rs1, unsigned shamt) {
+  if (compress_ && rd == rs1 && crv(rd) && shamt >= 1 && shamt <= 31) {
+    emit16(static_cast<std::uint16_t>((0x4u << 13) | (0x1u << 10) |
+                                      (c3(rd) << 7) | (shamt << 2) | 0x1u));
+    return;
+  }
   emit(rtype(0x20, static_cast<int>(shamt), rs1, 5, rd, 0x13));
 }
 
+namespace {
+/// CA-format encoder: c.sub/c.xor/c.or/c.and on prime registers.
+std::uint16_t ca_alu(unsigned funct2, int rd, int rs2) {
+  return static_cast<std::uint16_t>((0x23u << 10) | (c3(rd) << 7) |
+                                    (funct2 << 5) | (c3(rs2) << 2) | 0x1u);
+}
+}  // namespace
+
 void Assembler::add(int rd, int rs1, int rs2) {
+  if (compress_ && rd != 0) {
+    if (rs1 == rd && rs2 != 0) {  // c.add
+      emit16(static_cast<std::uint16_t>(
+          0x9002u | (static_cast<std::uint32_t>(rd) << 7) |
+          (static_cast<std::uint32_t>(rs2) << 2)));
+      return;
+    }
+    if (rs2 == rd && rs1 != 0) {  // c.add (commuted)
+      emit16(static_cast<std::uint16_t>(
+          0x9002u | (static_cast<std::uint32_t>(rd) << 7) |
+          (static_cast<std::uint32_t>(rs1) << 2)));
+      return;
+    }
+    if (rs1 == 0 && rs2 != 0) {  // c.mv
+      emit16(static_cast<std::uint16_t>(
+          0x8002u | (static_cast<std::uint32_t>(rd) << 7) |
+          (static_cast<std::uint32_t>(rs2) << 2)));
+      return;
+    }
+    if (rs2 == 0 && rs1 != 0) {  // c.mv (x0 operand on either side)
+      emit16(static_cast<std::uint16_t>(
+          0x8002u | (static_cast<std::uint32_t>(rd) << 7) |
+          (static_cast<std::uint32_t>(rs1) << 2)));
+      return;
+    }
+  }
   emit(rtype(0x00, rs2, rs1, 0, rd, 0x33));
 }
 void Assembler::sub(int rd, int rs1, int rs2) {
+  if (compress_ && rd == rs1 && crv(rd) && crv(rs2)) {  // c.sub
+    emit16(ca_alu(0, rd, rs2));
+    return;
+  }
   emit(rtype(0x20, rs2, rs1, 0, rd, 0x33));
 }
 void Assembler::sll(int rd, int rs1, int rs2) {
@@ -176,6 +343,10 @@ void Assembler::sltu(int rd, int rs1, int rs2) {
   emit(rtype(0x00, rs2, rs1, 3, rd, 0x33));
 }
 void Assembler::xor_(int rd, int rs1, int rs2) {
+  if (compress_ && rd == rs1 && crv(rd) && crv(rs2)) {  // c.xor
+    emit16(ca_alu(1, rd, rs2));
+    return;
+  }
   emit(rtype(0x00, rs2, rs1, 4, rd, 0x33));
 }
 void Assembler::srl(int rd, int rs1, int rs2) {
@@ -185,9 +356,17 @@ void Assembler::sra(int rd, int rs1, int rs2) {
   emit(rtype(0x20, rs2, rs1, 5, rd, 0x33));
 }
 void Assembler::or_(int rd, int rs1, int rs2) {
+  if (compress_ && rd == rs1 && crv(rd) && crv(rs2)) {  // c.or
+    emit16(ca_alu(2, rd, rs2));
+    return;
+  }
   emit(rtype(0x00, rs2, rs1, 6, rd, 0x33));
 }
 void Assembler::and_(int rd, int rs1, int rs2) {
+  if (compress_ && rd == rs1 && crv(rd) && crv(rs2)) {  // c.and
+    emit16(ca_alu(3, rd, rs2));
+    return;
+  }
   emit(rtype(0x00, rs2, rs1, 7, rd, 0x33));
 }
 
@@ -217,7 +396,13 @@ void Assembler::remu(int rd, int rs1, int rs2) {
 }
 
 void Assembler::ecall() { emit(0x00000073); }
-void Assembler::ebreak() { emit(0x00100073); }
+void Assembler::ebreak() {
+  if (compress_) {
+    emit16(0x9002u);  // c.ebreak
+    return;
+  }
+  emit(0x00100073);
+}
 void Assembler::wfi() { emit(0x10500073); }
 void Assembler::mret() { emit(0x30200073); }
 
@@ -254,14 +439,33 @@ void Assembler::li(int rd, std::uint32_t value) {
 std::vector<std::uint32_t> Assembler::assemble() {
   for (const auto& f : fixups_) {
     const std::uint32_t target = address_of(f.label);
-    const std::uint32_t pc =
-        base_ + static_cast<std::uint32_t>(f.index * 4);
-    const auto offset =
-        static_cast<std::int32_t>(target - pc);
-    words_[f.index] |= f.is_branch ? btype_imm(offset) : jtype_imm(offset);
+    const std::uint32_t pc = base_ + static_cast<std::uint32_t>(f.offset);
+    const auto offset = static_cast<std::int32_t>(target - pc);
+    const std::uint8_t* p = bytes_.data() + f.offset;
+    std::uint32_t word = static_cast<std::uint32_t>(p[0]) |
+                         (static_cast<std::uint32_t>(p[1]) << 8) |
+                         (static_cast<std::uint32_t>(p[2]) << 16) |
+                         (static_cast<std::uint32_t>(p[3]) << 24);
+    word |= f.is_branch ? btype_imm(offset) : jtype_imm(offset);
+    std::uint8_t* q = bytes_.data() + f.offset;
+    q[0] = static_cast<std::uint8_t>(word);
+    q[1] = static_cast<std::uint8_t>(word >> 8);
+    q[2] = static_cast<std::uint8_t>(word >> 16);
+    q[3] = static_cast<std::uint8_t>(word >> 24);
   }
   fixups_.clear();
-  return words_;
+  // A compressed stream can end on a half word; pad with c.nop so the
+  // word-granular program loaders see a whole number of words.
+  if (bytes_.size() % 4 != 0) emit16(0x0001u);
+  std::vector<std::uint32_t> words(bytes_.size() / 4);
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    const std::uint8_t* p = bytes_.data() + i * 4;
+    words[i] = static_cast<std::uint32_t>(p[0]) |
+               (static_cast<std::uint32_t>(p[1]) << 8) |
+               (static_cast<std::uint32_t>(p[2]) << 16) |
+               (static_cast<std::uint32_t>(p[3]) << 24);
+  }
+  return words;
 }
 
 }  // namespace aspen::sys::rv

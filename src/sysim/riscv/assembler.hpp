@@ -1,9 +1,13 @@
 #pragma once
 /// \file assembler.hpp
-/// Typed RV32IM program builder. Workload generators construct bare-metal
-/// programs through this API (labels + fixups, standard pseudo-ops); the
-/// emitted words feed the ISS. Register arguments are plain ints 0..31;
-/// the Reg enum provides the ABI names.
+/// Typed RV32IMC program builder. Workload generators construct
+/// bare-metal programs through this API (labels + fixups, standard
+/// pseudo-ops); the emitted words feed the ISS. Register arguments are
+/// plain ints 0..31; the Reg enum provides the ABI names. With
+/// `compress = true` the emitters opportunistically pick RV32C forms
+/// when the operands fit (loads/stores/ALU/moves; label-relative
+/// branches and jumps stay full-width so fixups never relax), packing
+/// mixed 2/4-byte runs; assemble() pads with c.nop to a whole word.
 
 #include <cstdint>
 #include <map>
@@ -25,11 +29,13 @@ enum Reg : int {
 
 /// Machine-mode CSR numbers used by the platform.
 inline constexpr std::uint32_t kCsrMstatus = 0x300;
+inline constexpr std::uint32_t kCsrMisa = 0x301;
 inline constexpr std::uint32_t kCsrMie = 0x304;
 inline constexpr std::uint32_t kCsrMtvec = 0x305;
 inline constexpr std::uint32_t kCsrMscratch = 0x340;
 inline constexpr std::uint32_t kCsrMepc = 0x341;
 inline constexpr std::uint32_t kCsrMcause = 0x342;
+inline constexpr std::uint32_t kCsrMtval = 0x343;
 inline constexpr std::uint32_t kCsrMip = 0x344;
 inline constexpr std::uint32_t kCsrMcycle = 0xB00;
 inline constexpr std::uint32_t kCsrMinstret = 0xB02;
@@ -38,8 +44,12 @@ inline constexpr std::uint32_t kCsrMinstretH = 0xB82;
 
 class Assembler {
  public:
-  explicit Assembler(std::uint32_t base_address = 0x80000000u)
-      : base_(base_address) {}
+  explicit Assembler(std::uint32_t base_address = 0x80000000u,
+                     bool compress = false)
+      : base_(base_address), compress_(compress) {}
+
+  /// Whether the emitters pick RV32C forms when operands fit.
+  [[nodiscard]] bool compress() const { return compress_; }
 
   // -- RV32I --------------------------------------------------------------
   void lui(int rd, std::uint32_t imm20);
@@ -112,18 +122,24 @@ class Assembler {
   [[nodiscard]] std::uint32_t current_address() const;
   [[nodiscard]] std::uint32_t base_address() const { return base_; }
 
-  /// Finalize (resolve fixups) and return the instruction words.
+  /// Finalize (resolve fixups, pad compressed streams to a whole word
+  /// with c.nop) and return the packed little-endian instruction words.
   [[nodiscard]] std::vector<std::uint32_t> assemble();
+
+  /// Bytes emitted so far (2 per compressed instruction, 4 otherwise).
+  [[nodiscard]] std::size_t size_bytes() const { return bytes_.size(); }
 
  private:
   void emit(std::uint32_t word);
+  void emit16(std::uint16_t half);
   void branch(unsigned funct3, int rs1, int rs2, const std::string& label);
 
   std::uint32_t base_;
-  std::vector<std::uint32_t> words_;
+  bool compress_ = false;
+  std::vector<std::uint8_t> bytes_;  ///< little-endian instruction stream
   std::map<std::string, std::uint32_t> labels_;  ///< label -> address
   struct Fixup {
-    std::size_t index;      ///< word index to patch
+    std::size_t offset;     ///< byte offset of the 4-byte word to patch
     std::string label;
     bool is_branch;         ///< B-type vs J-type immediate
   };

@@ -12,10 +12,84 @@ constexpr std::uint32_t kMstatusMie = 1u << 3;
 constexpr std::uint32_t kMstatusMpie = 1u << 7;
 constexpr std::uint32_t kMeip = 1u << 11;
 constexpr std::uint32_t kCauseExternal = 0x8000000Bu;
+/// misa: MXL=1 (RV32) plus the implemented extension letters I, M, C.
+constexpr std::uint32_t kMisaValue =
+    (1u << 30) | (1u << 8) | (1u << 12) | (1u << 2);
 
 std::int32_t sign_extend(std::uint32_t v, unsigned bits) {
   const unsigned shift = 32 - bits;
   return static_cast<std::int32_t>(v << shift) >> shift;
+}
+
+/// Build-time constant evaluation for the folding pass. Semantics must
+/// match Cpu::exec_alu bit-for-bit (including the M-extension division
+/// edge cases); `y` is the immediate for OP-IMM forms (shamt already
+/// masked at decode) and the rs2 value for OP forms (shift amount
+/// masked here, like the hardware would).
+std::uint32_t eval_alu_const(std::uint8_t op, std::uint32_t x,
+                             std::uint32_t y) {
+  const auto sx = static_cast<std::int32_t>(x);
+  const auto sy = static_cast<std::int32_t>(y);
+  switch (op) {
+    case MicroOp::kAddi: return x + y;
+    case MicroOp::kSlti: return sx < sy ? 1u : 0u;
+    case MicroOp::kSltiu: return x < y ? 1u : 0u;
+    case MicroOp::kXori: return x ^ y;
+    case MicroOp::kOri: return x | y;
+    case MicroOp::kAndi: return x & y;
+    case MicroOp::kSlli: return x << y;
+    case MicroOp::kSrli: return x >> y;
+    case MicroOp::kSrai: return static_cast<std::uint32_t>(sx >> y);
+    case MicroOp::kAdd: return x + y;
+    case MicroOp::kSub: return x - y;
+    case MicroOp::kSll: return x << (y & 0x1F);
+    case MicroOp::kSlt: return sx < sy ? 1u : 0u;
+    case MicroOp::kSltu: return x < y ? 1u : 0u;
+    case MicroOp::kXor: return x ^ y;
+    case MicroOp::kSrl: return x >> (y & 0x1F);
+    case MicroOp::kSra: return static_cast<std::uint32_t>(sx >> (y & 0x1F));
+    case MicroOp::kOr: return x | y;
+    case MicroOp::kAnd: return x & y;
+    default: {
+      const auto sa = static_cast<std::int64_t>(sx);
+      const auto sb = static_cast<std::int64_t>(sy);
+      const auto ua = static_cast<std::uint64_t>(x);
+      const auto ub = static_cast<std::uint64_t>(y);
+      switch (op) {
+        case MicroOp::kMul: return static_cast<std::uint32_t>(sa * sb);
+        case MicroOp::kMulh:
+          return static_cast<std::uint32_t>((sa * sb) >> 32);
+        case MicroOp::kMulhsu:
+          return static_cast<std::uint32_t>(
+              (sa * static_cast<std::int64_t>(ub)) >> 32);
+        case MicroOp::kMulhu: return static_cast<std::uint32_t>((ua * ub) >> 32);
+        case MicroOp::kDiv:
+          if (y == 0) return 0xFFFFFFFFu;
+          if (x == 0x80000000u && y == 0xFFFFFFFFu) return 0x80000000u;
+          return static_cast<std::uint32_t>(sx / sy);
+        case MicroOp::kDivu: return y == 0 ? 0xFFFFFFFFu : x / y;
+        case MicroOp::kRem:
+          if (y == 0) return x;
+          if (x == 0x80000000u && y == 0xFFFFFFFFu) return 0;
+          return static_cast<std::uint32_t>(sx % sy);
+        default: return y == 0 ? x : x % y;  // kRemu
+      }
+    }
+  }
+}
+
+/// Branch-direction evaluation for the folding pass; matches exec_op.
+bool eval_branch_const(std::uint8_t op, std::uint32_t a, std::uint32_t b) {
+  switch (op) {
+    case MicroOp::kBeq: return a == b;
+    case MicroOp::kBne: return a != b;
+    case MicroOp::kBlt:
+      return static_cast<std::int32_t>(a) < static_cast<std::int32_t>(b);
+    case MicroOp::kBge:
+      return static_cast<std::int32_t>(a) >= static_cast<std::int32_t>(b);
+    case MicroOp::kBltu: return a < b;
+    default: return a >= b;  // kBgeu
+  }
 }
 }  // namespace
 
@@ -39,7 +113,7 @@ void Cpu::reset() {
   irq_ = false;
   wfi_ = false;
   halt_ = Halt::kRunning;
-  mstatus_ = mie_ = mip_ = mtvec_ = mscratch_ = mepc_ = mcause_ = 0;
+  mstatus_ = mie_ = mip_ = mtvec_ = mscratch_ = mepc_ = mcause_ = mtval_ = 0;
   icache_flush();
 }
 
@@ -63,6 +137,7 @@ Cpu::Snapshot Cpu::snapshot() const {
   s.mscratch = mscratch_;
   s.mepc = mepc_;
   s.mcause = mcause_;
+  s.mtval = mtval_;
   return s;
 }
 
@@ -100,6 +175,7 @@ void Cpu::restore_warm(const Snapshot& s) {
   mscratch_ = s.mscratch;
   mepc_ = s.mepc;
   mcause_ = s.mcause;
+  mtval_ = s.mtval;
   bus_access_ = false;
 }
 
@@ -142,12 +218,14 @@ void Cpu::clear_faults() {
 std::uint32_t Cpu::read_csr(std::uint32_t addr) const {
   switch (addr) {
     case kCsrMstatus: return mstatus_;
+    case kCsrMisa: return kMisaValue;
     case kCsrMie: return mie_;
     case kCsrMip: return mip_;
     case kCsrMtvec: return mtvec_;
     case kCsrMscratch: return mscratch_;
     case kCsrMepc: return mepc_;
     case kCsrMcause: return mcause_;
+    case kCsrMtval: return mtval_;
     case kCsrMcycle: return static_cast<std::uint32_t>(cycles_);
     case kCsrMcycleH: return static_cast<std::uint32_t>(cycles_ >> 32);
     case kCsrMinstret: return static_cast<std::uint32_t>(instret_);
@@ -159,19 +237,23 @@ std::uint32_t Cpu::read_csr(std::uint32_t addr) const {
 void Cpu::write_csr(std::uint32_t addr, std::uint32_t value) {
   switch (addr) {
     case kCsrMstatus: mstatus_ = value; break;
+    case kCsrMisa: break;  // WARL read-only: the extension set is fixed
     case kCsrMie: mie_ = value; break;
     case kCsrMip: break;  // MEIP is wired to the interrupt line
     case kCsrMtvec: mtvec_ = value; break;
     case kCsrMscratch: mscratch_ = value; break;
     case kCsrMepc: mepc_ = value; break;
     case kCsrMcause: mcause_ = value; break;
+    case kCsrMtval: mtval_ = value; break;
     default: break;
   }
 }
 
-void Cpu::take_trap(std::uint32_t cause, std::uint32_t epc) {
+void Cpu::take_trap(std::uint32_t cause, std::uint32_t epc,
+                    std::uint32_t tval) {
   mepc_ = epc;
   mcause_ = cause;
+  mtval_ = tval;
   if (mstatus_ & kMstatusMie)
     mstatus_ |= kMstatusMpie;
   else
@@ -180,9 +262,9 @@ void Cpu::take_trap(std::uint32_t cause, std::uint32_t epc) {
   pc_ = mtvec_ & ~3u;
 }
 
-void Cpu::mem_fault(std::uint32_t cause) {
+void Cpu::mem_fault(std::uint32_t cause, std::uint32_t tval) {
   if (mtvec_ != 0) {
-    take_trap(cause, pc_);
+    take_trap(cause, pc_, tval);
   } else {
     // No handler installed: cause 2 is an illegal instruction, the rest
     // are access faults.
@@ -220,13 +302,37 @@ void Cpu::tick() {
   }
 
   if (cfg_.legacy_decode) {
-    const Bus::Access fetch = bus_.read(pc_, 4);
-    if (fetch.fault) {
-      mem_fault(1);  // instruction access fault
+    if (pc_ & 1u) {
+      // 2-byte alignment is the fetch granule with RV32C: bit 0 set is
+      // the only misaligned case, reported with the faulting pc in
+      // mtval. Reachable only through a software-written mepc + mret.
+      mem_fault(0, pc_);  // instruction address misaligned
       return;
     }
+    // Halfword-first fetch: a compressed parcel ((h & 3) != 3) is the
+    // whole instruction; otherwise the second parcel completes the
+    // 32-bit word. Fetch ignores bus access latency (tightly-coupled
+    // instruction path), so the split read leaves timing unchanged.
+    const Bus::Access lo = bus_.read(pc_, 2);
+    if (lo.fault) {
+      mem_fault(1, pc_);  // instruction access fault
+      return;
+    }
+    std::uint32_t inst = lo.value;
+    std::uint32_t len = 2;
+    if ((inst & 3u) == 3u) {
+      const Bus::Access hi = bus_.read(pc_ + 2, 2);
+      if (hi.fault) {
+        mem_fault(1, pc_);
+        return;
+      }
+      inst |= hi.value << 16;
+      len = 4;
+    } else {
+      inst = rvc_expand(static_cast<std::uint16_t>(inst));
+    }
     stall_ += cfg_.fetch_latency;
-    exec(fetch.value);
+    exec(inst, len);
     return;
   }
   step();
@@ -293,12 +399,27 @@ bool Cpu::build_block(Block& blk, std::uint32_t start) {
     return m.rs1 == reg || m.rs2 == reg;
   };
 
+  if (start & 1u) return false;  // misaligned entry traps via step()
   std::uint32_t p = start;
   bool terminated = false;
-  while (!terminated && blk.ops.size() < kMaxOps && covers(w, p, 4)) {
-    std::uint32_t word;
-    std::memcpy(&word, w.data + (p - w.base), 4);
-    const MicroOp u = decode(word);
+  while (!terminated && blk.ops.size() < kMaxOps && covers(w, p, 2)) {
+    std::uint16_t half;
+    std::memcpy(&half, w.data + (p - w.base), 2);
+    MicroOp u;
+    if ((half & 3u) != 3u) {
+      u = decode(rvc_expand(half));
+      u.len = 2;
+      ++st.rvc_built;
+    } else {
+      // A 32-bit instruction whose upper parcel lies past the window
+      // edge ends the block; the fallback single-step fetches it over
+      // the bus.
+      if (!covers(w, p, 4)) break;
+      std::uint32_t word;
+      std::memcpy(&word, w.data + (p - w.base), 4);
+      u = decode(word);
+    }
+    st.fetch_bytes += u.len;
     const bool is_branch = u.op >= MicroOp::kBeq && u.op <= MicroOp::kBgeu;
     const bool is_term =
         is_branch || u.op == MicroOp::kJal || u.op == MicroOp::kJalr ||
@@ -321,8 +442,9 @@ bool Cpu::build_block(Block& blk, std::uint32_t start) {
         prev->b = u;
         prev->fuse = kFuseLuiAddi;
         prev->fused_imm = f.imm + u.imm;
+        prev->len = static_cast<std::uint8_t>(f.len + u.len);
         ++st.fused_built;
-        p += 4;
+        p += u.len;
         continue;
       }
       // auipc+jalr: the target is static — a chainable terminator.
@@ -330,10 +452,11 @@ bool Cpu::build_block(Block& blk, std::uint32_t start) {
           u.rs1 == f.rd) {
         prev->b = u;
         prev->fuse = kFuseAuipcJalr;
-        prev->fused_imm = ((p - 4) + f.imm + u.imm) & ~1u;
+        prev->fused_imm = ((p - f.len) + f.imm + u.imm) & ~1u;
+        prev->len = static_cast<std::uint8_t>(f.len + u.len);
         ++st.fused_built;
         blk.taken_pc = prev->fused_imm;
-        p += 4;
+        p += u.len;
         terminated = true;
         continue;
       }
@@ -343,8 +466,9 @@ bool Cpu::build_block(Block& blk, std::uint32_t start) {
           reads_reg(u, f.rd)) {
         prev->b = u;
         prev->fuse = kFuseLoadOp;
+        prev->len = static_cast<std::uint8_t>(f.len + u.len);
         ++st.fused_built;
-        p += 4;
+        p += u.len;
         continue;
       }
       // op+branch: compare-and-branch on a single-cycle ALU result.
@@ -352,10 +476,11 @@ bool Cpu::build_block(Block& blk, std::uint32_t start) {
           reads_reg(u, f.rd)) {
         prev->b = u;
         prev->fuse = kFuseOpBranch;
+        prev->len = static_cast<std::uint8_t>(f.len + u.len);
         ++st.fused_built;
         blk.taken_pc = p + u.imm;
-        blk.fall_pc = p + 4;
-        p += 4;
+        blk.fall_pc = p + u.len;
+        p += u.len;
         terminated = true;
         continue;
       }
@@ -363,18 +488,19 @@ bool Cpu::build_block(Block& blk, std::uint32_t start) {
 
     BlockOp bo;
     bo.a = u;
+    bo.len = u.len;
     blk.ops.push_back(bo);
     if (is_term) {
       if (is_branch) {
         blk.taken_pc = p + u.imm;
-        blk.fall_pc = p + 4;
+        blk.fall_pc = p + u.len;
       } else if (u.op == MicroOp::kJal) {
         blk.taken_pc = p + u.imm;
       }
       // jalr/mret: indirect; ecall/ebreak/wfi/illegal: terminal or trap.
       terminated = true;
     }
-    p += 4;
+    p += u.len;
   }
   if (blk.ops.empty()) return false;
   blk.end = p;
@@ -390,7 +516,113 @@ bool Cpu::build_block(Block& blk, std::uint32_t start) {
       bo.a.op = MicroOp::kLui;
       bo.a.imm = op_pc + bo.a.imm;
     }
-    op_pc += bo.fuse == kFuseNone ? 4 : 8;
+    op_pc += bo.len;
+  }
+  // Constant-folding pass: walk the ops once, tracking registers whose
+  // value is fully determined by in-block immediates (x0 plus anything
+  // written by lui / resolved-auipc / folded OP-IMM chains). An op whose
+  // inputs are all known gets its result (kFoldValue), effective address
+  // (kFoldAddr), or branch direction (kFoldBranch) precomputed into
+  // fold_val. Nothing is assumed about register state at entry, so a
+  // fold is valid on every dispatch of the block; the executor bypasses
+  // folds when register faults are armed (see exec_block).
+  if (cfg_.block_constfold) {
+    std::uint32_t known = 1;  // bit i: value of xi is known (x0 always)
+    std::array<std::uint32_t, 32> kv{};
+    const auto is_known = [&known](std::uint8_t r) {
+      return (known >> r) & 1u;
+    };
+    const auto set_known = [&](std::uint8_t rd, std::uint32_t v) {
+      if (rd == 0) return;
+      known |= 1u << rd;
+      kv[rd] = v;
+    };
+    const auto clear_known = [&known](std::uint8_t rd) {
+      if (rd != 0) known &= ~(1u << rd);
+    };
+    std::uint32_t fold_pc = blk.start;
+    for (BlockOp& bo : blk.ops) {
+      const MicroOp& u = bo.a;
+      switch (bo.fuse) {
+        case kFuseLuiAddi:
+          set_known(u.rd, u.imm);
+          set_known(bo.b.rd, bo.fused_imm);
+          break;
+        case kFuseAuipcJalr:
+          set_known(u.rd, fold_pc + u.imm);
+          set_known(bo.b.rd, fold_pc + bo.len);
+          break;
+        case kFuseLoadOp:
+          clear_known(u.rd);
+          clear_known(bo.b.rd);
+          break;
+        case kFuseOpBranch:
+          // The branch half writes no register (its rd field carries
+          // immediate bits), so only the ALU half clobbers.
+          clear_known(u.rd);
+          break;
+        default: {  // unfused
+          if (u.op == MicroOp::kLui) {
+            set_known(u.rd, u.imm);
+          } else if (u.op >= MicroOp::kAddi && u.op <= MicroOp::kSrai) {
+            if (is_known(u.rs1)) {
+              bo.fold = kFoldValue;
+              bo.fold_val = eval_alu_const(u.op, kv[u.rs1], u.imm);
+              set_known(u.rd, bo.fold_val);
+              ++st.folded_built;
+            } else {
+              clear_known(u.rd);
+            }
+          } else if (u.op >= MicroOp::kAdd && u.op <= MicroOp::kRemu) {
+            if (is_known(u.rs1) && is_known(u.rs2)) {
+              bo.fold = kFoldValue;
+              bo.fold_val = eval_alu_const(u.op, kv[u.rs1], kv[u.rs2]);
+              set_known(u.rd, bo.fold_val);
+              ++st.folded_built;
+            } else {
+              clear_known(u.rd);
+            }
+          } else if (u.op >= MicroOp::kLb && u.op <= MicroOp::kLhu) {
+            if (is_known(u.rs1)) {
+              bo.fold = kFoldAddr;
+              bo.fold_val = kv[u.rs1] + u.imm;
+              ++st.folded_built;
+            }
+            clear_known(u.rd);  // loaded value is never known
+          } else if (u.op >= MicroOp::kSb && u.op <= MicroOp::kSw) {
+            if (is_known(u.rs1)) {
+              bo.fold = kFoldAddr;
+              bo.fold_val = kv[u.rs1] + u.imm;
+              ++st.folded_built;
+            }
+          } else if (u.op >= MicroOp::kBeq && u.op <= MicroOp::kBgeu) {
+            if (is_known(u.rs1) && is_known(u.rs2)) {
+              bo.fold = kFoldBranch;
+              bo.fold_val =
+                  eval_branch_const(u.op, kv[u.rs1], kv[u.rs2]) ? 1u : 0u;
+              ++st.folded_built;
+            }
+          } else if (u.op == MicroOp::kJalr) {
+            if (is_known(u.rs1)) {
+              bo.fold = kFoldAddr;
+              bo.fold_val = (kv[u.rs1] + u.imm) & ~1u;
+              // A statically-known indirect target makes the block
+              // chainable like a direct jump.
+              blk.taken_pc = bo.fold_val;
+              ++st.folded_built;
+            }
+            clear_known(u.rd);
+          } else if (u.op == MicroOp::kJal) {
+            set_known(u.rd, fold_pc + u.len);
+          } else if (u.op >= MicroOp::kCsrrw && u.op <= MicroOp::kCsrrci) {
+            clear_known(u.rd);
+          }
+          // ecall/ebreak/wfi/mret/fence/illegal: no register writes.
+          break;
+        }
+      }
+      fold_pc += bo.len;
+    }
   }
   // Then carve the exec plan into segments: consecutive pure register
   // ops — no faults, traps, bus traffic, or cycles_/pc_ reads, cycle
@@ -415,15 +647,20 @@ bool Cpu::build_block(Block& blk, std::uint32_t start) {
     s.first = i;
     std::uint32_t c = static_cost(blk.ops[i]);
     if (c == 0) {
-      s.count = 1;
-      ++i;
+      // Consecutive dynamic ops share one segment: the per-op executor
+      // walks [first, first+count) anyway, so splitting them only adds
+      // segment-loop overhead on memory-heavy blocks.
+      do {
+        ++s.count;
+        ++i;
+      } while (i < blk.ops.size() && static_cost(blk.ops[i]) == 0);
     } else {
       s.static_run = true;
       do {
         s.cycles += c;
         const bool fused = blk.ops[i].fuse != kFuseNone;
         s.instret += fused ? 2u : 1u;
-        s.pc_bump += fused ? 8u : 4u;
+        s.pc_bump += blk.ops[i].len;
         ++s.count;
         ++i;
         c = i < blk.ops.size() ? static_cost(blk.ops[i]) : 0;
@@ -584,20 +821,35 @@ bool Cpu::retire_half(const MicroOp& u, std::uint64_t& budget, BurstResult& r) {
   // — semantics transcribed from exec_op and pinned against it (and
   // against legacy_decode) by the differential suite. Control-flow,
   // system, and CSR ops take the full dispatch with burst-level exit
-  // checks.
-  if (u.op == MicroOp::kLui || u.op == MicroOp::kAuipc ||
-      (u.op >= MicroOp::kAddi && u.op <= MicroOp::kAnd) ||
-      u.op == MicroOp::kFence) {
+  // checks. Dispatch is a switch so the hot per-op path takes one
+  // jump-table indirection instead of a range-compare chain; `default`
+  // covers exactly the single-cycle ALU group (lui/auipc/OP-IMM/OP/
+  // fence) — every other op has an explicit label.
+  switch (u.op) {
+  default:
     exec_alu(u);
     ++instret_;
-    pc_ += 4;
-  } else if (u.op >= MicroOp::kMul && u.op <= MicroOp::kRemu) {
+    pc_ += u.len;
+    break;
+  case MicroOp::kMul:
+  case MicroOp::kMulh:
+  case MicroOp::kMulhsu:
+  case MicroOp::kMulhu:
+  case MicroOp::kDiv:
+  case MicroOp::kDivu:
+  case MicroOp::kRem:
+  case MicroOp::kRemu:
     exec_alu(u);
     stall_ += (u.op <= MicroOp::kMulhu) ? cfg_.mul_latency - 1
                                         : cfg_.div_latency - 1;
     ++instret_;
-    pc_ += 4;
-  } else if (u.op >= MicroOp::kLb && u.op <= MicroOp::kLhu) {
+    pc_ += u.len;
+    break;
+  case MicroOp::kLb:
+  case MicroOp::kLh:
+  case MicroOp::kLw:
+  case MicroOp::kLbu:
+  case MicroOp::kLhu: {
     const std::uint32_t addr = read_reg(u.rs1) + u.imm;
     unsigned size = 1;
     if (u.op == MicroOp::kLh || u.op == MicroOp::kLhu) size = 2;
@@ -621,8 +873,12 @@ bool Cpu::retire_half(const MicroOp& u, std::uint64_t& budget, BurstResult& r) {
       v = static_cast<std::uint32_t>(sign_extend(v, 16));
     write_reg(u.rd, v);
     ++instret_;
-    pc_ += 4;
-  } else if (u.op >= MicroOp::kSb && u.op <= MicroOp::kSw) {
+    pc_ += u.len;
+    break;
+  }
+  case MicroOp::kSb:
+  case MicroOp::kSh:
+  case MicroOp::kSw: {
     const std::uint32_t addr = read_reg(u.rs1) + u.imm;
     const std::uint32_t b = read_reg(u.rs2);
     unsigned size = 1;
@@ -642,13 +898,34 @@ bool Cpu::retire_half(const MicroOp& u, std::uint64_t& budget, BurstResult& r) {
       stall_ += acc.latency;
     }
     ++instret_;
-    pc_ += 4;
+    pc_ += u.len;
     // Activating store: exit before the stall burn, exactly like the
     // uop burst loop (its remaining stall drains via skip_cycles).
     if (bus_access_) return false;
-  } else {
+    break;
+  }
+  case MicroOp::kJal:
+  case MicroOp::kJalr:
+  case MicroOp::kBeq:
+  case MicroOp::kBne:
+  case MicroOp::kBlt:
+  case MicroOp::kBge:
+  case MicroOp::kBltu:
+  case MicroOp::kBgeu:
+  case MicroOp::kEcall:
+  case MicroOp::kEbreak:
+  case MicroOp::kWfi:
+  case MicroOp::kMret:
+  case MicroOp::kCsrrw:
+  case MicroOp::kCsrrs:
+  case MicroOp::kCsrrc:
+  case MicroOp::kCsrrwi:
+  case MicroOp::kCsrrsi:
+  case MicroOp::kCsrrci:
+  case MicroOp::kIllegal:
     exec_op(u);
     if (bus_access_ || halt_ != Halt::kRunning || wfi_) return false;
+    break;
   }
   if (stall_ > 0) {
     const std::uint64_t burn =
@@ -662,6 +939,96 @@ bool Cpu::retire_half(const MicroOp& u, std::uint64_t& budget, BurstResult& r) {
   return true;
 }
 
+bool Cpu::retire_folded(const BlockOp& bo, std::uint64_t& budget,
+                        BurstResult& r) {
+  const MicroOp& u = bo.a;
+  ++cycles_;
+  --budget;
+  ++r.cycles;
+  // Callers gate on fetch_latency == 0, so no fetch stall to add here.
+  // Each arm mirrors the matching retire_half branch with the fold
+  // result substituted for the register reads / computed value.
+  if (bo.fold == kFoldValue) {
+    write_reg(u.rd, bo.fold_val);
+    if (u.op >= MicroOp::kMul && u.op <= MicroOp::kRemu)
+      stall_ += (u.op <= MicroOp::kMulhu) ? cfg_.mul_latency - 1
+                                          : cfg_.div_latency - 1;
+    ++instret_;
+    pc_ += u.len;
+  } else if (u.op >= MicroOp::kLb && u.op <= MicroOp::kLhu) {
+    const std::uint32_t addr = bo.fold_val;
+    unsigned size = 1;
+    if (u.op == MicroOp::kLh || u.op == MicroOp::kLhu) size = 2;
+    if (u.op == MicroOp::kLw) size = 4;
+    std::uint32_t v;
+    if (!fast_read(addr, size, v)) {
+      const Bus::Access acc = bus_.read(addr, size);
+      if (acc.fault) {
+        bus_access_ = true;
+        mem_fault(5);  // load access fault (does not retire)
+        return false;
+      }
+      stall_ += acc.latency;
+      v = acc.value;
+    }
+    if (u.op == MicroOp::kLb)
+      v = static_cast<std::uint32_t>(sign_extend(v, 8));
+    if (u.op == MicroOp::kLh)
+      v = static_cast<std::uint32_t>(sign_extend(v, 16));
+    write_reg(u.rd, v);
+    ++instret_;
+    pc_ += u.len;
+  } else if (u.op >= MicroOp::kSb && u.op <= MicroOp::kSw) {
+    const std::uint32_t addr = bo.fold_val;
+    const std::uint32_t b = read_reg(u.rs2);
+    unsigned size = 1;
+    if (u.op == MicroOp::kSh) size = 2;
+    if (u.op == MicroOp::kSw) size = 4;
+    if (!fast_write(addr, b, size)) {
+      const Bus::Access acc = bus_.write(addr, b, size);
+      if (acc.fault) {
+        bus_access_ = true;
+        mem_fault(7);  // store access fault (does not retire)
+        return false;
+      }
+      bus_access_ = bus_access_ || acc.activating;
+      stall_ += acc.latency;
+    }
+    ++instret_;
+    pc_ += u.len;
+    if (bus_access_) return false;  // activating store ends the burst
+  } else if (u.op == MicroOp::kJalr) {
+    write_reg(u.rd, pc_ + u.len);
+    pc_ = bo.fold_val;
+    ++stall_;
+    ++instret_;
+  } else {  // kFoldBranch
+    if (bo.fold_val != 0) {
+      pc_ += u.imm;
+      ++stall_;
+    } else {
+      pc_ += u.len;
+    }
+    ++instret_;
+  }
+  if (stall_ > 0) {
+    const std::uint64_t burn =
+        stall_ < budget ? static_cast<std::uint64_t>(stall_) : budget;
+    cycles_ += burn;
+    budget -= burn;
+    r.cycles += burn;
+    stall_ -= static_cast<unsigned>(burn);
+    if (stall_ > 0) return false;  // budget exhausted mid-stall
+  }
+  return true;
+}
+
+// Flattening inlines the retire helpers and the exec_alu switch into the
+// dispatch loop — the per-op call overhead is the dominant simulator cost
+// on memory-heavy workloads (bench_sysim sw_gemm / stream rows).
+#if defined(__GNUC__)
+__attribute__((flatten))
+#endif
 bool Cpu::exec_block(const Block& blk, std::uint64_t& budget, BurstResult& r,
                      std::uint64_t gen0) {
   BlockStats& st = blocks_.stats();
@@ -679,7 +1046,12 @@ bool Cpu::exec_block(const Block& blk, std::uint64_t& budget, BurstResult& r,
       const BlockOp* bo = &blk.ops[seg.first];
       for (std::uint32_t n = seg.count; n != 0; --n, ++bo) {
         if (bo->fuse == kFuseNone) {
-          exec_alu(bo->a);
+          if (bo->fold == kFoldValue) {
+            write_reg(bo->a.rd, bo->fold_val);
+            ++st.folded_exec;
+          } else {
+            exec_alu(bo->a);
+          }
         } else {  // kFuseLuiAddi: both destinations are precomputed
           write_reg(bo->a.rd, bo->a.imm);
           write_reg(bo->b.rd, bo->fused_imm);
@@ -701,7 +1073,12 @@ bool Cpu::exec_block(const Block& blk, std::uint64_t& budget, BurstResult& r,
       if (budget == 0) return false;
       switch (bo.fuse) {
         case kFuseNone:
-          if (!retire_half(bo.a, budget, r)) return false;
+          if (fuse_fast && bo.fold != kFoldNone) {
+            ++st.folded_exec;
+            if (!retire_folded(bo, budget, r)) return false;
+          } else {
+            if (!retire_half(bo.a, budget, r)) return false;
+          }
           // A store that invalidated cached code (possibly this block)
           // bumps the generation: stop and re-resolve from pc_.
           if (bo.a.op >= MicroOp::kSb && bo.a.op <= MicroOp::kSw &&
@@ -716,7 +1093,7 @@ bool Cpu::exec_block(const Block& blk, std::uint64_t& budget, BurstResult& r,
             write_reg(bo.a.rd, bo.a.imm);
             write_reg(bo.b.rd, bo.fused_imm);
             instret_ += 2;
-            pc_ += 8;
+            pc_ += bo.len;
             ++st.fused_exec;
           } else {
             if (!retire_half(bo.a, budget, r)) return false;
@@ -731,7 +1108,7 @@ bool Cpu::exec_block(const Block& blk, std::uint64_t& budget, BurstResult& r,
             budget -= 2;
             r.cycles += 2;
             write_reg(bo.a.rd, pc_ + bo.a.imm);
-            write_reg(bo.b.rd, pc_ + 8);
+            write_reg(bo.b.rd, pc_ + bo.len);
             instret_ += 2;
             pc_ = bo.fused_imm;
             ++st.fused_exec;
@@ -784,7 +1161,8 @@ Cpu::BurstResult Cpu::run_burst_blocks(std::uint64_t budget) {
     // spans under memory stuck-at faults, MMIO-resident code), fall
     // back to step(), which takes the slow bus fetch exactly like the
     // uop path.
-    if (covers(win_[0], pc_, 4) && win_[0].data != nullptr) {
+    if ((pc_ & 1u) == 0 && covers(win_[0], pc_, 2) &&
+        win_[0].data != nullptr) {
       if (prev != nullptr) {
         if (pc_ == prev->taken_pc)
           linkp = &prev->taken_link;
@@ -919,19 +1297,24 @@ void Cpu::icache_invalidate(std::uint32_t addr, std::uint32_t bytes) {
   // it), so its eviction cannot hide behind the icache extent below.
   blocks_.invalidate_range(addr, bytes);
   if (bytes == 0 || !icache_ext_.overlaps(addr, bytes)) return;
-  // An instruction with tag t occupies bytes [t, t+4), so a store over
-  // [addr, addr+bytes) overlaps tags in [addr-3, addr+bytes). Tags are
-  // not necessarily word-aligned (JALR/MRET may target any even — or
-  // via a software-written mepc even odd — address), so probe
-  // byte-granular; the byte-extent check makes data stores free.
+  // An instruction with tag t occupies bytes [t, t+len), len 2 or 4, so
+  // a store over [addr, addr+bytes) overlaps tags in [addr-3, addr+bytes)
+  // — conservatively using the 4-byte reach for both lengths. With the
+  // misaligned-fetch trap every cached tag is even, so odd probe
+  // addresses can never match; the byte-granular loop is kept for the
+  // edge arithmetic and the extent check makes data stores free. A
+  // cleared 2-byte entry whose store only clipped bytes [t+2, t+4) is a
+  // spurious but harmless eviction.
   const std::uint32_t first = addr >= 3 ? addr - 3 : 0;
   const std::uint32_t last = addr + bytes - 1;
-  if (last - first >= 4 * kICacheEntries) {
+  // Entries map half-word-granular (slot = a >> 1), so a span covering
+  // 2 * entries byte addresses has touched every slot.
+  if (last - first >= 2 * kICacheEntries) {
     icache_flush();
     return;
   }
   for (std::uint32_t a = first;; ++a) {
-    ICacheEntry& e = icache_[(a >> 2) & (kICacheEntries - 1)];
+    ICacheEntry& e = icache_[(a >> 1) & (kICacheEntries - 1)];
     if (e.tag == a) e.tag = kInvalidTag;
     if (a == last) break;
   }
@@ -1099,10 +1482,180 @@ MicroOp Cpu::decode(std::uint32_t inst) {
   return u;
 }
 
+std::uint32_t Cpu::rvc_expand(std::uint16_t h) {
+  // Full-width encoders for the expansion targets. Register fields are
+  // already 0..31; immediates are passed as the final signed offset /
+  // unsigned immediate and repacked into the instruction format.
+  const auto i_type = [](std::int32_t imm, unsigned rs1, unsigned f3,
+                         unsigned rd, unsigned opc) -> std::uint32_t {
+    return (static_cast<std::uint32_t>(imm) & 0xFFFu) << 20 | rs1 << 15 |
+           f3 << 12 | rd << 7 | opc;
+  };
+  const auto s_type = [](std::int32_t imm, unsigned rs2,
+                         unsigned rs1) -> std::uint32_t {
+    const auto u = static_cast<std::uint32_t>(imm);
+    return ((u >> 5) & 0x7Fu) << 25 | rs2 << 20 | rs1 << 15 | 2u << 12 |
+           (u & 0x1Fu) << 7 | 0x23u;
+  };
+  const auto r_type = [](unsigned f7, unsigned rs2, unsigned rs1, unsigned f3,
+                         unsigned rd) -> std::uint32_t {
+    return f7 << 25 | rs2 << 20 | rs1 << 15 | f3 << 12 | rd << 7 | 0x33u;
+  };
+  const auto b_type = [](std::int32_t off, unsigned rs2, unsigned rs1,
+                         unsigned f3) -> std::uint32_t {
+    const auto u = static_cast<std::uint32_t>(off);
+    return ((u >> 12) & 1u) << 31 | ((u >> 5) & 0x3Fu) << 25 | rs2 << 20 |
+           rs1 << 15 | f3 << 12 | ((u >> 1) & 0xFu) << 8 |
+           ((u >> 11) & 1u) << 7 | 0x63u;
+  };
+  const auto j_type = [](std::int32_t off, unsigned rd) -> std::uint32_t {
+    const auto u = static_cast<std::uint32_t>(off);
+    return ((u >> 20) & 1u) << 31 | ((u >> 1) & 0x3FFu) << 21 |
+           ((u >> 11) & 1u) << 20 | ((u >> 12) & 0xFFu) << 12 | rd << 7 |
+           0x6Fu;
+  };
+
+  const unsigned funct3 = (h >> 13) & 7u;
+  const unsigned rc = 8u + ((h >> 2) & 7u);   // rd'/rs2' (x8..x15)
+  const unsigned rc1 = 8u + ((h >> 7) & 7u);  // rd'/rs1'
+  const unsigned rfull = (h >> 7) & 31u;      // full-width rd/rs1 field
+  // 6-bit immediate shared by c.addi / c.li / c.lui / c.andi / shifts.
+  const std::uint32_t imm6 = ((h >> 12) & 1u) << 5 | ((h >> 2) & 0x1Fu);
+
+  switch (h & 3u) {
+    case 0:  // quadrant C0
+      switch (funct3) {
+        case 0: {  // c.addi4spn rd', sp, nzuimm
+          const std::uint32_t nz = ((h >> 7) & 0xFu) << 6 |
+                                   ((h >> 11) & 3u) << 4 |
+                                   ((h >> 5) & 1u) << 3 | ((h >> 6) & 1u) << 2;
+          if (nz == 0) return 0;  // reserved (canonical illegal 0x0000)
+          return i_type(static_cast<std::int32_t>(nz), 2, 0, rc, 0x13);
+        }
+        case 2: {  // c.lw rd', uimm(rs1')
+          const std::uint32_t uimm = ((h >> 10) & 7u) << 3 |
+                                     ((h >> 5) & 1u) << 6 |
+                                     ((h >> 6) & 1u) << 2;
+          return i_type(static_cast<std::int32_t>(uimm), rc1, 2, rc, 0x03);
+        }
+        case 6: {  // c.sw rs2', uimm(rs1')
+          const std::uint32_t uimm = ((h >> 10) & 7u) << 3 |
+                                     ((h >> 5) & 1u) << 6 |
+                                     ((h >> 6) & 1u) << 2;
+          return s_type(static_cast<std::int32_t>(uimm), rc, rc1);
+        }
+        default:
+          return 0;  // FP loads/stores: D/F not implemented
+      }
+    case 1:  // quadrant C1
+      switch (funct3) {
+        case 0:  // c.addi (c.nop when rd == x0)
+          return i_type(sign_extend(imm6, 6), rfull, 0, rfull, 0x13);
+        case 1:    // c.jal (RV32)
+        case 5: {  // c.j
+          const std::uint32_t off =
+              ((h >> 12) & 1u) << 11 | ((h >> 11) & 1u) << 4 |
+              ((h >> 9) & 3u) << 8 | ((h >> 8) & 1u) << 10 |
+              ((h >> 7) & 1u) << 6 | ((h >> 6) & 1u) << 7 |
+              ((h >> 3) & 7u) << 1 | ((h >> 2) & 1u) << 5;
+          return j_type(sign_extend(off, 12), funct3 == 1 ? 1 : 0);
+        }
+        case 2:  // c.li
+          return i_type(sign_extend(imm6, 6), 0, 0, rfull, 0x13);
+        case 3: {
+          if (rfull == 2) {  // c.addi16sp
+            const std::uint32_t im =
+                ((h >> 12) & 1u) << 9 | ((h >> 3) & 3u) << 7 |
+                ((h >> 5) & 1u) << 6 | ((h >> 2) & 1u) << 5 |
+                ((h >> 6) & 1u) << 4;
+            if (im == 0) return 0;  // reserved
+            return i_type(sign_extend(im, 10), 2, 0, 2, 0x13);
+          }
+          // c.lui (rd == x0 is a HINT; lui x0 retires as a no-op)
+          if (imm6 == 0) return 0;  // reserved
+          const auto val =
+              static_cast<std::uint32_t>(sign_extend(imm6, 6)) << 12;
+          return (val & 0xFFFFF000u) | rfull << 7 | 0x37u;
+        }
+        case 4:
+          switch ((h >> 10) & 3u) {
+            case 0:  // c.srli
+              if (imm6 & 0x20u) return 0;  // shamt[5]: RV64-only
+              return i_type(static_cast<std::int32_t>(imm6), rc1, 5, rc1,
+                            0x13);
+            case 1:  // c.srai
+              if (imm6 & 0x20u) return 0;
+              return i_type(static_cast<std::int32_t>(imm6 | 0x400u), rc1, 5,
+                            rc1, 0x13);
+            case 2:  // c.andi
+              return i_type(sign_extend(imm6, 6), rc1, 7, rc1, 0x13);
+            default: {
+              if ((h >> 12) & 1u) return 0;  // c.subw/c.addw: RV64-only
+              static constexpr unsigned kF7[4] = {0x20, 0, 0, 0};
+              static constexpr unsigned kF3[4] = {0, 4, 6, 7};
+              const unsigned sel = (h >> 5) & 3u;  // sub/xor/or/and
+              return r_type(kF7[sel], rc, rc1, kF3[sel], rc1);
+            }
+          }
+        case 6:  // c.beqz rs1', off
+        case 7: {  // c.bnez
+          const std::uint32_t off =
+              ((h >> 12) & 1u) << 8 | ((h >> 10) & 3u) << 3 |
+              ((h >> 5) & 3u) << 6 | ((h >> 3) & 3u) << 1 |
+              ((h >> 2) & 1u) << 5;
+          return b_type(sign_extend(off, 9), 0, rc1, funct3 == 6 ? 0 : 1);
+        }
+        default:
+          return 0;
+      }
+    default:  // quadrant C2
+      switch (funct3) {
+        case 0:  // c.slli
+          if (imm6 & 0x20u) return 0;  // shamt[5]: RV64-only
+          return i_type(static_cast<std::int32_t>(imm6), rfull, 1, rfull,
+                        0x13);
+        case 2: {  // c.lwsp rd, uimm(sp)
+          if (rfull == 0) return 0;  // reserved
+          const std::uint32_t uimm = ((h >> 12) & 1u) << 5 |
+                                     ((h >> 4) & 7u) << 2 |
+                                     ((h >> 2) & 3u) << 6;
+          return i_type(static_cast<std::int32_t>(uimm), 2, 2, rfull, 0x03);
+        }
+        case 4: {
+          const unsigned rs2 = (h >> 2) & 31u;
+          if (((h >> 12) & 1u) == 0) {
+            if (rs2 == 0) {  // c.jr
+              if (rfull == 0) return 0;  // reserved
+              return i_type(0, rfull, 0, 0, 0x67);
+            }
+            return r_type(0, rs2, 0, 0, rfull);  // c.mv -> add rd, x0, rs2
+          }
+          if (rs2 == 0)
+            return rfull == 0 ? 0x00100073u            // c.ebreak
+                              : i_type(0, rfull, 0, 1, 0x67);  // c.jalr
+          return r_type(0, rs2, rfull, 0, rfull);  // c.add
+        }
+        case 6: {  // c.swsp rs2, uimm(sp)
+          const std::uint32_t uimm =
+              ((h >> 9) & 0xFu) << 2 | ((h >> 7) & 3u) << 6;
+          return s_type(static_cast<std::int32_t>(uimm), (h >> 2) & 31u, 2);
+        }
+        default:
+          return 0;  // FP stack loads/stores: not implemented
+      }
+  }
+}
+
 void Cpu::step() {
   const std::uint32_t pc = pc_;
+  if (pc & 1u) {
+    // 2-byte alignment is the fetch granule with RV32C: bit 0 set is
+    // the only misaligned case (software-written mepc + mret).
+    mem_fault(0, pc);  // instruction address misaligned
+    return;
+  }
   const Bus::DirectWindow* w = nullptr;
-  if (covers(win_[0], pc, 4)) {
+  if (covers(win_[0], pc, 2)) {
     if (win_[0].data != nullptr) w = &win_[0];
   } else {
     // Fetch owns slot 0; a miss (first fetch, revoked span, or region
@@ -1112,38 +1665,67 @@ void Cpu::step() {
     // Entries decoded from a previous fetch device would no longer be
     // invalidated on writes to it: drop them when the device changes.
     if (prev_dev != nullptr && win_[0].dev != prev_dev) icache_flush();
-    if (covers(win_[0], pc, 4) && win_[0].data != nullptr) w = &win_[0];
+    if (covers(win_[0], pc, 2) && win_[0].data != nullptr) w = &win_[0];
   }
   if (w != nullptr) {
-    ICacheEntry& e = icache_[(pc >> 2) & (kICacheEntries - 1)];
+    // Half-word-granular slot index: compressed instructions make every
+    // even address a potential entry, so >> 2 would alias pc and pc+2.
+    ICacheEntry& e = icache_[(pc >> 1) & (kICacheEntries - 1)];
     if (e.tag != pc) {
-      std::uint32_t word;
-      std::memcpy(&word, w->data + (pc - w->base), 4);
-      e.uop = decode(word);
-      e.tag = pc;
-      icache_ext_.grow(pc, pc + 4);
+      std::uint16_t half;
+      std::memcpy(&half, w->data + (pc - w->base), 2);
+      if ((half & 3u) != 3u) {
+        e.uop = decode(rvc_expand(half));
+        e.uop.len = 2;
+        icache_ext_.grow(pc, pc + 2);
+      } else if (covers(*w, pc, 4)) {
+        std::uint32_t word;
+        std::memcpy(&word, w->data + (pc - w->base), 4);
+        e.uop = decode(word);
+        icache_ext_.grow(pc, pc + 4);
+      } else {
+        // 32-bit instruction straddling the window edge: take the slow
+        // bus fetch below without caching a torn entry.
+        w = nullptr;
+      }
+      if (w != nullptr) e.tag = pc;
     }
-    stall_ += cfg_.fetch_latency;
-    exec_op(e.uop);
-    return;
+    if (w != nullptr) {
+      stall_ += cfg_.fetch_latency;
+      exec_op(e.uop);
+      return;
+    }
   }
   // Slow fetch (MMIO-resident code, spans revoked by stuck-at faults,
   // window-edge accesses): decode every time, exactly like the seed.
+  // Two halfword reads so a compressed tail at the end of a region
+  // cannot fault on the phantom upper parcel.
   bus_access_ = true;
-  const Bus::Access fetch = bus_.read(pc, 4);
-  if (fetch.fault) {
-    mem_fault(1);  // instruction access fault
+  const Bus::Access lo = bus_.read(pc, 2);
+  if (lo.fault) {
+    mem_fault(1, pc);  // instruction access fault
     return;
   }
+  MicroOp u;
+  if ((lo.value & 3u) != 3u) {
+    u = decode(rvc_expand(static_cast<std::uint16_t>(lo.value)));
+    u.len = 2;
+  } else {
+    const Bus::Access hi = bus_.read(pc + 2, 2);
+    if (hi.fault) {
+      mem_fault(1, pc);
+      return;
+    }
+    u = decode(lo.value | hi.value << 16);
+  }
   stall_ += cfg_.fetch_latency;
-  const MicroOp u = decode(fetch.value);
   exec_op(u);
 }
 
 void Cpu::exec_op(const MicroOp& u) {
   const int rd = u.rd;
   const int rs1 = u.rs1;
-  std::uint32_t next_pc = pc_ + 4;
+  std::uint32_t next_pc = pc_ + u.len;
 
   const std::uint32_t a = read_reg(rs1);
   const std::uint32_t b = read_reg(u.rs2);
@@ -1156,12 +1738,12 @@ void Cpu::exec_op(const MicroOp& u) {
       write_reg(rd, pc_ + u.imm);
       break;
     case MicroOp::kJal:
-      write_reg(rd, pc_ + 4);
+      write_reg(rd, pc_ + u.len);
       next_pc = pc_ + u.imm;
       ++stall_;  // taken-control-flow penalty
       break;
     case MicroOp::kJalr:
-      write_reg(rd, pc_ + 4);
+      write_reg(rd, pc_ + u.len);
       next_pc = (a + u.imm) & ~1u;
       ++stall_;
       break;
@@ -1395,14 +1977,14 @@ void Cpu::exec_op(const MicroOp& u) {
 
 // --------------------------------------------- legacy decode-every-fetch
 
-void Cpu::exec(std::uint32_t inst) {
+void Cpu::exec(std::uint32_t inst, std::uint32_t len) {
   const unsigned opcode = inst & 0x7F;
   const int rd = static_cast<int>((inst >> 7) & 0x1F);
   const unsigned funct3 = (inst >> 12) & 0x7;
   const int rs1 = static_cast<int>((inst >> 15) & 0x1F);
   const int rs2 = static_cast<int>((inst >> 20) & 0x1F);
   const unsigned funct7 = inst >> 25;
-  std::uint32_t next_pc = pc_ + 4;
+  std::uint32_t next_pc = pc_ + len;
   bool retired = true;
 
   const std::uint32_t a = read_reg(rs1);
@@ -1419,7 +2001,7 @@ void Cpu::exec(std::uint32_t inst) {
       const std::uint32_t imm =
           (((inst >> 31) & 1u) << 20) | (((inst >> 12) & 0xFFu) << 12) |
           (((inst >> 20) & 1u) << 11) | (((inst >> 21) & 0x3FFu) << 1);
-      write_reg(rd, pc_ + 4);
+      write_reg(rd, pc_ + len);
       next_pc = pc_ + static_cast<std::uint32_t>(sign_extend(imm, 21));
       ++stall_;  // taken-control-flow penalty
       break;
@@ -1428,7 +2010,7 @@ void Cpu::exec(std::uint32_t inst) {
       const auto imm = sign_extend(inst >> 20, 12);
       const std::uint32_t target =
           (a + static_cast<std::uint32_t>(imm)) & ~1u;
-      write_reg(rd, pc_ + 4);
+      write_reg(rd, pc_ + len);
       next_pc = target;
       ++stall_;
       break;

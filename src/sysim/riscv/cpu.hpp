@@ -1,11 +1,13 @@
 #pragma once
 /// \file cpu.hpp
-/// RV32IM instruction-set simulator with simple timing — the host
+/// RV32IMC instruction-set simulator with simple timing — the host
 /// processor of the platform (paper Section 5: gem5-SALAM "ported to
 /// support the RISC-V ISA"). Machine mode only, bare metal:
-///  - full RV32I + M extension
-///  - machine CSRs (mstatus/mie/mip/mtvec/mepc/mcause/mscratch,
-///    mcycle/mcycleh, minstret/minstreth)
+///  - full RV32I + M extension + C (compressed) extension: every RV32C
+///    quadrant form that maps to RV32I/M expands to the same micro-op
+///    set, with 2-byte PC stepping and misaligned-on-2 fetch traps
+///  - machine CSRs (mstatus/mie/mip/mtvec/mepc/mcause/mtval/mscratch,
+///    misa, mcycle/mcycleh, minstret/minstreth)
 ///  - external interrupt line, WFI, MRET
 ///  - timing: base CPI 1, configurable multiply/divide latencies, memory
 ///    latency from the bus, +1 cycle on taken branches
@@ -51,6 +53,13 @@ struct CpuConfig {
   /// (false) and legacy_decode both remain as differential oracles —
   /// all three tiers are bit-identical.
   bool block_tier = block_tier_env_default();
+  /// Constant-folding pass over freshly built blocks: known register
+  /// constants (lui / resolved-auipc / addi chains) propagate forward,
+  /// precomputing ALU results, load/store effective addresses, and
+  /// statically-decided branch directions into BlockOp fold slots.
+  /// Timing is untouched — folds only skip host-side work — and results
+  /// stay bit-identical with the pass off (ASPEN_BLOCK_CONSTFOLD=0).
+  bool block_constfold = block_constfold_env_default();
 };
 
 enum class Halt {
@@ -137,7 +146,7 @@ class Cpu final : public BusWriteObserver {
     bool wfi = false;
     Halt halt = Halt::kRunning;
     std::uint32_t mstatus = 0, mie = 0, mip = 0, mtvec = 0;
-    std::uint32_t mscratch = 0, mepc = 0, mcause = 0;
+    std::uint32_t mscratch = 0, mepc = 0, mcause = 0, mtval = 0;
   };
   [[nodiscard]] Snapshot snapshot() const;
   void restore(const Snapshot& s);
@@ -183,12 +192,17 @@ class Cpu final : public BusWriteObserver {
     std::uint32_t tag = kInvalidTag;
     MicroOp uop;
   };
-  /// A 4-byte in-window fetch needs base + size > pc + 3, so the top of
-  /// the 32-bit address space can never be a cached tag.
+  /// Tags are always even (odd PCs trap as misaligned before fetch), so
+  /// an odd sentinel can never collide with a cached tag.
   static constexpr std::uint32_t kInvalidTag = 0xFFFFFFFFu;
   static constexpr std::uint32_t kICacheEntries = 4096;  // direct-mapped
 
   [[nodiscard]] static MicroOp decode(std::uint32_t inst);
+  /// Expand a 16-bit RV32C halfword ((h & 3) != 3) into its full-width
+  /// RV32I/M equivalent encoding; reserved/unsupported forms expand to 0
+  /// (a guaranteed-illegal word). Shared by every tier so compressed
+  /// forms execute identically on all three.
+  [[nodiscard]] static std::uint32_t rvc_expand(std::uint16_t h);
   /// Fetch (icache / DRAM fast path / bus fallback) and dispatch one
   /// instruction.
   void step();
@@ -215,15 +229,24 @@ class Cpu final : public BusWriteObserver {
   /// guarantees budget >= 1. Returns false when the block/burst must
   /// stop after this op.
   bool retire_half(const MicroOp& u, std::uint64_t& budget, BurstResult& r);
+  /// retire_half shape for a constant-folded op: identical cycle, stall,
+  /// instret, and pc bookkeeping, but the precomputed fold result stands
+  /// in for the register reads / ALU work / address computation. Caller
+  /// guarantees budget >= 1 and that folds are valid (no register faults
+  /// armed, zero fetch latency).
+  bool retire_folded(const BlockOp& bo, std::uint64_t& budget, BurstResult& r);
   /// Compute-only register-op core (LUI/AUIPC, OP-IMM, OP, M, fence):
   /// no cycle/stall/pc bookkeeping — callers account for those. Shared
   /// by retire_half and exec_block's static runs.
   void exec_alu(const MicroOp& u);
-  void exec(std::uint32_t inst);  ///< legacy decode-every-fetch path
-  void take_trap(std::uint32_t cause, std::uint32_t epc);
+  /// Legacy decode-every-fetch path; `len` is the encoded length of the
+  /// fetched instruction (2 for an expanded RV32C form).
+  void exec(std::uint32_t inst, std::uint32_t len);
+  void take_trap(std::uint32_t cause, std::uint32_t epc,
+                 std::uint32_t tval = 0);
   [[nodiscard]] std::uint32_t read_csr(std::uint32_t addr) const;
   void write_csr(std::uint32_t addr, std::uint32_t value);
-  void mem_fault(std::uint32_t cause);
+  void mem_fault(std::uint32_t cause, std::uint32_t tval = 0);
 
   // -- Direct-memory fast path ---------------------------------------------
   // Two cached windows: slot 0 is resolved by instruction fetch (the
@@ -296,6 +319,7 @@ class Cpu final : public BusWriteObserver {
   std::uint32_t mscratch_ = 0;
   std::uint32_t mepc_ = 0;
   std::uint32_t mcause_ = 0;
+  std::uint32_t mtval_ = 0;
 };
 
 }  // namespace aspen::sys::rv

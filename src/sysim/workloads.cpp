@@ -527,6 +527,49 @@ std::vector<std::uint32_t> build_counter_probe(const SystemConfig& sys,
   return as.assemble();
 }
 
+std::vector<std::uint32_t> build_rvc_loop(const SystemConfig& sys,
+                                          std::uint32_t src_offset,
+                                          std::uint32_t dst_offset,
+                                          std::uint32_t words) {
+  if (words == 0) throw std::invalid_argument("build_rvc_loop: words == 0");
+  Assembler as(sys.dram_base, /*compress=*/true);
+  as.li(s0, sys.dram_base + src_offset);   // source cursor (prime reg)
+  as.li(s1, sys.dram_base + dst_offset);   // destination cursor
+  as.li(sp, sys.dram_base + dst_offset + words * 4);  // epilogue scratch
+  as.li(a0, words);                        // loop counter
+  as.li(a3, 0);                            // checksum accumulator
+
+  // Hot loop: every instruction except the back-branch picks its C form
+  // (branches stay full-width — fixups never relax).
+  as.label("rvc_loop");
+  as.lw(a2, s0, 0);       // c.lw
+  as.mv(a4, a2);          // c.mv
+  as.slli(a4, a4, 3);     // c.slli
+  as.srli(a4, a4, 1);     // c.srli
+  as.xor_(a4, a4, a2);    // c.xor
+  as.andi(a2, a2, 0x1F);  // c.andi
+  as.or_(a4, a4, a2);     // c.or
+  as.add(a3, a3, a4);     // c.add
+  as.sw(a4, s1, 0);       // c.sw
+  as.addi(s0, s0, 4);     // c.addi
+  as.addi(s1, s1, 4);     // c.addi
+  as.addi(a0, a0, -1);    // c.addi
+  as.bne(a0, zero, "rvc_loop");
+
+  // Epilogue: stack-pointer forms, a compressed call return, and a
+  // self-cancelling c.sub so the scratch slot lands deterministic.
+  as.jal(ra, "rvc_fin");  // returns via c.jr ra
+  as.sw(a3, sp, 0);       // c.swsp: checksum at dst + words*4
+  as.lw(a5, sp, 0);       // c.lwsp
+  as.sub(a5, a5, a3);     // c.sub -> 0
+  as.sw(a5, sp, 4);       // c.swsp
+  emit_exit(as);
+  as.label("rvc_fin");
+  as.addi(a3, a3, 1);     // c.addi: fold the call into the checksum
+  as.ret();               // c.jr ra
+  return as.assemble();
+}
+
 std::vector<std::int16_t> golden_gemm(const GemmWorkload& wl,
                                       const std::vector<std::int16_t>& a,
                                       const std::vector<std::int16_t>& x) {

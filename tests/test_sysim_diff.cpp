@@ -554,6 +554,247 @@ TEST(SysimDiffTest, FaultFlipInsideFusedPair) {
   EXPECT_GT(block.bstats.fused_exec, 0u);
 }
 
+// --------------------------------------------- RV32C / constant folding
+
+TEST(SysimDiffTest, RvcDenseLoop) {
+  // The compressed workload: mixed 2/4-byte fetch through all three
+  // tiers, bit-identical, with the block tier demonstrating the fetch
+  // traffic reduction through its counters.
+  SystemConfig sc;
+  sc.accel = small_accel();
+  constexpr std::uint32_t kWords = 96;
+  std::vector<std::uint32_t> data(kWords);
+  for (std::uint32_t i = 0; i < kWords; ++i)
+    data[i] = 0x9E3779B9u * (i + 1);  // deterministic scramble input
+  const auto program = build_rvc_loop(sc, 0x40000, 0x48000, kWords);
+
+  const Capture block = diff_drive(sc, "rvc dense loop", [&](System& system) {
+    system.write_dram(0x40000, data.data(), data.size() * 4);
+    system.load_program(program);
+    system.run();
+  });
+  EXPECT_EQ(block.result.halt, Halt::kEcallExit);
+  EXPECT_EQ(block.result.exit_code, 0);
+  EXPECT_GT(block.bstats.rvc_built, 0u);
+  // 2-byte forms must dominate the decode traffic: total bytes fetched
+  // into blocks stays below 4 bytes per compressed op alone.
+  EXPECT_LT(block.bstats.fetch_bytes, 4 * block.bstats.rvc_built);
+}
+
+TEST(SysimDiffTest, MisaAndMisalignedFetchTrap) {
+  // misa reports RV32IMC; an mret to an odd mepc takes the
+  // instruction-address-misaligned trap (cause 0) with the faulting pc
+  // in both mtval and mepc — identically on every tier.
+  SystemConfig sc;
+  sc.accel = small_accel();
+  std::uint32_t handler_addr = sc.dram_base;
+  std::vector<std::uint32_t> program;
+  for (int iter = 0; iter < 4; ++iter) {
+    Assembler as(sc.dram_base);
+    as.csrrs(a1, kCsrMisa, zero);
+    as.li(t0, handler_addr);
+    as.csrrw(zero, kCsrMtvec, t0);
+    as.li(t1, sc.dram_base + 0x201);  // odd resume target
+    as.csrrw(zero, kCsrMepc, t1);
+    as.mret();
+    as.label("handler");
+    as.csrrs(a2, kCsrMcause, zero);
+    as.csrrs(a3, kCsrMtval, zero);
+    as.csrrs(a4, kCsrMepc, zero);
+    as.ebreak();
+    const std::uint32_t found = as.address_of("handler");
+    program = as.assemble();
+    if (found == handler_addr) break;
+    handler_addr = found;
+  }
+
+  const Capture block =
+      diff_drive(sc, "misa + misaligned fetch", [&](System& system) {
+        system.load_program(program);
+        system.run();
+      });
+  EXPECT_EQ(block.result.halt, Halt::kEbreak);
+  EXPECT_EQ(block.regs[11], 0x40001104u) << "misa: MXL=1 + I, M, C";
+  EXPECT_EQ(block.regs[12], 0u) << "mcause: instruction address misaligned";
+  EXPECT_EQ(block.regs[13], sc.dram_base + 0x201) << "mtval: faulting pc";
+  EXPECT_EQ(block.regs[14], sc.dram_base + 0x201) << "mepc: faulting pc";
+}
+
+TEST(SysimDiffTest, StoreOverwritesAdjacentCompressedPair) {
+  // A 4-byte store rewrites two adjacent 2-byte instructions inside a
+  // hot compressed loop: the block tier must evict on the clipped pair
+  // and every tier must execute the patched full-width instruction.
+  SystemConfig sc;
+  sc.accel = small_accel();
+
+  Assembler enc(sc.dram_base);
+  enc.addi(a0, zero, 77);
+  const std::uint32_t patched_word = enc.assemble()[0];
+
+  std::uint32_t patch_addr = sc.dram_base;
+  std::vector<std::uint32_t> program;
+  for (int iter = 0; iter < 6; ++iter) {
+    Assembler as(sc.dram_base, /*compress=*/true);
+    as.li(t0, patch_addr);
+    as.li(t1, patched_word);
+    as.li(s0, 0);
+    as.li(s1, 60);  // total iterations
+    as.li(s2, 40);  // start patching after this many
+    as.label("loop");
+    as.addi(s0, s0, 1);  // c.addi
+    as.blt(s0, s2, "mid");
+    as.sw(t1, t0, 0);  // full-width store over the compressed pair
+    as.label("mid");
+    as.addi(a0, zero, 11);  // c.li  \ the adjacent 2-byte pair the
+    as.addi(a0, a0, 1);     // c.addi / store overwrites
+    as.blt(s0, s1, "loop");
+    as.ebreak();
+    const std::uint32_t found = as.address_of("mid");
+    program = as.assemble();
+    if (found == patch_addr) break;
+    patch_addr = found;
+  }
+
+  const Capture block = diff_drive(sc, "store over compressed pair",
+                                   [&](System& system) {
+                                     system.load_program(program);
+                                     system.run();
+                                   });
+  EXPECT_EQ(block.result.halt, Halt::kEbreak);
+  EXPECT_EQ(block.regs[10], 77u)
+      << "patched full-width instruction must execute";
+  EXPECT_GE(block.bstats.evictions, 1u) << "store must evict the block";
+  EXPECT_GT(block.bstats.rvc_built, 0u);
+}
+
+TEST(SysimDiffTest, SmcPatchesHalfOfWideInstructionAtBlockTail) {
+  // A 2-byte store rewrites only the upper parcel of a 32-bit
+  // instruction sitting at the tail of a translated block: the
+  // clipped-half invalidation must evict, and the re-decoded word
+  // (old lower half + new upper half) must execute on every tier.
+  SystemConfig sc;
+  sc.accel = small_accel();
+
+  Assembler enc(sc.dram_base);
+  enc.addi(a0, zero, 77);   // target word after the patch
+  enc.addi(a0, zero, 11);   // word initially at the patch site
+  const auto enc_words = enc.assemble();
+  // Both words share the lower parcel (same rd/funct3/opcode bits), so
+  // patching just the upper half switches the immediate 11 -> 77.
+  ASSERT_EQ(enc_words[0] & 0xFFFFu, enc_words[1] & 0xFFFFu);
+  const std::uint32_t patch_half = enc_words[0] >> 16;
+
+  std::uint32_t patch_addr = sc.dram_base;
+  std::vector<std::uint32_t> program;
+  for (int iter = 0; iter < 4; ++iter) {
+    Assembler as(sc.dram_base);
+    as.li(t0, patch_addr);
+    as.li(t1, patch_half);
+    as.li(s0, 0);
+    as.li(s1, 60);
+    as.li(s2, 40);
+    as.label("loop");
+    as.addi(s0, s0, 1);
+    as.blt(s0, s2, "mid");
+    as.sh(t1, t0, 2);  // clip only the upper half of the tail op
+    as.label("mid");
+    as.addi(a0, zero, 11);  // tail of the 'mid' block (branch terminates)
+    as.blt(s0, s1, "loop");
+    as.ebreak();
+    const std::uint32_t found = as.address_of("mid");
+    program = as.assemble();
+    if (found == patch_addr) break;
+    patch_addr = found;
+  }
+
+  const Capture block = diff_drive(sc, "smc patches half of wide op",
+                                   [&](System& system) {
+                                     system.load_program(program);
+                                     system.run();
+                                   });
+  EXPECT_EQ(block.result.halt, Halt::kEbreak);
+  EXPECT_EQ(block.regs[10], 77u) << "half-patched instruction must execute";
+  EXPECT_GE(block.bstats.evictions, 1u)
+      << "half-word store must evict the block";
+}
+
+TEST(SysimDiffTest, InstructionStraddlesWindowEdge) {
+  // A compressed run at the very top of DRAM ends with a 32-bit
+  // instruction whose upper parcel lies past the end of memory: block
+  // building must stop at the straddle, and the eventual fetch must
+  // fault identically on every tier (two-parcel fetch, lower read ok,
+  // upper read faults).
+  SystemConfig sc;
+  sc.accel = small_accel();
+
+  Assembler tail(sc.dram_base + sc.dram_size - 6, /*compress=*/true);
+  tail.addi(a0, a0, 1);   // c.addi
+  tail.addi(a0, a0, 2);   // c.addi
+  tail.addi(a0, a0, 77);  // 4-byte: imm 77 does not fit a C form
+  const auto tail_words = tail.assemble();
+  ASSERT_EQ(tail_words.size(), 2u);  // 2 + 2 + 4 bytes
+  std::uint8_t tail_bytes[8];
+  std::memcpy(tail_bytes, tail_words.data(), 8);
+
+  Assembler as(sc.dram_base);
+  as.li(a0, 0);
+  as.li(t0, sc.dram_base + sc.dram_size - 6);
+  as.jalr(zero, t0, 0);
+  const auto program = as.assemble();
+
+  const Capture block =
+      diff_drive(sc, "instruction straddles window edge", [&](System& system) {
+        // Only the first 6 bytes fit: the straddling word's upper
+        // parcel has no backing memory.
+        system.write_dram(sc.dram_size - 6, tail_bytes, 6);
+        system.load_program(program);
+        system.run();
+      });
+  EXPECT_EQ(block.result.halt, Halt::kBusFault);
+  EXPECT_EQ(block.regs[10], 3u)
+      << "both compressed adds must retire before the faulting fetch";
+}
+
+TEST(SysimDiffTest, FaultFlipInsideFoldedChain) {
+  // Transient bit flip lands inside an op that was constant-folded as
+  // part of a known-register chain in a hot loop: invalidation must
+  // evict the block, and the rebuilt fold must propagate the corrupted
+  // immediate — bit-identical to the decode-every-fetch oracle.
+  SystemConfig sc;
+  sc.accel = small_accel();
+  sc.cpu.block_constfold = true;  // pinned: assertions count folds
+  Assembler as(sc.dram_base);
+  as.li(s0, 0);    // one word (addi)
+  as.li(s1, 200);  // one word (addi)
+  as.label("loop");
+  as.li(a0, 0x12345678);  // lui+addi fused pair seeds the known set
+  as.addi(a1, a0, 0x10);  // folded: a1 = const + 0x10
+  as.slli(a2, a1, 1);     // folded: chained through a1
+  as.addi(s0, s0, 1);
+  as.blt(s0, s1, "loop");
+  as.ebreak();
+  const auto program = as.assemble();
+  ASSERT_EQ(as.address_of("loop"), sc.dram_base + 8);
+
+  const Capture block =
+      diff_drive(sc, "flip inside folded chain", [&](System& system) {
+        system.load_program(program);
+        system.run_until(100);  // loop is hot, chain is folded
+        // Flip imm[4] of the folded addi (code byte 19, bit 0):
+        // 0x10 -> 0, so the rebuilt fold yields a1 = const + 0.
+        system.dram().flip_bit(19, 0);
+        system.run_until(500000);
+      });
+  EXPECT_EQ(block.result.halt, Halt::kEbreak);
+  EXPECT_EQ(block.regs[11], 0x12345678u)
+      << "rebuilt fold must propagate the corrupted immediate";
+  EXPECT_EQ(block.regs[12], 0x2468ACF0u)
+      << "downstream fold must chain through the corrupted value";
+  EXPECT_GE(block.bstats.evictions, 1u) << "flip must evict the block";
+  EXPECT_GT(block.bstats.folded_built, 0u);
+  EXPECT_GT(block.bstats.folded_exec, 0u);
+}
+
 // ------------------------------------------------------ fault flips
 
 struct FaultScenario {
